@@ -1,0 +1,534 @@
+// Package bmeh is a multidimensional order-preserving extendible hashing
+// library, a from-scratch implementation of Otoo's Balanced
+// Multidimensional Extendible Hash Tree (PODS 1986) together with the two
+// baseline organizations the paper evaluates against.
+//
+// An Index stores records keyed by d-dimensional vectors and supports
+// exact-match lookup, insertion, deletion, and orthogonal (partial-)range
+// queries over an order-preserving rectilinear partitioning of the key
+// space. Three directory organizations are available:
+//
+//   - SchemeBMEH (default): the paper's contribution — a height-balanced
+//     tree of fixed-size directory nodes. Directory growth is near linear
+//     in the number of keys regardless of skew, and an exact-match lookup
+//     touches exactly (levels−1) directory pages plus one data page, with
+//     the root held in memory (≤ 3 page reads for directories up to 2^27
+//     elements at the default node size).
+//   - SchemeMDEH: the classic one-level directory. Lookups cost exactly
+//     two page reads, but the directory can grow super-linearly (and
+//     insertion cost explode) under skewed keys.
+//   - SchemeMEH: a simpler multilevel directory growing from the root
+//     down; shallow for cold regions but unbalanced and space-hungry.
+//
+// Keys are vectors of unsigned components compared numerically; package
+// users index arbitrary attribute types by encoding them order-preservingly
+// with the helpers in keys.go (signed integers, floats, bounded reals,
+// string prefixes).
+package bmeh
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/core"
+	"bmeh/internal/mdeh"
+	"bmeh/internal/mehtree"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+)
+
+// Scheme selects the directory organization of an Index.
+type Scheme int
+
+const (
+	// SchemeBMEH is the balanced multidimensional extendible hash tree.
+	SchemeBMEH Scheme = iota
+	// SchemeMDEH is multidimensional extendible hashing with a one-level
+	// directory.
+	SchemeMDEH
+	// SchemeMEH is the downward-growing multidimensional extendible hash
+	// tree.
+	SchemeMEH
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBMEH:
+		return "BMEH-tree"
+	case SchemeMDEH:
+		return "MDEH"
+	case SchemeMEH:
+		return "MEH-tree"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Key is a d-dimensional key vector. Components compare numerically; use
+// the encoding helpers to map other attribute types order-preservingly.
+type Key []uint64
+
+// ErrDuplicate is returned by Insert when the key is already present.
+var ErrDuplicate = errors.New("bmeh: duplicate key")
+
+// Options configures an Index.
+type Options struct {
+	// Scheme selects the directory organization (default SchemeBMEH).
+	Scheme Scheme
+	// Dims is the key dimensionality d (required, 1..8).
+	Dims int
+	// PageCapacity is the data page capacity b in records (default 32).
+	PageCapacity int
+	// NodeBits is ξ_j, the per-dimension address bits of a directory node
+	// (tree schemes; also sizes MDEH's directory pages). Default: 6 bits
+	// split evenly across dimensions, the paper's configuration.
+	// Setting all entries to 1 yields the paper's "balanced binary
+	// quadtree/octtree" variant.
+	NodeBits []int
+	// Width is the significant bits per key component (default 32, max 64).
+	Width int
+	// CacheFrames enables a write-back page cache of that many frames
+	// between the index and its store (0 disables caching). With a cache,
+	// Stats reports physical I/O only; call Sync to force dirty pages out.
+	CacheFrames int
+}
+
+func (o Options) params() (params.Params, error) {
+	if o.Dims == 0 {
+		return params.Params{}, errors.New("bmeh: Options.Dims is required")
+	}
+	prm := params.Default(o.Dims, 32)
+	if o.PageCapacity != 0 {
+		prm.Capacity = o.PageCapacity
+	}
+	if o.Width != 0 {
+		prm.Width = o.Width
+	}
+	if o.NodeBits != nil {
+		prm.Xi = append([]int(nil), o.NodeBits...)
+	}
+	return prm, prm.Validate()
+}
+
+// impl is the common surface of the three scheme implementations.
+type impl interface {
+	Insert(k bitkey.Vector, v uint64) error
+	Search(k bitkey.Vector) (uint64, bool, error)
+	Delete(k bitkey.Vector) (bool, error)
+	Range(lo, hi bitkey.Vector, fn func(bitkey.Vector, uint64) bool) error
+	Len() int
+	Levels() int
+	DirectoryElements() int
+	DirectoryPages() int
+	Validate() error
+}
+
+// Index is a multidimensional extendible-hashing index. All methods are
+// safe for concurrent use: lookups, range scans and statistics run
+// concurrently under a read lock; insertions, deletions and lifecycle
+// operations are serialized by a write lock.
+type Index struct {
+	mu     sync.RWMutex
+	opts   Options
+	prm    params.Params
+	scheme Scheme
+	idx    impl
+	store  pagestore.Store
+	cached *pagestore.CachedStore
+	file   *pagestore.FileDisk
+	closed bool
+}
+
+// requiredPageBytes returns the page size for the scheme and parameters.
+func requiredPageBytes(s Scheme, prm params.Params) int {
+	switch s {
+	case SchemeMDEH:
+		return mdeh.PageBytes(prm)
+	case SchemeMEH:
+		return mehtree.PageBytes(prm)
+	default:
+		return core.PageBytes(prm)
+	}
+}
+
+func buildImpl(s Scheme, st pagestore.Store, prm params.Params) (impl, error) {
+	switch s {
+	case SchemeMDEH:
+		return mdeh.New(st, prm)
+	case SchemeMEH:
+		return mehtree.New(st, prm)
+	case SchemeBMEH:
+		return core.New(st, prm)
+	default:
+		return nil, fmt.Errorf("bmeh: unknown scheme %d", int(s))
+	}
+}
+
+// New creates an in-memory Index.
+func New(opts Options) (*Index, error) {
+	prm, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	var st pagestore.Store = pagestore.NewMemDisk(requiredPageBytes(opts.Scheme, prm))
+	ix := &Index{opts: opts, prm: prm, scheme: opts.Scheme}
+	if opts.CacheFrames > 0 {
+		ix.cached = pagestore.NewCachedStore(st, opts.CacheFrames)
+		st = ix.cached
+	}
+	ix.store = st
+	ix.idx, err = buildImpl(opts.Scheme, st, prm)
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Create creates a file-backed Index at path (truncating any existing
+// file). All schemes persist; the scheme is recorded in the file and
+// recovered by Open.
+func Create(path string, opts Options) (*Index, error) {
+	prm, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	file, err := pagestore.CreateFileDisk(path, requiredPageBytes(opts.Scheme, prm))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{opts: opts, prm: prm, scheme: opts.Scheme, file: file}
+	var st pagestore.Store = file
+	if opts.CacheFrames > 0 {
+		ix.cached = pagestore.NewCachedStore(st, opts.CacheFrames)
+		st = ix.cached
+	}
+	ix.store = st
+	ix.idx, err = buildImpl(opts.Scheme, st, prm)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	if err := ix.syncLocked(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Open opens a file-backed Index previously written by Create.
+// cacheFrames > 0 enables a page cache as in Options.CacheFrames.
+func Open(path string, cacheFrames int) (*Index, error) {
+	file, err := pagestore.OpenFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	meta := make([]byte, 256)
+	n, err := file.ReadMeta(meta)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	ix := &Index{file: file}
+	var st pagestore.Store = file
+	if cacheFrames > 0 {
+		ix.cached = pagestore.NewCachedStore(st, cacheFrames)
+		st = ix.cached
+	}
+	ix.store = st
+	if n == 0 {
+		file.Close()
+		return nil, fmt.Errorf("bmeh: %s has no index header", path)
+	}
+	switch meta[0] {
+	case 'B':
+		tree, err := core.Load(st, meta[:n])
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		ix.idx, ix.scheme, ix.prm = tree, SchemeBMEH, tree.Params()
+	case 'M':
+		tree, err := mehtree.Load(st, meta[:n])
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		ix.idx, ix.scheme, ix.prm = tree, SchemeMEH, tree.Params()
+	case 'D':
+		tab, err := mdeh.Load(st, meta[:n])
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		ix.idx, ix.scheme, ix.prm = tab, SchemeMDEH, tab.Params()
+	default:
+		file.Close()
+		return nil, fmt.Errorf("bmeh: %s holds an unknown index kind %q", path, meta[0])
+	}
+	ix.opts = Options{
+		Scheme:       ix.scheme,
+		Dims:         ix.prm.Dims,
+		PageCapacity: ix.prm.Capacity,
+		NodeBits:     ix.prm.Xi,
+		Width:        ix.prm.Width,
+		CacheFrames:  cacheFrames,
+	}
+	return ix, nil
+}
+
+// key converts and validates a public key.
+func (ix *Index) key(k Key) (bitkey.Vector, error) {
+	if len(k) != ix.prm.Dims {
+		return nil, fmt.Errorf("bmeh: key has %d components, index expects %d", len(k), ix.prm.Dims)
+	}
+	v := make(bitkey.Vector, len(k))
+	for j, c := range k {
+		if ix.prm.Width < 64 && c >= 1<<uint(ix.prm.Width) {
+			return nil, fmt.Errorf("bmeh: component %d (%d) exceeds the index's %d-bit width", j+1, c, ix.prm.Width)
+		}
+		v[j] = bitkey.Component(c)
+	}
+	return v, nil
+}
+
+func translateErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrDuplicate),
+		errors.Is(err, mdeh.ErrDuplicate),
+		errors.Is(err, mehtree.ErrDuplicate):
+		return ErrDuplicate
+	default:
+		return err
+	}
+}
+
+// Insert stores value under key. It returns ErrDuplicate if the key is
+// already present.
+func (ix *Index) Insert(k Key, value uint64) error {
+	v, err := ix.key(k)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return pagestore.ErrClosed
+	}
+	return translateErr(ix.idx.Insert(v, value))
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(k Key) (uint64, bool, error) {
+	v, err := ix.key(k)
+	if err != nil {
+		return 0, false, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.closed {
+		return 0, false, pagestore.ErrClosed
+	}
+	return ix.idx.Search(v)
+}
+
+// Delete removes key, reporting whether it was present.
+func (ix *Index) Delete(k Key) (bool, error) {
+	v, err := ix.key(k)
+	if err != nil {
+		return false, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return false, pagestore.ErrClosed
+	}
+	return ix.idx.Delete(v)
+}
+
+// Range calls fn for every record whose key lies in the axis-aligned box
+// [lo_j, hi_j] for every dimension j, stopping early if fn returns false.
+// For a partial-range or partial-match query, open the unconstrained
+// dimensions with 0 and MaxComponent(width) — see Unbounded.
+func (ix *Index) Range(lo, hi Key, fn func(k Key, value uint64) bool) error {
+	vlo, err := ix.key(lo)
+	if err != nil {
+		return err
+	}
+	vhi, err := ix.key(hi)
+	if err != nil {
+		return err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.closed {
+		return pagestore.ErrClosed
+	}
+	return ix.idx.Range(vlo, vhi, func(k bitkey.Vector, v uint64) bool {
+		pk := make(Key, len(k))
+		for j, c := range k {
+			pk[j] = uint64(c)
+		}
+		return fn(pk, v)
+	})
+}
+
+// Scan calls fn for every record in the index (key order along the
+// odometer of the covering cells, not globally sorted).
+func (ix *Index) Scan(fn func(k Key, value uint64) bool) error {
+	lo := make(Key, ix.prm.Dims)
+	hi := make(Key, ix.prm.Dims)
+	max := ix.MaxComponent()
+	for j := range hi {
+		hi[j] = max
+	}
+	return ix.Range(lo, hi, fn)
+}
+
+// MaxComponent returns the largest key component the index accepts
+// (2^Width − 1).
+func (ix *Index) MaxComponent() uint64 {
+	if ix.prm.Width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(ix.prm.Width) - 1
+}
+
+// Len returns the number of stored records.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.idx.Len()
+}
+
+// Stats reports storage statistics. With a cache enabled, Reads and Writes
+// count physical I/O below the cache.
+type Stats struct {
+	// Reads and Writes are page-level I/O counts since creation (or the
+	// last ResetStats call on the underlying store).
+	Reads, Writes uint64
+	// Records is the number of stored records.
+	Records int
+	// DirectoryElements is σ: allocated directory elements.
+	DirectoryElements int
+	// DirectoryLevels is the directory height (1 for MDEH).
+	DirectoryLevels int
+	// DataPages is the number of allocated data pages.
+	DataPages int
+	// DirectoryPages is the number of allocated directory pages/nodes.
+	DirectoryPages int
+	// LoadFactor is records / (DataPages × PageCapacity).
+	LoadFactor float64
+}
+
+// Stats returns current statistics.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := ix.store.Stats()
+	alloc := ix.store.Allocated()
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	// Page-role counts come from the index, not the store: a reopened file
+	// store does not persist per-page kinds.
+	dirPages := ix.idx.DirectoryPages()
+	st := Stats{
+		Reads:             s.Reads,
+		Writes:            s.Writes,
+		Records:           ix.idx.Len(),
+		DirectoryElements: ix.idx.DirectoryElements(),
+		DirectoryLevels:   ix.idx.Levels(),
+		DataPages:         total - dirPages,
+		DirectoryPages:    dirPages,
+	}
+	if st.DataPages > 0 {
+		st.LoadFactor = float64(st.Records) / float64(st.DataPages*ix.prm.Capacity)
+	}
+	return st
+}
+
+// Validate checks the index's structural invariants (integrity tooling).
+func (ix *Index) Validate() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.idx.Validate()
+}
+
+// Dump writes a human-readable rendering of the directory structure to w
+// (inspection tooling; traversing the structure costs page I/O).
+func (ix *Index) Dump(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if d, ok := ix.idx.(interface{ Dump(io.Writer) error }); ok {
+		return d.Dump(w)
+	}
+	return fmt.Errorf("bmeh: scheme %v does not support Dump", ix.scheme)
+}
+
+// Sync flushes cached pages and persists the index header (file-backed
+// indexes). In-memory indexes treat Sync as a cache flush.
+func (ix *Index) Sync() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.syncLocked()
+}
+
+func (ix *Index) syncLocked() error {
+	var meta []byte
+	if ix.file != nil {
+		// Marshal first: the MDEH snapshot writes its page-table chain
+		// through the (possibly cached) store, which the flush below must
+		// still see.
+		var err error
+		switch v := ix.idx.(type) {
+		case *core.Tree:
+			meta = v.MarshalMeta()
+		case *mehtree.Tree:
+			meta = v.MarshalMeta()
+		case *mdeh.Table:
+			meta, err = v.SaveMeta()
+		default:
+			err = fmt.Errorf("bmeh: scheme %v does not support persistence", ix.scheme)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if ix.cached != nil {
+		if err := ix.cached.Flush(); err != nil {
+			return err
+		}
+	}
+	if ix.file != nil {
+		if err := ix.file.WriteMeta(meta); err != nil {
+			return err
+		}
+		return ix.file.Sync()
+	}
+	return nil
+}
+
+// Close syncs (file-backed) and releases the index. The Index must not be
+// used afterwards.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
+	if err := ix.syncLocked(); err != nil {
+		return err
+	}
+	if ix.file != nil {
+		return ix.file.Close()
+	}
+	return nil
+}

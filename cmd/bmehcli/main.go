@@ -1,0 +1,209 @@
+// Command bmehcli is a small interactive shell over a bmeh index. It
+// operates on a file-backed BMEH-tree index (created on demand) or, with
+// -mem, on a transient in-memory index of any scheme.
+//
+// Usage:
+//
+//	bmehcli -dims 2 index.bmeh
+//	bmehcli -mem -dims 3 -scheme mdeh
+//
+// Commands (keys are space-separated unsigned components):
+//
+//	insert <k1> ... <kd> <value>
+//	get    <k1> ... <kd>
+//	del    <k1> ... <kd>
+//	range  <lo1> ... <lod> <hi1> ... <hid>
+//	count  <lo1> ... <lod> <hi1> ... <hid>
+//	stats | dump | validate | help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bmeh"
+)
+
+func main() {
+	var (
+		dims     = flag.Int("dims", 2, "key dimensionality for a new index")
+		capacity = flag.Int("b", 32, "data page capacity for a new index")
+		mem      = flag.Bool("mem", false, "use a transient in-memory index")
+		scheme   = flag.String("scheme", "bmeh", "scheme for a new index: bmeh, mdeh or meh")
+	)
+	flag.Parse()
+
+	ix, err := openIndex(*mem, *scheme, *dims, *capacity, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmehcli:", err)
+		os.Exit(1)
+	}
+	defer ix.Close()
+
+	d := *dims
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("bmeh shell — type 'help' for commands")
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			break
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit", "q":
+			return
+		case "help":
+			fmt.Println("insert k1..kd value | get k1..kd | del k1..kd |")
+			fmt.Println("range lo1..lod hi1..hid | count lo1..lod hi1..hid |")
+			fmt.Println("stats | dump | validate | quit")
+		case "insert":
+			k, rest, err := parseKey(args, d)
+			if err != nil || len(rest) != 1 {
+				fmt.Println("usage: insert k1..kd value")
+				continue
+			}
+			v, err := strconv.ParseUint(rest[0], 10, 64)
+			if err != nil {
+				fmt.Println("bad value:", rest[0])
+				continue
+			}
+			switch err := ix.Insert(k, v); err {
+			case nil:
+				fmt.Println("ok")
+			case bmeh.ErrDuplicate:
+				fmt.Println("duplicate key")
+			default:
+				fmt.Println("error:", err)
+			}
+		case "get":
+			k, _, err := parseKey(args, d)
+			if err != nil {
+				fmt.Println("usage: get k1..kd")
+				continue
+			}
+			v, ok, err := ix.Get(k)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case ok:
+				fmt.Println(v)
+			default:
+				fmt.Println("not found")
+			}
+		case "del":
+			k, _, err := parseKey(args, d)
+			if err != nil {
+				fmt.Println("usage: del k1..kd")
+				continue
+			}
+			ok, err := ix.Delete(k)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case ok:
+				fmt.Println("deleted")
+			default:
+				fmt.Println("not found")
+			}
+		case "range", "count":
+			lo, rest, err := parseKey(args, d)
+			if err != nil {
+				fmt.Printf("usage: %s lo1..lod hi1..hid\n", cmd)
+				continue
+			}
+			hi, _, err2 := parseKey(rest, d)
+			if err2 != nil {
+				fmt.Printf("usage: %s lo1..lod hi1..hid\n", cmd)
+				continue
+			}
+			n := 0
+			err = ix.Range(lo, hi, func(k bmeh.Key, v uint64) bool {
+				n++
+				if cmd == "range" {
+					fmt.Printf("%v = %d\n", []uint64(k), v)
+				}
+				return true
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d record(s)\n", n)
+		case "stats":
+			st := ix.Stats()
+			fmt.Printf("records=%d σ=%d levels=%d dataPages=%d dirPages=%d α=%.3f reads=%d writes=%d\n",
+				st.Records, st.DirectoryElements, st.DirectoryLevels,
+				st.DataPages, st.DirectoryPages, st.LoadFactor, st.Reads, st.Writes)
+		case "dump":
+			if err := ix.Dump(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "validate":
+			if err := ix.Validate(); err != nil {
+				fmt.Println("INTEGRITY FAILURE:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+	}
+}
+
+func openIndex(mem bool, scheme string, dims, capacity int, path string) (*bmeh.Index, error) {
+	if mem {
+		var s bmeh.Scheme
+		switch scheme {
+		case "bmeh":
+			s = bmeh.SchemeBMEH
+		case "mdeh":
+			s = bmeh.SchemeMDEH
+		case "meh":
+			s = bmeh.SchemeMEH
+		default:
+			return nil, fmt.Errorf("unknown scheme %q", scheme)
+		}
+		return bmeh.New(bmeh.Options{Scheme: s, Dims: dims, PageCapacity: capacity})
+	}
+	if path == "" {
+		return nil, fmt.Errorf("an index file path is required (or pass -mem)")
+	}
+	if _, err := os.Stat(path); err == nil {
+		return bmeh.Open(path, 256)
+	}
+	var s bmeh.Scheme
+	switch scheme {
+	case "bmeh":
+		s = bmeh.SchemeBMEH
+	case "mdeh":
+		s = bmeh.SchemeMDEH
+	case "meh":
+		s = bmeh.SchemeMEH
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	return bmeh.Create(path, bmeh.Options{Scheme: s, Dims: dims, PageCapacity: capacity, CacheFrames: 256})
+}
+
+func parseKey(args []string, d int) (bmeh.Key, []string, error) {
+	if len(args) < d {
+		return nil, nil, fmt.Errorf("need %d components", d)
+	}
+	k := make(bmeh.Key, d)
+	for j := 0; j < d; j++ {
+		v, err := strconv.ParseUint(args[j], 10, 64)
+		if err != nil {
+			return nil, nil, err
+		}
+		k[j] = v
+	}
+	return k, args[d:], nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bmeh"
+)
+
+func TestParseColSpec(t *testing.T) {
+	good := map[string]colSpec{
+		"u32:0":          {kind: "u32", index: 0},
+		"i32:3":          {kind: "i32", index: 3},
+		"f64:1:-180:180": {kind: "f64", index: 1, lo: -180, hi: 180},
+		"str:2":          {kind: "str", index: 2},
+	}
+	for s, want := range good {
+		got, err := parseColSpec(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q: got %+v, want %+v", s, got, want)
+		}
+	}
+	bad := []string{"", "u32", "u32:x", "u32:-1", "f64:1", "f64:1:5:1", "f64:1:a:b", "u32:0:1:2", "zzz:0"}
+	for _, s := range bad {
+		if _, err := parseColSpec(s); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}
+
+func TestEncodeField(t *testing.T) {
+	if v, err := (colSpec{kind: "u32", index: 0}).encode(" 42 "); err != nil || v != 42 {
+		t.Errorf("u32 encode: %d %v", v, err)
+	}
+	if _, err := (colSpec{kind: "u32", index: 0}).encode("-1"); err == nil {
+		t.Error("u32 accepted negative")
+	}
+	lo, _ := (colSpec{kind: "f64", index: 0, lo: 0, hi: 10}).encode("0")
+	hi, _ := (colSpec{kind: "f64", index: 0, lo: 0, hi: 10}).encode("10")
+	mid, _ := (colSpec{kind: "f64", index: 0, lo: 0, hi: 10}).encode("5")
+	if !(lo < mid && mid < hi) {
+		t.Errorf("f64 encode not monotone: %d %d %d", lo, mid, hi)
+	}
+	a, _ := (colSpec{kind: "str", index: 0}).encode("apple")
+	b, _ := (colSpec{kind: "str", index: 0}).encode("banana")
+	if a >= b {
+		t.Error("str encode not order preserving")
+	}
+	if v, err := (colSpec{kind: "i32", index: 0}).encode("-7"); err != nil || v >= bmeh.Int32(0) {
+		t.Errorf("i32 encode: %d %v", v, err)
+	}
+}
+
+func TestLoadCSVEndToEnd(t *testing.T) {
+	csvData := `name,lon,lat,pop
+London,-0.13,51.51,9540
+Paris,2.35,48.86,11100
+Tokyo,139.69,35.69,37400
+broken,not-a-number,1,2
+Paris,2.35,48.86,11100
+Sydney,151.21,-33.87,4990
+short-row
+`
+	path := filepath.Join(t.TempDir(), "x.bmeh")
+	ix, err := bmeh.Create(path, bmeh.Options{Dims: 2, PageCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []colSpec{
+		{kind: "f64", index: 1, lo: -180, hi: 180},
+		{kind: "f64", index: 2, lo: -90, hi: 90},
+	}
+	var errlog bytes.Buffer
+	loaded, dups, bad, err := loadCSV(ix, strings.NewReader(csvData), cols, true, &errlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 4 || dups != 1 || bad != 2 {
+		t.Fatalf("loaded=%d dups=%d bad=%d, want 4/1/2 (%s)", loaded, dups, bad, errlog.String())
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := bmeh.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Europe box finds London and Paris; their values are the CSV row
+	// numbers (header = row 0).
+	rows := map[uint64]bool{}
+	err = re.Range(
+		bmeh.Key{bmeh.Bounded(-11, -180, 180), bmeh.Bounded(35, -90, 90)},
+		bmeh.Key{bmeh.Bounded(40, -180, 180), bmeh.Bounded(66, -90, 90)},
+		func(k bmeh.Key, v uint64) bool { rows[v] = true; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || !rows[1] || !rows[2] {
+		t.Fatalf("Europe box rows = %v, want {1,2}", rows)
+	}
+}

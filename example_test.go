@@ -1,0 +1,112 @@
+package bmeh_test
+
+import (
+	"fmt"
+	"log"
+
+	"bmeh"
+)
+
+// The basic lifecycle: create an index, insert, look up, range-scan.
+func Example() {
+	ix, err := bmeh.New(bmeh.Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			if err := ix.Insert(bmeh.Key{x << 28, y << 28}, x*8+y); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	v, found, _ := ix.Get(bmeh.Key{3 << 28, 5 << 28})
+	fmt.Println("point (3,5):", v, found)
+
+	n := 0
+	_ = ix.Range(bmeh.Key{2 << 28, 2 << 28}, bmeh.Key{4 << 28, 4 << 28},
+		func(k bmeh.Key, v uint64) bool { n++; return true })
+	fmt.Println("3x3 box:", n, "records")
+	// Output:
+	// point (3,5): 29 true
+	// 3x3 box: 9 records
+}
+
+// Partial-match queries constrain a subset of the dimensions and leave the
+// rest unbounded, per the paper's §4.4 convention.
+func ExampleUnbounded() {
+	ix, err := bmeh.New(bmeh.Options{Dims: 3, PageCapacity: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+	for i := uint64(0); i < 64; i++ {
+		k := bmeh.Key{(i % 4) << 29, (i / 4 % 4) << 29, (i / 16) << 29}
+		if err := ix.Insert(k, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Fix dimension 1 to the value 2<<29; dimensions 2 and 3 are free.
+	lo, hi := bmeh.Unbounded(32)
+	n := 0
+	_ = ix.Range(
+		bmeh.Key{2 << 29, lo, lo},
+		bmeh.Key{2 << 29, hi, hi},
+		func(bmeh.Key, uint64) bool { n++; return true })
+	fmt.Println("partial match:", n)
+	// Output:
+	// partial match: 16
+}
+
+// Order-preserving encoders map typed attributes onto key components so
+// that range predicates survive the mapping.
+func ExampleBounded() {
+	ix, err := bmeh.New(bmeh.Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+	type site struct{ lon, lat float64 }
+	sites := []site{{-0.1, 51.5}, {2.35, 48.86}, {13.4, 52.5}, {-74.0, 40.7}}
+	enc := func(s site) bmeh.Key {
+		return bmeh.Key{bmeh.Bounded(s.lon, -180, 180), bmeh.Bounded(s.lat, -90, 90)}
+	}
+	for i, s := range sites {
+		if err := ix.Insert(enc(s), uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Bounding box roughly covering western Europe.
+	n := 0
+	_ = ix.Range(enc(site{-11, 35}), enc(site{25, 60}),
+		func(bmeh.Key, uint64) bool { n++; return true })
+	fmt.Println("European sites:", n)
+	// Output:
+	// European sites: 3
+}
+
+// Stats expose the paper's structural measures: σ, levels, load factor.
+func ExampleIndex_Stats() {
+	ix, err := bmeh.New(bmeh.Options{Dims: 2, PageCapacity: 4, NodeBits: []int{2, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+	for i := uint64(0); i < 256; i++ {
+		k := bmeh.Key{(i * 2654435761) % (1 << 31), (i * 40503) % (1 << 31)}
+		if err := ix.Insert(k, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	fmt.Println("records:", st.Records)
+	fmt.Println("balanced levels ≥ 2:", st.DirectoryLevels >= 2)
+	fmt.Println("load factor in (0.4, 1]:", st.LoadFactor > 0.4 && st.LoadFactor <= 1)
+	// Output:
+	// records: 256
+	// balanced levels ≥ 2: true
+	// load factor in (0.4, 1]: true
+}

@@ -1,0 +1,78 @@
+// Quickstart: create a 2-dimensional BMEH-tree index, insert records, look
+// them up, run a box query, and inspect storage statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bmeh"
+)
+
+func main() {
+	// A 2-dimensional index with small pages (so the directory structure
+	// is visible even with few records).
+	ix, err := bmeh.New(bmeh.Options{
+		Dims:         2,
+		PageCapacity: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Insert a grid of points keyed by (x, y); the value is a record id.
+	id := uint64(0)
+	for x := uint64(0); x < 64; x++ {
+		for y := uint64(0); y < 64; y++ {
+			key := bmeh.Key{x << 24, y << 24}
+			if err := ix.Insert(key, id); err != nil {
+				log.Fatal(err)
+			}
+			id++
+		}
+	}
+	fmt.Printf("inserted %d records\n", ix.Len())
+
+	// Exact-match lookup.
+	v, ok, err := ix.Get(bmeh.Key{5 << 24, 9 << 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point (5,9): value=%d found=%v\n", v, ok)
+
+	// Orthogonal range query: all points with 10 ≤ x ≤ 13 and 20 ≤ y ≤ 22.
+	lo := bmeh.Key{10 << 24, 20 << 24}
+	hi := bmeh.Key{13 << 24, 22 << 24}
+	n := 0
+	err = ix.Range(lo, hi, func(k bmeh.Key, v uint64) bool {
+		fmt.Printf("  hit (%d,%d) -> %d\n", k[0]>>24, k[1]>>24, v)
+		n++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query matched %d records\n", n)
+
+	// Partial-match query: fix x = 7, leave y unconstrained.
+	ulo, uhi := bmeh.Unbounded(32)
+	n = 0
+	err = ix.Range(bmeh.Key{7 << 24, ulo}, bmeh.Key{7 << 24, uhi},
+		func(bmeh.Key, uint64) bool { n++; return true })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partial match x=7 matched %d records\n", n)
+
+	// Delete and verify.
+	if _, err := ix.Delete(bmeh.Key{5 << 24, 9 << 24}); err != nil {
+		log.Fatal(err)
+	}
+	_, ok, _ = ix.Get(bmeh.Key{5 << 24, 9 << 24})
+	fmt.Printf("after delete, found=%v\n", ok)
+
+	st := ix.Stats()
+	fmt.Printf("directory: %d elements in %d pages over %d levels; %d data pages, load %.2f\n",
+		st.DirectoryElements, st.DirectoryPages, st.DirectoryLevels, st.DataPages, st.LoadFactor)
+}

@@ -1,0 +1,3 @@
+module bmeh
+
+go 1.22

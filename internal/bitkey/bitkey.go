@@ -1,0 +1,194 @@
+// Package bitkey implements the bit-string view of multidimensional keys
+// used by every extendible-hashing scheme in this repository.
+//
+// Following the paper (Otoo, PODS 1986, §2), a record key is a d-dimensional
+// vector K = <k_1, ..., k_d>. Each component is first passed through an
+// order-preserving binary encoding ψ (package psi) yielding a pseudo-key
+// component: conceptually an infinite sequence of 0/1 bits, in practice a
+// W-bit unsigned integer whose most-significant bit is bit number 1.
+//
+// The fundamental operations are
+//
+//   - g(k, H): the address function — the integer formed by the first H
+//     prefix bits of k (paper §2.1);
+//   - LeftShift(k, h): stripping the first h bits, used when descending a
+//     hierarchical directory (paper §3.1, algorithm EXM_Search).
+//
+// All schemes treat components as exactly W = 32 significant bits (the paper
+// draws keys from [0, 2^31-1] and speaks of w = 32-bit binary integers), but
+// the width is a parameter so narrower attribute encodings are supported
+// ("the attribute values of a dimension may be coded by a shorter string of
+// binary digits than the rest", §2.2).
+package bitkey
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Width is the default number of significant bits in a pseudo-key component.
+const Width = 32
+
+// Component is one pseudo-key component: a bit string of up to 64 bits
+// stored left-aligned semantics-wise (bit 1 is the most significant of the
+// declared width). The zero value is the all-zero bit string.
+type Component uint64
+
+// Vector is a d-dimensional pseudo-key.
+type Vector []Component
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether v and u are component-wise identical.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for j := range v {
+		if v[j] != u[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v precedes u in lexicographic component order.
+// It is used by data pages to keep records sorted for deterministic layout.
+func (v Vector) Less(u Vector) bool {
+	for j := range v {
+		if v[j] != u[j] {
+			return v[j] < u[j]
+		}
+	}
+	return false
+}
+
+// G is the address function g(K, H) of the paper: the integer value of the
+// first h prefix bits of component k under the given width.
+//
+//	g(K, H) = sum_{1<=r<=H} x_r 2^{H-r}
+//
+// h must satisfy 0 <= h <= width. G(k, 0, w) = 0 for every k.
+func G(k Component, h, width int) uint64 {
+	if h <= 0 {
+		return 0
+	}
+	if h > width {
+		panic(fmt.Sprintf("bitkey: g called with depth %d > width %d", h, width))
+	}
+	return uint64(k) >> uint(width-h)
+}
+
+// LeftShift strips the first h bits from component k, keeping the width
+// fixed: the remaining bits move up and zero bits fill the tail. It
+// implements the Left_Shift(v_j, h_j) routine of the paper's search and
+// insertion algorithms.
+func LeftShift(k Component, h, width int) Component {
+	if h <= 0 {
+		return k
+	}
+	if h >= width {
+		return 0
+	}
+	mask := (Component(1) << uint(width)) - 1
+	return (k << uint(h)) & mask
+}
+
+// Prefix returns the first h bits of k as a right-aligned integer together
+// with the remainder of the component after stripping them. It combines G
+// and LeftShift, the two halves of one descent step.
+func Prefix(k Component, h, width int) (idx uint64, rest Component) {
+	return G(k, h, width), LeftShift(k, h, width)
+}
+
+// WithPrefix prepends the low h bits of idx to component k (the inverse of
+// Prefix): the result's first h bits equal idx and the following bits are
+// the leading bits of k. Bits shifted beyond the width are lost.
+func WithPrefix(k Component, idx uint64, h, width int) Component {
+	if h <= 0 {
+		return k
+	}
+	if h > width {
+		panic(fmt.Sprintf("bitkey: WithPrefix with h %d > width %d", h, width))
+	}
+	mask := (Component(1) << uint(width)) - 1
+	return ((Component(idx) << uint(width-h)) | (k >> uint(h))) & mask
+}
+
+// Bit returns bit number r (1-based from the most significant bit of the
+// declared width) of component k.
+func Bit(k Component, r, width int) uint {
+	if r < 1 || r > width {
+		panic(fmt.Sprintf("bitkey: bit index %d out of range 1..%d", r, width))
+	}
+	return uint(k>>uint(width-r)) & 1
+}
+
+// String renders k as a binary string of the given width, e.g. "10110000...".
+func String(k Component, width int) string {
+	var b strings.Builder
+	for r := 1; r <= width; r++ {
+		if Bit(k, r, width) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Parse converts a binary literal such as "0101" into a component of the
+// given width: the literal supplies the leading bits, the rest are zero.
+// It is the notation used throughout the paper's examples (§4.3, Table 1).
+func Parse(s string, width int) (Component, error) {
+	if len(s) > width {
+		return 0, fmt.Errorf("bitkey: literal %q longer than width %d", s, width)
+	}
+	var k Component
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			k |= 1 << uint(width-1-i)
+		default:
+			return 0, fmt.Errorf("bitkey: invalid bit character %q in %q", s[i], s)
+		}
+	}
+	return k, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and examples.
+func MustParse(s string, width int) Component {
+	k, err := Parse(s, width)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// ParseVector parses a tuple of binary literals into a Vector.
+func ParseVector(width int, lits ...string) (Vector, error) {
+	v := make(Vector, len(lits))
+	for j, s := range lits {
+		k, err := Parse(s, width)
+		if err != nil {
+			return nil, err
+		}
+		v[j] = k
+	}
+	return v, nil
+}
+
+// MustParseVector is ParseVector that panics on malformed input.
+func MustParseVector(width int, lits ...string) Vector {
+	v, err := ParseVector(width, lits...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+package bitkey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGPrefixBits(t *testing.T) {
+	k := MustParse("10101", 32) // 10101000...0
+	cases := []struct {
+		h    int
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},    // "1"
+		{2, 0b10}, // "10"
+		{3, 0b101},
+		{4, 0b1010},
+		{5, 0b10101},
+		{6, 0b101010},
+		{32, uint64(k)},
+	}
+	for _, c := range cases {
+		if got := G(k, c.h, 32); got != c.want {
+			t.Errorf("G(10101..., %d) = %d, want %d", c.h, got, c.want)
+		}
+	}
+}
+
+func TestGPanicsBeyondWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("G beyond width did not panic")
+		}
+	}()
+	G(1, 33, 32)
+}
+
+func TestLeftShift(t *testing.T) {
+	k := MustParse("10110", 8) // 10110000
+	if got := LeftShift(k, 2, 8); got != MustParse("110000", 8) {
+		t.Errorf("LeftShift 2 = %s", String(got, 8))
+	}
+	if got := LeftShift(k, 0, 8); got != k {
+		t.Errorf("LeftShift 0 changed the key")
+	}
+	if got := LeftShift(k, 8, 8); got != 0 {
+		t.Errorf("LeftShift width = %s, want zero", String(got, 8))
+	}
+	if got := LeftShift(k, 100, 8); got != 0 {
+		t.Errorf("LeftShift beyond width = %s, want zero", String(got, 8))
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	// Stripping h bits and prepending them back must restore the leading
+	// width bits (the tail bits are lost by design).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		width := 1 + rng.Intn(32)
+		k := Component(rng.Uint64()) & ((1 << uint(width)) - 1)
+		h := rng.Intn(width + 1)
+		idx, rest := Prefix(k, h, width)
+		back := WithPrefix(rest, idx, h, width)
+		// back agrees with k on the first width bits except the trailing h
+		// bits, which were shifted out and refilled with zeros.
+		mask := Component((1<<uint(width))-1) &^ ((1 << uint(h)) - 1)
+		if back&mask != k&mask {
+			t.Fatalf("width=%d h=%d: k=%s back=%s", width, h, String(k, width), String(back, width))
+		}
+	}
+}
+
+func TestGOrderPreserving(t *testing.T) {
+	// g must preserve order: k1 <= k2 implies g(k1,h) <= g(k2,h).
+	f := func(a, b uint32, hRaw uint8) bool {
+		h := int(hRaw%32) + 1
+		k1, k2 := Component(a), Component(b)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		return G(k1, h, 32) <= G(k2, h, 32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	k := MustParse("0101", 7)
+	if got := String(k, 7); got != "0101000" {
+		t.Errorf("String = %q", got)
+	}
+	if _, err := Parse("012", 8); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+	if _, err := Parse("101010101", 8); err == nil {
+		t.Error("Parse accepted literal longer than width")
+	}
+}
+
+func TestBit(t *testing.T) {
+	k := MustParse("1010", 4)
+	want := []uint{1, 0, 1, 0}
+	for r := 1; r <= 4; r++ {
+		if got := Bit(k, r, 4); got != want[r-1] {
+			t.Errorf("Bit %d = %d, want %d", r, got, want[r-1])
+		}
+	}
+}
+
+func TestVectorOrdering(t *testing.T) {
+	a := MustParseVector(4, "0010", "1000")
+	b := MustParseVector(4, "0010", "1001")
+	c := MustParseVector(4, "0011", "0000")
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("lexicographic order violated")
+	}
+	if b.Less(a) || a.Less(a) {
+		t.Error("Less not strict")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(b) || a.Equal(MustParseVector(4, "0010")) {
+		t.Error("Equal over-matches")
+	}
+}
+
+func TestWithPrefixExamplePaper(t *testing.T) {
+	// Paper §3.1: key component "0101...", strip 1 bit -> "101...", the
+	// stripped bit was "0".
+	k := MustParse("0101", 32)
+	idx, rest := Prefix(k, 1, 32)
+	if idx != 0 {
+		t.Errorf("first bit = %d, want 0", idx)
+	}
+	if rest != MustParse("101", 32) {
+		t.Errorf("rest = %s", String(rest, 32))
+	}
+}

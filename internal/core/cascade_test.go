@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// TestCascadeSplits pins the K-D-B downward-split behaviour. Under the
+// paper's symmetric ξ configurations the cyclic split discipline keeps
+// every element's local depths within one of balanced, so node splits
+// never meet a plane-crossing (h_m = 0) region; under an asymmetric ξ the
+// short dimension exhausts early and crossing regions are routine. The
+// cascade must fire there, keep the structure strictly tree-shaped, and
+// lose no records.
+func TestCascadeSplits(t *testing.T) {
+	asym := params.Params{Dims: 2, Width: 32, Capacity: 2, Xi: []int{3, 1}}
+	st := pagestore.NewMemDisk(PageBytes(asym))
+	tr, err := New(st, asym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Uniform(2, 6)
+	keys := gen.Take(4000)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Cascades() == 0 {
+		t.Fatal("asymmetric ξ should force downward cascade splits; none happened")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, err := tr.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("key %d lost after cascades (v=%d ok=%v err=%v)", i, v, ok, err)
+		}
+	}
+	// Full reversal still works after cascade-created structures.
+	for i, k := range keys {
+		ok, err := tr.Delete(k)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 1 || tr.Levels() != 1 {
+		t.Errorf("tree did not collapse after delete-all: nodes=%d levels=%d", tr.Nodes(), tr.Levels())
+	}
+	if n := st.Allocated()[pagestore.KindData]; n != 0 {
+		t.Errorf("%d data pages leaked", n)
+	}
+}
+
+// TestSymmetricXiNeverCascades documents the balance property: the paper's
+// symmetric configurations never produce plane-crossing regions.
+func TestSymmetricXiNeverCascades(t *testing.T) {
+	for _, cfg := range []params.Params{
+		params.Default(2, 8),
+		{Dims: 2, Width: 32, Capacity: 2, Xi: []int{1, 1}},
+		{Dims: 3, Width: 32, Capacity: 2, Xi: []int{1, 1, 1}},
+	} {
+		st := pagestore.NewMemDisk(PageBytes(cfg))
+		tr, err := New(st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.Clustered(cfg.Dims, 3, 1<<22, 9)
+		for i := 0; i < 3000; i++ {
+			if err := tr.Insert(gen.Next(), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tr.Cascades(); got != 0 {
+			t.Errorf("ξ=%v: %d cascades under symmetric configuration", cfg.Xi, got)
+		}
+	}
+}

@@ -1,0 +1,738 @@
+package core
+
+import (
+	"fmt"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+)
+
+// Delete removes key k, returning whether it was present. Deletion reverses
+// insertion (§4.2): empty pages are freed immediately (their region becomes
+// nil — the benefit of keeping local depths in the directory), buddy pages
+// are merged while they fit together, nodes are halved when no element
+// needs a dimension's full depth, sibling nodes created by a node split are
+// re-merged when the split has become fully reversible, and a redundant
+// root is removed, shrinking the tree's height.
+//
+// Splits keep the structure strictly tree-shaped, so merges and prunes are
+// local; the foreign-reference scans below are defense in depth, not a
+// functional requirement. Deletions are not part of the paper's
+// measurements; the implementation favors strict invariant preservation
+// over deletion speed. Each removal and each restructuring step commits
+// with a single page write (copy-on-write), so storage faults leave a
+// consistent structure behind (at worst with orphaned pages).
+func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
+	if err := t.checkKey(k); err != nil {
+		return false, err
+	}
+	d := t.prm.Dims
+	vec := k.Clone()
+	strip := make([]int, d)
+	var stack []frame
+	id := t.rootID
+	node, err := t.readNodeMut(id)
+	if err != nil {
+		return false, err
+	}
+	for {
+		q := t.nodeIndex(node, vec)
+		e := &node.Entries[q]
+		if e.Ptr == pagestore.NilPage {
+			return false, nil
+		}
+		if e.IsNode {
+			stack = append(stack, frame{id: id, node: node, strip: append([]int(nil), strip...)})
+			for j := 0; j < d; j++ {
+				strip[j] += e.H[j]
+				vec[j] = bitkey.LeftShift(vec[j], e.H[j], t.prm.Width)
+			}
+			id = e.Ptr
+			var err error
+			node, err = t.readNode(id)
+			if err != nil {
+				return false, err
+			}
+			continue
+		}
+		p, err := t.pages.Read(e.Ptr)
+		if err != nil {
+			return false, err
+		}
+		if !p.Delete(k) {
+			return false, nil
+		}
+		// t.n is decremented at the removal's commit point: the page write
+		// (non-empty page) or the node write (page emptied), so a storage
+		// fault cannot leave the count out of step with the structure.
+		pageGC := false
+		var frees []pagestore.PageID
+		if p.Len() == 0 {
+			pid := e.Ptr
+			for i := range node.Entries {
+				en := &node.Entries[i]
+				if !en.IsNode && en.Ptr == pid {
+					en.Ptr = pagestore.NilPage
+				}
+			}
+			// Splits never duplicate page pointers across nodes, so the
+			// page should have no other referent; the check is defense in
+			// depth (a shared page is left for the sweep instead of being
+			// freed under a foreign reference).
+			shared, err := t.isSharedRef(pid, id, false)
+			if err != nil {
+				return false, err
+			}
+			if shared {
+				pageGC = true
+			} else {
+				frees = append(frees, pid)
+			}
+		} else {
+			if err := t.pages.Write(e.Ptr, p); err != nil {
+				return false, err
+			}
+			t.n-- // the page write committed the removal
+			mergeFrees, err := t.mergePages(node, id, q)
+			if err != nil {
+				return false, err
+			}
+			frees = append(frees, mergeFrees...)
+		}
+		t.shrinkNode(node)
+		// The node write commits this delete's restructuring (and, when the
+		// page emptied, the removal itself); replaced pages are freed only
+		// afterwards, so a storage fault cannot leave the structure
+		// referencing freed pages.
+		emptied := p.Len() == 0
+		if err := t.writeNode(id, node); err != nil {
+			return false, err
+		}
+		if emptied {
+			t.n--
+		}
+		if err := t.freeAll(frees); err != nil {
+			return false, err
+		}
+		needGC, err := t.mergeUpward(stack, id, node)
+		if err != nil {
+			return false, err
+		}
+		// Insert-time node splits can leave all-empty siblings that no
+		// future descent will visit; sweep whenever a leaf runs empty.
+		if pageGC || allNil(node) {
+			needGC = true
+		}
+		if needGC {
+			// A shared empty node could not be freed incrementally; sweep
+			// the directory for empty subtrees whose other parents will
+			// never be revisited by a descent.
+			if err := t.gcEmptyNodes(); err != nil {
+				return false, err
+			}
+		}
+		return true, t.collapseRoot()
+	}
+}
+
+// gcEmptyNodes removes every all-empty non-root node from the directory:
+// references to it become nil regions and its page is freed. Emptying a
+// parent can make the grandparent's child empty, so the sweep repeats to a
+// fixpoint. It runs only after an incremental prune was blocked by a shared
+// reference — the one case where a stale parent would otherwise never be
+// revisited.
+func (t *Tree) gcEmptyNodes() error {
+	for {
+		nodes := map[pagestore.PageID]*dirnode.Node{t.rootID: t.root}
+		var collect func(n *dirnode.Node) error
+		collect = func(n *dirnode.Node) error {
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if !e.IsNode || e.Ptr == pagestore.NilPage {
+					continue
+				}
+				if _, ok := nodes[e.Ptr]; ok {
+					continue
+				}
+				c, err := t.readNode(e.Ptr)
+				if err != nil {
+					return err
+				}
+				nodes[e.Ptr] = c
+				if err := collect(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := collect(t.root); err != nil {
+			return err
+		}
+		// Sweep empty data pages first (left behind when a shared page's
+		// last record went away through a different leaf); dropping them
+		// can render their leaf nodes empty for the node sweep below.
+		deadPages := make(map[pagestore.PageID]bool)
+		checkedPages := make(map[pagestore.PageID]bool)
+		for _, n := range nodes {
+			if n.Level != 1 {
+				continue
+			}
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if e.IsNode || e.Ptr == pagestore.NilPage || checkedPages[e.Ptr] {
+					continue
+				}
+				checkedPages[e.Ptr] = true
+				p, err := t.pages.Read(e.Ptr)
+				if err != nil {
+					return err
+				}
+				if p.Len() == 0 {
+					deadPages[e.Ptr] = true
+				}
+			}
+		}
+		for id, n := range nodes {
+			dirty := false
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if !e.IsNode && deadPages[e.Ptr] {
+					e.Ptr = pagestore.NilPage
+					dirty = true
+				}
+			}
+			if dirty {
+				t.shrinkNode(n)
+				if err := t.writeNode(id, n); err != nil {
+					return err
+				}
+			}
+		}
+		for pid := range deadPages {
+			if err := t.pages.Free(pid); err != nil {
+				return err
+			}
+		}
+		var empty []pagestore.PageID
+		for id, n := range nodes {
+			if id != t.rootID && allNil(n) {
+				empty = append(empty, id)
+			}
+		}
+		if len(empty) == 0 {
+			return nil
+		}
+		dead := make(map[pagestore.PageID]bool, len(empty))
+		for _, id := range empty {
+			dead[id] = true
+		}
+		for id, n := range nodes {
+			if dead[id] {
+				continue
+			}
+			dirty := false
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if e.IsNode && dead[e.Ptr] {
+					e.Ptr = pagestore.NilPage
+					e.IsNode = false
+					dirty = true
+				}
+			}
+			if dirty {
+				t.shrinkNode(n)
+				if err := t.writeNode(id, n); err != nil {
+					return err
+				}
+			}
+		}
+		for _, id := range empty {
+			if err := t.nodes.Free(id); err != nil {
+				return err
+			}
+			t.nNodes--
+		}
+	}
+}
+
+// mergePages repeatedly merges the page region containing element q with
+// its split buddy along the region's last-split dimension, while the
+// combined records fit in one page (the node-local analogue of classic
+// extendible-hashing page merging). The merged records go to a fresh
+// copy-on-write page; both old pages are returned for freeing after the
+// caller's node write commits. Pages with a foreign reference (impossible
+// by construction; checked defensively) are left alone.
+func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([]pagestore.PageID, error) {
+	var frees []pagestore.PageID
+	for {
+		e := node.Entries[q]
+		if e.Ptr == pagestore.NilPage || e.IsNode {
+			return frees, nil
+		}
+		m := e.M
+		if e.H[m] == 0 {
+			return frees, nil
+		}
+		idx := node.Tuple(q)
+		bidx := append([]uint64(nil), idx...)
+		bidx[m] ^= uint64(1) << uint(node.Depths[m]-e.H[m])
+		bq := node.Index(bidx)
+		be := node.Entries[bq]
+		if be.IsNode || !sameInts(be.H, e.H) {
+			return frees, nil
+		}
+		mergedH := append([]int(nil), e.H...)
+		mergedH[m]--
+		prevM := (m + t.prm.Dims - 1) % t.prm.Dims
+		switch {
+		case e.Ptr == be.Ptr:
+			return frees, nil
+		case be.Ptr == pagestore.NilPage:
+			coarsenRegion(node, q, mergedH, e.Ptr, false, prevM)
+		case e.Ptr == pagestore.NilPage:
+			coarsenRegion(node, bq, mergedH, be.Ptr, false, prevM)
+			q = bq
+		default:
+			p, err := t.pages.Read(e.Ptr)
+			if err != nil {
+				return frees, err
+			}
+			bp, err := t.pages.Read(be.Ptr)
+			if err != nil {
+				return frees, err
+			}
+			if p.Len()+bp.Len() > t.prm.Capacity {
+				return frees, nil
+			}
+			for _, pid := range []pagestore.PageID{e.Ptr, be.Ptr} {
+				shared, err := t.isSharedRef(pid, nodeID, false)
+				if err != nil {
+					return frees, err
+				}
+				if shared {
+					return frees, nil
+				}
+			}
+			if err := p.Merge(bp); err != nil {
+				return frees, err
+			}
+			nid, err := t.pages.Alloc()
+			if err != nil {
+				return frees, err
+			}
+			if err := t.pages.Write(nid, p); err != nil {
+				return frees, err
+			}
+			frees = append(frees, e.Ptr, be.Ptr)
+			coarsenRegion(node, q, mergedH, nid, false, prevM)
+		}
+	}
+}
+
+// inRegion reports whether element i lies in the region of element q at
+// local depths h.
+func inRegion(node *dirnode.Node, i, q int, h []int) bool {
+	ti, tq := node.Tuple(i), node.Tuple(q)
+	for j := 0; j < node.Dims(); j++ {
+		shift := uint(node.Depths[j] - h[j])
+		if ti[j]>>shift != tq[j]>>shift {
+			return false
+		}
+	}
+	return true
+}
+
+// coarsenRegion rewrites the region of element q at (coarser) local depths
+// h to point to ptr.
+func coarsenRegion(node *dirnode.Node, q int, h []int, ptr pagestore.PageID, isNode bool, m int) {
+	for i := range node.Entries {
+		if inRegion(node, i, q, h) {
+			en := &node.Entries[i]
+			en.Ptr = ptr
+			en.IsNode = isNode
+			copy(en.H, h)
+			en.M = m
+		}
+	}
+}
+
+// shrinkNode halves the node along any dimension whose full depth no
+// element needs, repeatedly (the reverse of Expand_Dir). The root may
+// shrink to a single element; non-root nodes shrink too — they still
+// occupy one fixed page, but shallower depths make node merging and
+// re-expansion cheap.
+func (t *Tree) shrinkNode(node *dirnode.Node) {
+	for {
+		shrunk := false
+		for m := t.prm.Dims - 1; m >= 0; m-- {
+			if node.Depths[m] == 0 {
+				continue
+			}
+			needed := false
+			for i := range node.Entries {
+				if node.Entries[i].H[m] == node.Depths[m] &&
+					(node.Entries[i].Ptr != pagestore.NilPage) {
+					needed = true
+					break
+				}
+			}
+			if needed {
+				continue
+			}
+			undouble(node, m)
+			shrunk = true
+		}
+		if !shrunk {
+			return
+		}
+	}
+}
+
+// undouble halves node along dimension m; every element pair differing only
+// in the last bit of dimension m must be equivalent (guaranteed when no
+// live element has h_m = H_m; nil elements are normalized).
+func undouble(node *dirnode.Node, m int) {
+	old := node.Entries
+	oldDepths := append([]int(nil), node.Depths...)
+	oldIndex := func(idx []uint64) int {
+		q := uint64(0)
+		for j := 0; j < node.Dims(); j++ {
+			q = q<<uint(oldDepths[j]) | idx[j]
+		}
+		return int(q)
+	}
+	node.Depths[m]--
+	node.Entries = make([]dirnode.Entry, len(old)/2)
+	for q := range node.Entries {
+		idx := node.Tuple(q)
+		src := append([]uint64(nil), idx...)
+		src[m] <<= 1
+		e := dirnode.CloneEntry(old[oldIndex(src)])
+		if e.H[m] > node.Depths[m] {
+			e.H[m] = node.Depths[m] // nil regions clamp to the new depth
+		}
+		node.Entries[q] = e
+	}
+}
+
+// mergeUpward walks the descent stack bottom-up. At each level it prunes
+// the node we came through if it has become entirely empty, or attempts to
+// re-merge it with its split sibling, then shrinks the parent. Shrinking a
+// parent can enable a merge one level up, so the walk always continues to
+// the root.
+func (t *Tree) mergeUpward(stack []frame, childID pagestore.PageID, child *dirnode.Node) (needGC bool, err error) {
+	for lvl := len(stack) - 1; lvl >= 0; lvl-- {
+		pf := stack[lvl]
+		parent, pid := pf.node, pf.id
+		var frees []pagestore.PageID
+		if allNil(child) {
+			freeID, blocked, err := t.pruneEmptyChild(parent, pid, childID)
+			if err != nil {
+				return false, err
+			}
+			needGC = needGC || blocked
+			if freeID != pagestore.NilPage {
+				frees = append(frees, freeID)
+			}
+		} else {
+			mergeFrees, err := t.tryMergeSiblings(parent, pid, childID, child)
+			if err != nil {
+				return false, err
+			}
+			frees = append(frees, mergeFrees...)
+		}
+		t.shrinkNode(parent)
+		// The parent write commits the level's restructuring; replaced
+		// node pages are freed only afterwards.
+		if err := t.writeNode(pid, parent); err != nil {
+			return false, err
+		}
+		if err := t.freeAll(frees); err != nil {
+			return false, err
+		}
+		childID, child = pid, parent
+	}
+	return needGC, nil
+}
+
+// allNil reports whether every element of n is an empty region.
+func allNil(n *dirnode.Node) bool {
+	for i := range n.Entries {
+		if n.Entries[i].Ptr != pagestore.NilPage {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneEmptyChild turns the parent region pointing to an all-empty child
+// node into a nil region. It returns the child's page for freeing after
+// the parent write commits (NilPage when nothing should be freed), and
+// whether the free was blocked by a foreign reference (impossible by
+// construction; checked defensively — the caller then schedules a sweep).
+func (t *Tree) pruneEmptyChild(parent *dirnode.Node, parentID, childID pagestore.PageID) (freeID pagestore.PageID, blocked bool, err error) {
+	found := false
+	for i := range parent.Entries {
+		e := &parent.Entries[i]
+		if e.IsNode && e.Ptr == childID {
+			e.Ptr = pagestore.NilPage
+			e.IsNode = false
+			found = true
+		}
+	}
+	if !found {
+		return pagestore.NilPage, false, nil
+	}
+	shared, err := t.isSharedRef(childID, parentID, true)
+	if err != nil {
+		return pagestore.NilPage, false, err
+	}
+	if shared {
+		return pagestore.NilPage, true, nil
+	}
+	t.nNodes--
+	return childID, false, nil
+}
+
+// tryMergeSiblings attempts to reverse a node split: the parent region
+// pointing to child (at local depths h, h_m ≥ 1 for m = the region's split
+// dimension) and its buddy region pointing to a sibling node are merged
+// when the two siblings' contents are pairwise identical across the last
+// dimension-m bit. The merged node goes to a fresh copy-on-write page; the
+// old sibling pages are returned for freeing after the parent write
+// commits.
+func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestore.PageID, child *dirnode.Node) ([]pagestore.PageID, error) {
+	var q = -1
+	for i := range parent.Entries {
+		if parent.Entries[i].IsNode && parent.Entries[i].Ptr == childID {
+			q = i
+			break
+		}
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("bmeh: node %d not referenced by its parent", childID)
+	}
+	e := parent.Entries[q]
+	m := e.M
+	if e.H[m] == 0 {
+		return nil, nil
+	}
+	idx := parent.Tuple(q)
+	bidx := append([]uint64(nil), idx...)
+	bidx[m] ^= uint64(1) << uint(parent.Depths[m]-e.H[m])
+	bq := parent.Index(bidx)
+	be := parent.Entries[bq]
+	if be.Ptr == childID || !sameInts(be.H, e.H) {
+		return nil, nil
+	}
+	var sibID pagestore.PageID
+	var sib *dirnode.Node
+	switch {
+	case be.Ptr == pagestore.NilPage:
+		// Buddy region is empty: merge the child with a synthetic all-nil
+		// sibling of the same shape (the inverse of a split whose high or
+		// low half later emptied out).
+		sib = cloneShape(child)
+	case be.IsNode:
+		sibID = be.Ptr
+		var err error
+		sib, err = t.readNode(sibID)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, nil
+	}
+	// Order the pair as (a = low half, b = high half) by the split bit.
+	aID, bID := childID, sibID
+	a, b := child, sib
+	if (idx[m]>>uint(parent.Depths[m]-e.H[m]))&1 == 1 {
+		aID, bID = sibID, childID
+		a, b = sib, child
+	}
+	merged, ok := mergeNodes(a, b, m)
+	if !ok {
+		return nil, nil
+	}
+	// Defense in depth: splits never share nodes across parents, but a
+	// foreign reference would make the merge unsound, so verify.
+	var frees []pagestore.PageID
+	for _, sid := range []pagestore.PageID{aID, bID} {
+		if sid == pagestore.NilPage {
+			continue
+		}
+		shared, err := t.isSharedRef(sid, parentID, true)
+		if err != nil || shared {
+			return nil, err
+		}
+		frees = append(frees, sid)
+	}
+	newID, err := t.nodes.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.nodes.Write(newID, merged); err != nil {
+		return nil, err
+	}
+	if sibID != pagestore.NilPage {
+		t.nNodes-- // two nodes replace one
+	}
+	mergedH := append([]int(nil), e.H...)
+	mergedH[m]--
+	coarsenRegion(parent, q, mergedH, newID, true, (m+t.prm.Dims-1)%t.prm.Dims)
+	return frees, nil
+}
+
+// mergeNodes reverses splitNode: siblings a (low half of dimension m) and b
+// (high half) are combined when, in both, every element pair differing only
+// in the last bit of dimension m is identical. In the merged node the
+// dimension-m window slides back one bit: element i_m = (side, low) takes
+// the content of side's element (low, *), with h_m incremented unless the
+// element's pointer spans both siblings at h_m = 0.
+func mergeNodes(a, b *dirnode.Node, m int) (*dirnode.Node, bool) {
+	if a.Level != b.Level || !sameInts(a.Depths, b.Depths) || a.Depths[m] == 0 {
+		return nil, false
+	}
+	for _, n := range []*dirnode.Node{a, b} {
+		for i := range n.Entries {
+			idx := n.Tuple(i)
+			if idx[m]&1 == 1 {
+				continue
+			}
+			tw := append([]uint64(nil), idx...)
+			tw[m] |= 1
+			twin := n.Entries[n.Index(tw)]
+			e := n.Entries[i]
+			if twin.Ptr != e.Ptr || twin.IsNode != e.IsNode || !sameInts(twin.H, e.H) {
+				return nil, false
+			}
+		}
+	}
+	// spansBoth: pointers present in both siblings with h_m = 0.
+	present := func(n *dirnode.Node, p pagestore.PageID) bool {
+		for i := range n.Entries {
+			if n.Entries[i].Ptr == p && n.Entries[i].H[m] == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	out := cloneShape(a)
+	hm := a.Depths[m]
+	for i := range out.Entries {
+		idx := out.Tuple(i)
+		side := idx[m] >> uint(hm-1)
+		low := idx[m] & (1<<uint(hm-1) - 1)
+		src := a
+		if side == 1 {
+			src = b
+		}
+		sidx := append([]uint64(nil), idx...)
+		sidx[m] = low << 1
+		e := dirnode.CloneEntry(src.Entries[src.Index(sidx)])
+		switch {
+		case e.Ptr != pagestore.NilPage && e.H[m] == 0 && present(a, e.Ptr) && present(b, e.Ptr):
+			// The region spans both siblings: keep h_m = 0.
+		case e.Ptr == pagestore.NilPage:
+			if e.H[m] < hm {
+				e.H[m]++ // empty-region bookkeeping just tracks the window
+			}
+		case e.H[m] < hm:
+			e.H[m]++
+		default:
+			return nil, false // a live element still needs the full window
+		}
+		out.Entries[i] = e
+	}
+	if err := out.Validate(); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// isSharedRef reports whether the page id (a directory node when asNode,
+// else a data page) is referenced by a directory node other than ownerID.
+// A node or page can acquire a second referent when an ancestor split
+// duplicates a region whose local depth along the split dimension is zero,
+// so a full walk of the directory is the only sound check. The walk uses
+// the pinned in-memory root and skips ownerID by id, so in-flight
+// modifications of the owner are irrelevant.
+func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, error) {
+	shared := false
+	seen := make(map[pagestore.PageID]bool)
+	var walk func(nid pagestore.PageID, n *dirnode.Node) error
+	walk = func(nid pagestore.PageID, n *dirnode.Node) error {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if e.Ptr == pagestore.NilPage {
+				continue
+			}
+			if e.IsNode == asNode && e.Ptr == id && nid != ownerID {
+				shared = true
+				return nil
+			}
+			// Node references occur in nodes of level ≥ 2, data-page
+			// references only in level-1 nodes; recurse just deep enough.
+			minVisit := 2
+			if !asNode {
+				minVisit = 1
+			}
+			if e.IsNode && n.Level-1 >= minVisit && !seen[e.Ptr] {
+				seen[e.Ptr] = true
+				c, err := t.readNode(e.Ptr)
+				if err != nil {
+					return err
+				}
+				if err := walk(e.Ptr, c); err != nil {
+					return err
+				}
+				if shared {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	// Data pages hang off level-1 nodes, which the walk always reaches;
+	// node references can occur at any level ≥ 2.
+	if err := walk(t.rootID, t.root); err != nil {
+		return false, err
+	}
+	return shared, nil
+}
+
+// collapseRoot removes a redundant root: when every root element points to
+// the same single child node, that child becomes the root and the tree
+// height shrinks by one; an entirely empty root above leaf level resets to
+// a fresh single-level directory (the final reversal steps of §4.2).
+func (t *Tree) collapseRoot() error {
+	if t.root.Level > 1 && allNil(t.root) {
+		t.root = dirnode.New(t.prm.Dims, 1)
+		return t.nodes.Write(t.rootID, t.root)
+	}
+	for t.root.Level > 1 {
+		first := t.root.Entries[0]
+		if !first.IsNode || first.Ptr == pagestore.NilPage {
+			return nil
+		}
+		for i := range t.root.Entries {
+			e := &t.root.Entries[i]
+			if !e.IsNode || e.Ptr != first.Ptr {
+				return nil
+			}
+		}
+		child, err := t.readNode(first.Ptr)
+		if err != nil {
+			return err
+		}
+		oldID := t.rootID
+		t.rootID = first.Ptr
+		t.root = child
+		if err := t.nodes.Free(oldID); err != nil {
+			return err
+		}
+		t.nNodes--
+	}
+	return nil
+}

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/datapage"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+)
+
+// maxRestructures bounds the restructuring steps one insertion may take; it
+// is far above the paper's Theorem 2 worst case (ℓ(ℓ−1)φ/2 + ℓ node splits)
+// and exists only to turn an invariant bug into an error instead of a hang.
+const maxRestructures = 1 << 14
+
+// frame is one level of the descent stack of algorithm BMEH_Insert.
+type frame struct {
+	id   pagestore.PageID
+	node *dirnode.Node
+	// strip holds the per-dimension bits consumed above this node; node
+	// splits need it to locate the absolute split-plane bit.
+	strip []int
+}
+
+// Insert stores (k, v). It returns ErrDuplicate if the key is present.
+// After any restructuring (page split, node expansion, node split chain)
+// the insertion re-enters from the root, as the paper's algorithm does.
+func (t *Tree) Insert(k bitkey.Vector, v uint64) error {
+	if err := t.checkKey(k); err != nil {
+		return err
+	}
+	for step := 0; step < maxRestructures; step++ {
+		done, err := t.tryInsert(k, v)
+		if err != nil || done {
+			return err
+		}
+	}
+	return fmt.Errorf("bmeh: insertion did not converge after %d restructurings", maxRestructures)
+}
+
+// tryInsert descends once. It either completes the insertion (true) or
+// performs one restructuring step and asks to be re-run (false).
+func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
+	d := t.prm.Dims
+	vec := k.Clone()
+	strip := make([]int, d) // bits stripped per dimension before current node
+	var stack []frame
+	id := t.rootID
+	node, err := t.readNodeMut(id)
+	if err != nil {
+		return false, err
+	}
+	for {
+		q := t.nodeIndex(node, vec)
+		e := &node.Entries[q]
+		if e.Ptr != pagestore.NilPage && e.IsNode {
+			stack = append(stack, frame{id: id, node: node, strip: append([]int(nil), strip...)})
+			for j := 0; j < d; j++ {
+				strip[j] += e.H[j]
+				vec[j] = bitkey.LeftShift(vec[j], e.H[j], t.prm.Width)
+			}
+			id = e.Ptr
+			var err error
+			node, err = t.readNode(id)
+			if err != nil {
+				return false, err
+			}
+			continue
+		}
+		if e.Ptr == pagestore.NilPage && node.Level > 1 {
+			// An empty region above leaf level (left by deletion pruning):
+			// materialize an empty child node so the tree stays perfectly
+			// height-balanced, then continue the descent through it.
+			cid, err := t.nodes.Alloc()
+			if err != nil {
+				return false, err
+			}
+			child := dirnode.New(d, node.Level-1)
+			if err := t.nodes.Write(cid, child); err != nil {
+				return false, err
+			}
+			h, em := append([]int(nil), e.H...), e.M
+			for _, bq := range node.Buddies(q) {
+				en := &node.Entries[bq]
+				if en.Ptr != pagestore.NilPage {
+					continue
+				}
+				en.Ptr = cid
+				en.IsNode = true
+				copy(en.H, h)
+				en.M = em
+			}
+			if err := t.writeNode(id, node); err != nil {
+				return false, err
+			}
+			t.nNodes++ // counted only once the parent write commits
+			return false, nil
+		}
+		if e.Ptr == pagestore.NilPage {
+			// Empty region at leaf level: allocate a page for it and point
+			// every element of the region (the paper's "entries having the
+			// same file depths") at it.
+			pid, err := t.pages.Alloc()
+			if err != nil {
+				return false, err
+			}
+			p := datapage.New(d)
+			p.Insert(datapage.Record{Key: k.Clone(), Value: v})
+			if err := t.pages.Write(pid, p); err != nil {
+				return false, err
+			}
+			h, em := append([]int(nil), e.H...), e.M
+			for _, b := range node.Buddies(q) {
+				en := &node.Entries[b]
+				if en.Ptr != pagestore.NilPage {
+					continue // defensive: never clobber a live region
+				}
+				en.Ptr = pid
+				en.IsNode = false
+				copy(en.H, h)
+				en.M = em
+			}
+			if err := t.writeNode(id, node); err != nil {
+				return false, err
+			}
+			t.n++
+			return true, nil
+		}
+		p, err := t.pages.Read(e.Ptr)
+		if err != nil {
+			return false, err
+		}
+		if _, dup := p.Get(k); dup {
+			return false, ErrDuplicate
+		}
+		if p.Len() < t.prm.Capacity {
+			p.Insert(datapage.Record{Key: k.Clone(), Value: v})
+			if err := t.pages.Write(e.Ptr, p); err != nil {
+				return false, err
+			}
+			t.n++
+			return true, nil
+		}
+		// The page is full: restructure once, then re-enter.
+		return false, t.restructure(stack, id, node, q, strip, p)
+	}
+}
+
+// restructure performs one growth step for the full page under element q of
+// the leaf node: an in-node page split if the node's depth allows it, a
+// node doubling if H_m < ξ_m, or a node split chain propagating toward the
+// root (§3.1).
+//
+// Restructuring is failure-atomic through copy-on-write: the split halves
+// are written to freshly allocated pages, and the single page write that
+// links them in (the leaf node, an ancestor node, or the new root) is the
+// commit point. A storage fault before the commit leaves the previous
+// structure fully intact (plus unreferenced orphan pages); the replaced
+// pages are freed only after the commit.
+func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Node, q int, strip []int, p *datapage.Page) error {
+	e := &node.Entries[q]
+	m, ok := t.nextSplitDim(e, strip)
+	if !ok {
+		return fmt.Errorf("bmeh: cannot split page: all dimensions exhausted at width %d", t.prm.Width)
+	}
+	newh := e.H[m] + 1
+	if newh > node.Depths[m] && node.Depths[m] < t.prm.Xi[m] {
+		// Expand_Dir: double the node in place along m; the page split
+		// happens on the next attempt. A single page write: atomic.
+		node.Double(m)
+		return t.writeNode(id, node)
+	}
+	// Split the data page on the next bit of dimension m (the absolute bit
+	// position in the stored key is strip[m] + newh) into copy-on-write
+	// pages.
+	oldPtr := e.Ptr
+	oldH := append([]int(nil), e.H...)
+	ones := p.PartitionByBit(m, strip[m]+newh, t.prm.Width)
+	writeHalf := func(half *datapage.Page) (pagestore.PageID, error) {
+		if half.Len() == 0 {
+			return pagestore.NilPage, nil
+		}
+		nid, err := t.pages.Alloc()
+		if err != nil {
+			return pagestore.NilPage, err
+		}
+		return nid, t.pages.Write(nid, half)
+	}
+	pz, err := writeHalf(p)
+	if err != nil {
+		return err
+	}
+	po, err := writeHalf(ones)
+	if err != nil {
+		return err
+	}
+	if newh <= node.Depths[m] {
+		// Plain page split within the node: deepen the region's elements
+		// and distribute the two pages across its halves. The node write
+		// commits.
+		t.assignSplit(node, oldPtr, oldH, m, newh, pz, po, false)
+		if err := t.writeNode(id, node); err != nil {
+			return err
+		}
+		return t.pages.Free(oldPtr)
+	}
+	// Node split chain (Split_Node): dimension m is exhausted in this node.
+	return t.splitChain(stack, id, node, m, strip[m], oldPtr, pz, po, false, []pagestore.PageID{oldPtr})
+}
+
+// assignSplit updates every element of the region that pointed to oldPtr
+// (with local depths oldH): the half whose dimension-m index has bit newh
+// equal to 0 now points to pz, the other half to po; local depth h_m
+// becomes newh and the last-split dimension m is recorded.
+func (t *Tree) assignSplit(node *dirnode.Node, oldPtr pagestore.PageID, oldH []int, m, newh int, pz, po pagestore.PageID, isNode bool) {
+	shift := uint(node.Depths[m] - newh)
+	for i := range node.Entries {
+		en := &node.Entries[i]
+		if en.Ptr != oldPtr || en.IsNode != isNode || !sameInts(en.H, oldH) {
+			continue
+		}
+		idx := node.Tuple(i)
+		if (idx[m]>>shift)&1 == 0 {
+			en.Ptr = pz
+		} else {
+			en.Ptr = po
+		}
+		en.IsNode = isNode
+		en.H[m] = newh
+		en.M = m
+	}
+}
+
+// splitChain splits the node along m into two fresh sibling pages and
+// pushes the new distinction into the parent, recursing toward the root
+// (§3.1). trigPtr is the pointer whose region triggered the split; its
+// elements in the new siblings receive pz (new bit 0) and po (new bit 1).
+// frees lists pages to release once an ancestor write (or the root switch)
+// has committed the new structure.
+func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees []pagestore.PageID) error {
+	curID, curNode := id, node
+	for {
+		a, b, err := t.splitNode(curNode, m, stripM, trigPtr, pz, po, trigIsNode, &frees)
+		if err != nil {
+			return err
+		}
+		aID, err := t.nodes.Alloc()
+		if err != nil {
+			return err
+		}
+		bID, err := t.nodes.Alloc()
+		if err != nil {
+			return err
+		}
+		if err := t.nodes.Write(aID, a); err != nil {
+			return err
+		}
+		if err := t.nodes.Write(bID, b); err != nil {
+			return err
+		}
+		t.nNodes++ // two new nodes replace one (freed after the commit below)
+		frees = append(frees, curID)
+		trigPtr, pz, po, trigIsNode = curID, aID, bID, true
+		if len(stack) == 0 {
+			// The root itself split: grow the tree by one level.
+			if err := t.newRoot(m, aID, bID, a.Level+1); err != nil {
+				return err
+			}
+			return t.freeAll(frees)
+		}
+		pf := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		parent, pid := pf.node, pf.id
+		h := regionDepths(parent, trigPtr)
+		if h == nil {
+			return fmt.Errorf("bmeh: node %d not referenced by its parent %d", trigPtr, pid)
+		}
+		newh := h[m] + 1
+		if newh > parent.Depths[m] {
+			if parent.Depths[m] >= t.prm.Xi[m] {
+				// The parent must split as well.
+				curID, curNode = pid, parent
+				stripM = pf.strip[m]
+				continue
+			}
+			parent.Double(m)
+		}
+		t.assignSplit(parent, trigPtr, h, m, newh, pz, po, true)
+		if err := t.writeNode(pid, parent); err != nil {
+			return err
+		}
+		return t.freeAll(frees)
+	}
+}
+
+// freeAll releases committed-away pages; failures here only leak pages.
+func (t *Tree) freeAll(ids []pagestore.PageID) error {
+	for _, id := range ids {
+		if err := t.st.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newRoot creates a fresh root one level above, with H_m = 1 and its two
+// elements pointing to the split halves with local depth h_m = 1 — the
+// paper's Figure 3b configuration. The in-memory root switch happens only
+// after the new root page is durably written (commit point).
+func (t *Tree) newRoot(m int, a, b pagestore.PageID, level int) error {
+	d := t.prm.Dims
+	root := dirnode.New(d, level)
+	root.Double(m)
+	for i := range root.Entries {
+		h := make([]int, d)
+		h[m] = 1
+		ptr := a
+		if i == 1 {
+			ptr = b
+		}
+		root.Entries[i] = dirnode.Entry{Ptr: ptr, IsNode: true, H: h, M: m}
+	}
+	rid, err := t.nodes.Alloc()
+	if err != nil {
+		return err
+	}
+	if err := t.nodes.Write(rid, root); err != nil {
+		return err
+	}
+	t.nNodes++
+	t.rootID = rid
+	t.root = root
+	return nil
+}
+
+// splitNode implements the §3.1 node split along dimension m. The old node
+// is divided by the leading bit of its dimension-m index into siblings a
+// (bit 0) and b (bit 1). Inside each sibling the dimension-m index window
+// slides one bit: the old leading bit moves up to the parent and a fresh
+// low bit appears, so every element with h_m ≥ 1 lands in one sibling with
+// h_m decremented — except the elements of the trigger region, which keep
+// h_m and receive pz / po distinguished by the fresh bit.
+//
+// Elements with h_m = 0 cross the split plane. Following the K-D-B-tree
+// mechanism the paper builds on, their referents are split downward
+// recursively: a data page's records are partitioned by the plane bit into
+// one page per sibling, and a child node is split along m the same way.
+// (The alternative — duplicating the pointer into both siblings — would
+// create nodes with two parents, which a later split of the shared node
+// could not update consistently.) stripM is the number of dimension-m bits
+// consumed above the old node: the plane is absolute bit stripM+1.
+// Replaced pages are appended to frees; the caller releases them after the
+// commit write.
+func (t *Tree) splitNode(old *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees *[]pagestore.PageID) (a, b *dirnode.Node, err error) {
+	a = cloneShape(old)
+	b = cloneShape(old)
+	hm := old.Depths[m]
+	// Downward splits are performed once per region; results are memoized
+	// by the region's pointer so every cell of the region maps uniformly.
+	type pair struct{ lo, hi pagestore.PageID }
+	splitDown := make(map[pagestore.PageID]pair)
+	for i := range old.Entries {
+		e := &old.Entries[i]
+		idx := old.Tuple(i)
+		// Destination index and sibling(s) for this cell.
+		var lead, low uint64
+		if hm > 0 {
+			lead = idx[m] >> uint(hm-1)
+			low = idx[m] & (1<<uint(hm-1) - 1)
+		}
+		isTrig := e.Ptr != pagestore.NilPage && e.Ptr == trigPtr
+		switch {
+		case isTrig:
+			child := a
+			if lead == 1 {
+				child = b
+			}
+			for bnew := uint64(0); bnew < 2; bnew++ {
+				cidx := append([]uint64(nil), idx...)
+				cidx[m] = low<<1 | bnew
+				ptr := pz
+				if bnew == 1 {
+					ptr = po
+				}
+				*child.At(cidx) = dirnode.Entry{Ptr: ptr, IsNode: trigIsNode, H: append([]int(nil), e.H...), M: m}
+			}
+		case e.H[m] > 0:
+			// The region lies inside one half; its window slides.
+			child := a
+			if lead == 1 {
+				child = b
+			}
+			h := append([]int(nil), e.H...)
+			h[m]--
+			for bnew := uint64(0); bnew < 2; bnew++ {
+				cidx := append([]uint64(nil), idx...)
+				cidx[m] = low<<1 | bnew
+				*child.At(cidx) = dirnode.Entry{Ptr: e.Ptr, IsNode: e.IsNode, H: h, M: e.M}
+			}
+		default:
+			// h_m = 0: the region crosses the plane. Split its referent
+			// downward (nil regions just appear in both siblings).
+			var halves pair
+			if e.Ptr == pagestore.NilPage {
+				halves = pair{pagestore.NilPage, pagestore.NilPage}
+			} else if done, ok := splitDown[e.Ptr]; ok {
+				halves = done
+			} else {
+				halves, err = t.splitReferent(e, m, stripM, frees)
+				if err != nil {
+					return nil, nil, err
+				}
+				splitDown[e.Ptr] = halves
+			}
+			// The cell maps to the same index in both siblings: the old
+			// leading bit moved up, and with h_m = 0 the region spanned
+			// it, so within each sibling the index range is unchanged
+			// except for the fresh low bit.
+			for bnew := uint64(0); bnew < 2; bnew++ {
+				cidx := append([]uint64(nil), idx...)
+				if hm > 0 {
+					cidx[m] = low<<1 | bnew
+				}
+				ea := dirnode.Entry{Ptr: halves.lo, IsNode: e.IsNode, H: append([]int(nil), e.H...), M: e.M}
+				eb := dirnode.Entry{Ptr: halves.hi, IsNode: e.IsNode, H: append([]int(nil), e.H...), M: e.M}
+				if halves.lo == pagestore.NilPage {
+					ea.IsNode = false
+				}
+				if halves.hi == pagestore.NilPage {
+					eb.IsNode = false
+				}
+				*a.At(cidx) = ea
+				*b.At(cidx) = eb
+				if hm == 0 {
+					break // no fresh bit when the node never indexed m
+				}
+			}
+		}
+	}
+	return a, b, nil
+}
+
+// splitReferent splits a plane-crossing referent (data page or child node)
+// along dimension m at absolute bit stripM+1, returning the page ids of
+// the low and high halves (NilPage for an empty data-page half).
+func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore.PageID) (struct{ lo, hi pagestore.PageID }, error) {
+	var out struct{ lo, hi pagestore.PageID }
+	t.nCascades++
+	if !e.IsNode {
+		p, err := t.pages.Read(e.Ptr)
+		if err != nil {
+			return out, err
+		}
+		ones := p.PartitionByBit(m, stripM+1, t.prm.Width)
+		write := func(half *datapage.Page) (pagestore.PageID, error) {
+			if half.Len() == 0 {
+				return pagestore.NilPage, nil
+			}
+			nid, err := t.pages.Alloc()
+			if err != nil {
+				return pagestore.NilPage, err
+			}
+			return nid, t.pages.Write(nid, half)
+		}
+		if out.lo, err = write(p); err != nil {
+			return out, err
+		}
+		if out.hi, err = write(ones); err != nil {
+			return out, err
+		}
+		*frees = append(*frees, e.Ptr)
+		return out, nil
+	}
+	child, err := t.readNode(e.Ptr)
+	if err != nil {
+		return out, err
+	}
+	ca, cb, err := t.splitNode(child, m, stripM, pagestore.NilPage, pagestore.NilPage, pagestore.NilPage, false, frees)
+	if err != nil {
+		return out, err
+	}
+	caID, err := t.nodes.Alloc()
+	if err != nil {
+		return out, err
+	}
+	cbID, err := t.nodes.Alloc()
+	if err != nil {
+		return out, err
+	}
+	if err := t.nodes.Write(caID, ca); err != nil {
+		return out, err
+	}
+	if err := t.nodes.Write(cbID, cb); err != nil {
+		return out, err
+	}
+	t.nNodes++ // two nodes replace one (freed after commit)
+	*frees = append(*frees, e.Ptr)
+	out.lo, out.hi = caID, cbID
+	return out, nil
+}
+
+// cloneShape returns a node with the same level, depths and element count
+// as n, all elements zeroed.
+func cloneShape(n *dirnode.Node) *dirnode.Node {
+	c := dirnode.New(n.Dims(), n.Level)
+	for j, h := range n.Depths {
+		for s := 0; s < h; s++ {
+			c.Double(j)
+		}
+	}
+	return c
+}
+
+// nextSplitDim picks the next dimension to split for element e: cyclic from
+// e.M, skipping dimensions whose consumed bits (stripped on the path plus
+// the element's local depth) have reached the key width.
+func (t *Tree) nextSplitDim(e *dirnode.Entry, strip []int) (int, bool) {
+	d := t.prm.Dims
+	for step := 1; step <= d; step++ {
+		m := (e.M + step) % d
+		if strip[m]+e.H[m] < t.prm.Width {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// regionDepths returns (a copy of) the local depths of the region of parent
+// whose elements point to the node child, or nil if none do.
+func regionDepths(parent *dirnode.Node, child pagestore.PageID) []int {
+	for i := range parent.Entries {
+		e := &parent.Entries[i]
+		if e.IsNode && e.Ptr == child {
+			return append([]int(nil), e.H...)
+		}
+	}
+	return nil
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

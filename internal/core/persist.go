@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bmeh/internal/datapage"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+)
+
+// metaVersion identifies the meta-record layout.
+const metaVersion = 1
+
+// MarshalMeta serializes the tree's header state (configuration, root
+// pointer, counters). Together with the page store's contents this fully
+// reconstructs the tree; the root package persists it in the store's meta
+// page.
+func (t *Tree) MarshalMeta() []byte {
+	d := t.prm.Dims
+	buf := make([]byte, 0, 16+d+3*8)
+	buf = append(buf, 'B', metaVersion, byte(d), byte(t.prm.Width))
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(t.prm.Capacity))
+	buf = append(buf, u16[:]...)
+	for _, xi := range t.prm.Xi {
+		buf = append(buf, byte(xi))
+	}
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(t.rootID))
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(t.nNodes))
+	buf = append(buf, u32[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(t.n))
+	buf = append(buf, u64[:]...)
+	return buf
+}
+
+// Load reconstructs a tree from a page store and the meta record written by
+// MarshalMeta. It reads the root node (one disk read) and pins it.
+func Load(st pagestore.Store, meta []byte) (*Tree, error) {
+	if len(meta) < 6 {
+		return nil, fmt.Errorf("bmeh: meta record too short (%d bytes)", len(meta))
+	}
+	if meta[0] != 'B' {
+		return nil, fmt.Errorf("bmeh: bad meta magic %q", meta[0])
+	}
+	if meta[1] != metaVersion {
+		return nil, fmt.Errorf("bmeh: unsupported meta version %d", meta[1])
+	}
+	d := int(meta[2])
+	prm := params.Params{
+		Dims:     d,
+		Width:    int(meta[3]),
+		Capacity: int(binary.BigEndian.Uint16(meta[4:6])),
+	}
+	off := 6
+	if len(meta) < off+d+16 {
+		return nil, fmt.Errorf("bmeh: truncated meta record (%d bytes)", len(meta))
+	}
+	prm.Xi = make([]int, d)
+	for j := 0; j < d; j++ {
+		prm.Xi[j] = int(meta[off+j])
+	}
+	off += d
+	if err := prm.Validate(); err != nil {
+		return nil, fmt.Errorf("bmeh: corrupt meta record: %w", err)
+	}
+	t := &Tree{
+		st:     st,
+		prm:    prm,
+		pages:  datapage.NewIO(st, d),
+		nodes:  dirnode.NewIO(st, d),
+		rootID: pagestore.PageID(binary.BigEndian.Uint32(meta[off:])),
+		nNodes: int(binary.BigEndian.Uint32(meta[off+4:])),
+		n:      int(binary.BigEndian.Uint64(meta[off+8:])),
+	}
+	if st.PageSize() < PageBytes(prm) {
+		return nil, fmt.Errorf("bmeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
+	}
+	root, err := t.nodes.Read(t.rootID)
+	if err != nil {
+		return nil, fmt.Errorf("bmeh: reading root node: %w", err)
+	}
+	t.root = root
+	return t, nil
+}

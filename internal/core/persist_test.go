@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	prm := params.Params{Dims: 3, Width: 24, Capacity: 5, Xi: []int{3, 2, 1}}
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Uniform(3, 3)
+	keys := make([]interface{}, 0)
+	for i := 0; i < 800; i++ {
+		k := gen.Next()
+		for j := range k {
+			k[j] >>= 8 // fit the 24-bit width
+		}
+		if err := tr.Insert(k, uint64(i)); err != nil && err != ErrDuplicate {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	meta := tr.MarshalMeta()
+	re, err := Load(st, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() || re.Levels() != tr.Levels() || re.Nodes() != tr.Nodes() {
+		t.Fatalf("reloaded state mismatch: len %d/%d levels %d/%d nodes %d/%d",
+			re.Len(), tr.Len(), re.Levels(), tr.Levels(), re.Nodes(), tr.Nodes())
+	}
+	got := re.Params()
+	if got.Dims != 3 || got.Width != 24 || got.Capacity != 5 || got.Xi[2] != 1 {
+		t.Fatalf("reloaded params %+v", got)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruptMeta(t *testing.T) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := tr.MarshalMeta()
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        good[:4],
+		"bad magic":    append([]byte{'X'}, good[1:]...),
+		"bad version":  append([]byte{'B', 99}, good[2:]...),
+		"bad dims":     append([]byte{'B', 1, 200}, good[3:]...),
+		"truncated xi": good[:7],
+	}
+	for name, meta := range cases {
+		if _, err := Load(st, meta); err == nil {
+			t.Errorf("%s meta accepted", name)
+		}
+	}
+	// The good meta still loads.
+	if _, err := Load(st, good); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsSmallPages(t *testing.T) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := pagestore.NewMemDisk(32)
+	if _, err := Load(small, tr.MarshalMeta()); err == nil {
+		t.Fatal("Load accepted a store with pages too small for the config")
+	}
+}
+
+func TestDumpRendersStructure(t *testing.T) {
+	prm := params.Params{Dims: 2, Width: 32, Capacity: 2, Xi: []int{2, 2}}
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Uniform(2, 17)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(gen.Next(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BMEH-tree:", "node ", "level=", "page ", "records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out[:200])
+		}
+	}
+	if strings.Count(out, "node ") < tr.Nodes() {
+		t.Errorf("dump shows fewer nodes than exist")
+	}
+}

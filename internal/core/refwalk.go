@@ -1,0 +1,33 @@
+package core
+
+import "bmeh/internal/pagestore"
+
+// ForEachPageRef calls fn once for every distinct page referenced from the
+// directory, indicating whether the reference is to a directory node or a
+// data page. The root itself is not reported (it is the walk's origin).
+// Diagnostic/space-accounting tooling; reads every node, counted as I/O.
+func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
+	seen := make(map[pagestore.PageID]bool)
+	var rec func(id pagestore.PageID) error
+	rec = func(id pagestore.PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if e.Ptr == pagestore.NilPage || seen[e.Ptr] {
+				continue
+			}
+			seen[e.Ptr] = true
+			fn(e.Ptr, e.IsNode)
+			if e.IsNode {
+				if err := rec(e.Ptr); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return rec(t.rootID)
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// TestTheorem2NodeBound checks the worst-case structure bound of Theorem 2:
+// inserting b+1 keys that agree on all but the final address bit builds the
+// maximal split chain, whose directory holds at most ℓ(ℓ−1)φ/2 + ℓ nodes
+// (ℓ = ⌈w·d/φ⌉ when both dimensions carry w bits).
+func TestTheorem2NodeBound(t *testing.T) {
+	for _, w := range []int{8, 12, 16} {
+		prm := params.Params{Dims: 2, Width: w, Capacity: 2, Xi: []int{2, 2}}
+		st := pagestore.NewMemDisk(PageBytes(prm))
+		tr, err := New(st, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keys agree on every bit except the last of dimension 1.
+		ones := bitkey.Component(1)<<uint(w) - 1
+		keys := []bitkey.Vector{
+			{ones &^ 1, ones},
+			{ones, ones},
+			{ones &^ 2, ones}, // differs at bit w-1: lands with one of the others
+		}
+		for i, k := range keys {
+			if err := tr.Insert(k, uint64(i)); err != nil {
+				t.Fatalf("w=%d insert %d: %v", w, i, err)
+			}
+		}
+		phi := prm.Phi()
+		l := prm.MaxLevels()
+		bound := l*(l-1)*phi/2 + l
+		if tr.Nodes() > bound {
+			t.Errorf("w=%d: %d nodes exceeds Theorem 2 bound %d (ℓ=%d φ=%d)", w, tr.Nodes(), bound, l, phi)
+		}
+		if tr.Levels() > l {
+			t.Errorf("w=%d: height %d exceeds ℓ=%d", w, tr.Levels(), l)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		t.Logf("w=%d: nodes=%d (bound %d), levels=%d (bound %d)", w, tr.Nodes(), bound, tr.Levels(), l)
+	}
+}
+
+// TestTheorem4PageOnce verifies the structural core of the range-cost
+// bound: one Range call reads each data page at most once, so its cost is
+// O(ℓ·n_R) in the number of covering pages.
+func TestTheorem4PageOnce(t *testing.T) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Uniform(2, 41)
+	for i := 0; i < 8000; i++ {
+		if err := tr.Insert(gen.Next(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dataPages := st.Allocated()[pagestore.KindData]
+	levels := tr.Levels()
+	for _, frac := range []uint64{4, 2, 1} {
+		lo := bitkey.Vector{0, 0}
+		hi := bitkey.Vector{
+			bitkey.Component(uint64(workload.MaxComponent) / frac),
+			bitkey.Component(uint64(workload.MaxComponent) / frac),
+		}
+		st.ResetStats()
+		hits := 0
+		if err := tr.Range(lo, hi, func(bitkey.Vector, uint64) bool { hits++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		reads := st.Stats().Reads
+		// Reads are bounded by (all data pages once) + (all nodes once per
+		// distinct clamp — at most ℓ·pages in the worst case, and far less
+		// in practice). The hard assertion: no page read twice means reads
+		// can never exceed dataPages + ℓ·dataPages.
+		if int(reads) > (levels+1)*dataPages {
+			t.Errorf("1/%d² box: %d reads exceeds (ℓ+1)·pages = %d", frac, reads, (levels+1)*dataPages)
+		}
+		if hits == 0 {
+			t.Errorf("1/%d² box returned nothing", frac)
+		}
+	}
+	// The full-space scan (full component width, not just the workload's
+	// 2^31-1 range) reads every page and node exactly once.
+	full := bitkey.Component(1)<<uint(prm.Width) - 1
+	st.ResetStats()
+	n := 0
+	if err := tr.Range(bitkey.Vector{0, 0}, bitkey.Vector{full, full},
+		func(bitkey.Vector, uint64) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != tr.Len() {
+		t.Fatalf("full scan saw %d of %d records", n, tr.Len())
+	}
+	reads := int(st.Stats().Reads)
+	nodes := tr.Nodes() - 1 // root is pinned
+	if reads != dataPages+nodes {
+		t.Errorf("full scan cost %d reads, want exactly pages+nodes = %d+%d (each read once)",
+			reads, dataPages, nodes)
+	}
+}
+
+// TestNoOrphanPagesAfterInserts verifies the copy-on-write split paths free
+// every replaced page: after a large insert-only build, the set of
+// allocated data pages equals the set referenced from the directory.
+func TestNoOrphanPagesAfterInserts(t *testing.T) {
+	prm := params.Default(2, 4)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Clustered(2, 4, 1<<24, 12)
+	for i := 0; i < 6000; i++ {
+		if err := tr.Insert(gen.Next(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refPages, refNodes := 0, 0
+	err = tr.ForEachPageRef(func(_ pagestore.PageID, isNode bool) {
+		if isNode {
+			refNodes++
+		} else {
+			refPages++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := st.Allocated()
+	if alloc[pagestore.KindData] != refPages {
+		t.Errorf("%d data pages allocated, %d referenced (orphans leak)", alloc[pagestore.KindData], refPages)
+	}
+	if alloc[pagestore.KindDirectory] != refNodes+1 {
+		t.Errorf("%d directory pages allocated, %d referenced + root", alloc[pagestore.KindDirectory], refNodes)
+	}
+	if tr.Nodes() != refNodes+1 {
+		t.Errorf("node counter %d, walk found %d + root", tr.Nodes(), refNodes)
+	}
+}

@@ -1,0 +1,211 @@
+// Package core implements the paper's contribution: the Balanced
+// Multidimensional Extendible Hash Tree (BMEH-tree, §3–§4).
+//
+// The directory is a height-balanced M-ary tree of fixed-size directory
+// nodes (M = 2^φ, φ = Σξ_j). Every node is a small multidimensional
+// extendible-hash directory with per-node global depths H_j ≤ ξ_j; leaf
+// (level-1) nodes point to data pages, higher nodes point to nodes one
+// level below. Searching strips, at each followed entry, that entry's
+// *local* depths h_j from the pseudo-key — the local depths steer the
+// descent, which is the scheme's distinctive mechanism.
+//
+// Growth: a page split that needs local depth h_m+1 first doubles the node
+// along m while H_m < ξ_m; once dimension m is exhausted the node itself
+// splits in two along m and the split propagates upward, K-D-B-tree style,
+// possibly adding a new root. The tree therefore stays perfectly balanced:
+// every root-to-page path has the same length, and with the root pinned in
+// memory an exact-match search costs exactly (levels−1) node reads plus one
+// data-page read.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/datapage"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+)
+
+// ErrDuplicate is returned when inserting a key that is already present.
+var ErrDuplicate = errors.New("bmeh: duplicate key")
+
+// PageBytes returns the page size required by the configuration: the larger
+// of a data page (b records) and a directory node (2^φ elements).
+func PageBytes(p params.Params) int {
+	db := datapage.Size(p.Dims, p.Capacity)
+	nb := dirnode.PageBytes(p.Dims, p.Phi())
+	if nb > db {
+		return nb
+	}
+	return db
+}
+
+// Tree is a BMEH-tree index.
+type Tree struct {
+	st     pagestore.Store
+	prm    params.Params
+	pages  *datapage.IO
+	nodes  *dirnode.IO
+	rootID pagestore.PageID
+	root   *dirnode.Node // pinned in memory (paper §3.1); written through
+	nNodes int           // directory nodes, root included
+	n      int           // stored records
+	// nCascades counts downward K-D-B splits of plane-crossing referents
+	// during node splits (white-box statistic for tests and ablations).
+	nCascades int
+}
+
+// New creates an empty tree over st.
+func New(st pagestore.Store, prm params.Params) (*Tree, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if st.PageSize() < PageBytes(prm) {
+		return nil, fmt.Errorf("bmeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
+	}
+	t := &Tree{
+		st:    st,
+		prm:   prm,
+		pages: datapage.NewIO(st, prm.Dims),
+		nodes: dirnode.NewIO(st, prm.Dims),
+	}
+	id, err := t.nodes.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.rootID = id
+	t.root = dirnode.New(prm.Dims, 1)
+	t.nNodes = 1
+	if err := t.nodes.Write(id, t.root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of stored records.
+func (t *Tree) Len() int { return t.n }
+
+// Levels returns the number of directory levels ℓ (root level).
+func (t *Tree) Levels() int { return t.root.Level }
+
+// Nodes returns the number of directory nodes.
+func (t *Tree) Nodes() int { return t.nNodes }
+
+// DirectoryPages returns the number of disk pages the directory occupies
+// (one per node).
+func (t *Tree) DirectoryPages() int { return t.nNodes }
+
+// DirectoryElements returns σ as the paper reports it for tree directories:
+// nodes × 2^φ, since every node occupies a full fixed-size page.
+func (t *Tree) DirectoryElements() int { return t.nNodes * t.prm.NodeEntries() }
+
+// Params returns the tree's configuration.
+func (t *Tree) Params() params.Params { return t.prm }
+
+// Cascades returns how many plane-crossing referents node splits have
+// split downward (K-D-B style) over the tree's lifetime.
+func (t *Tree) Cascades() int { return t.nCascades }
+
+// readNode fetches a non-root node (one counted read); the root is pinned.
+// The returned node must not be mutated when it is the root — mutating
+// descents use readNodeMut.
+func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
+	if id == t.rootID {
+		return t.root, nil
+	}
+	return t.nodes.Read(id)
+}
+
+// readNodeMut is readNode for descents that may mutate the node: the
+// pinned root is deep-copied so that in-memory state only changes at the
+// writeNode commit point even when the page write fails.
+func (t *Tree) readNodeMut(id pagestore.PageID) (*dirnode.Node, error) {
+	if id == t.rootID {
+		return cloneNode(t.root), nil
+	}
+	return t.nodes.Read(id)
+}
+
+// cloneNode deep-copies a directory node.
+func cloneNode(n *dirnode.Node) *dirnode.Node {
+	c := &dirnode.Node{Level: n.Level, Depths: append([]int(nil), n.Depths...)}
+	*c = *cloneShape(n)
+	for i := range n.Entries {
+		c.Entries[i] = dirnode.CloneEntry(n.Entries[i])
+	}
+	return c
+}
+
+// writeNode stores a node (one counted write). The write is the commit
+// point: the pinned in-memory root is replaced only after the page write
+// succeeded, so a storage fault leaves the previous (consistent) state in
+// force.
+func (t *Tree) writeNode(id pagestore.PageID, n *dirnode.Node) error {
+	if err := t.nodes.Write(id, n); err != nil {
+		return err
+	}
+	if id == t.rootID {
+		t.root = n
+	}
+	return nil
+}
+
+// nodeIndex computes the element position for the (already shifted) key v
+// within node n: index i_j = g(v_j, H_j) per dimension.
+func (t *Tree) nodeIndex(n *dirnode.Node, v bitkey.Vector) int {
+	idx := make([]uint64, t.prm.Dims)
+	for j := range idx {
+		idx[j] = bitkey.G(v[j], n.Depths[j], t.prm.Width)
+	}
+	return n.Index(idx)
+}
+
+// Search implements algorithm EXM_Search: descend from the pinned root,
+// stripping each followed entry's local depths, then search the data page.
+func (t *Tree) Search(k bitkey.Vector) (uint64, bool, error) {
+	if err := t.checkKey(k); err != nil {
+		return 0, false, err
+	}
+	v := k.Clone()
+	node := t.root
+	for {
+		q := t.nodeIndex(node, v)
+		e := &node.Entries[q]
+		if e.Ptr == pagestore.NilPage {
+			return 0, false, nil
+		}
+		if !e.IsNode {
+			p, err := t.pages.Read(e.Ptr)
+			if err != nil {
+				return 0, false, err
+			}
+			val, ok := p.Get(k)
+			return val, ok, nil
+		}
+		for j := 0; j < t.prm.Dims; j++ {
+			v[j] = bitkey.LeftShift(v[j], e.H[j], t.prm.Width)
+		}
+		var err error
+		node, err = t.readNode(e.Ptr)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+}
+
+func (t *Tree) checkKey(k bitkey.Vector) error {
+	if len(k) != t.prm.Dims {
+		return fmt.Errorf("bmeh: key dimensionality %d, want %d", len(k), t.prm.Dims)
+	}
+	if t.prm.Width < 64 {
+		for j, c := range k {
+			if uint64(c) >= 1<<uint(t.prm.Width) {
+				return fmt.Errorf("bmeh: component %d exceeds %d-bit width", j+1, t.prm.Width)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package datapage defines the byte layout and in-memory manipulation of
+// level-0 data pages. A data page stores up to b records; a record is a
+// d-dimensional pseudo-key (w-bit components) plus a 64-bit payload (a row
+// id or value). Records inside a page are kept sorted by key, which makes
+// page images deterministic and duplicate detection a binary search.
+//
+// Layout (big endian):
+//
+//	offset 0: count  uint16
+//	then count records of (d × 8 bytes key components, 8 bytes value)
+package datapage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"bmeh/internal/bitkey"
+)
+
+// Record is one stored record.
+type Record struct {
+	Key   bitkey.Vector
+	Value uint64
+}
+
+// recordSize returns the encoded size of one record for dimensionality d.
+func recordSize(d int) int { return d*8 + 8 }
+
+// Size returns the page bytes needed for capacity records of dimensionality d.
+func Size(d, capacity int) int { return 2 + capacity*recordSize(d) }
+
+// Page is the decoded form of a data page.
+type Page struct {
+	d    int
+	recs []Record
+}
+
+// New returns an empty decoded page for dimensionality d.
+func New(d int) *Page { return &Page{d: d} }
+
+// Decode parses a page image. The records slice is freshly allocated.
+func Decode(buf []byte, d int) (*Page, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("datapage: short page (%d bytes)", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf[0:2]))
+	rs := recordSize(d)
+	if 2+n*rs > len(buf) {
+		return nil, fmt.Errorf("datapage: count %d overflows %d-byte page", n, len(buf))
+	}
+	p := &Page{d: d, recs: make([]Record, n)}
+	off := 2
+	for i := 0; i < n; i++ {
+		key := make(bitkey.Vector, d)
+		for j := 0; j < d; j++ {
+			key[j] = bitkey.Component(binary.BigEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		p.recs[i] = Record{Key: key, Value: binary.BigEndian.Uint64(buf[off:])}
+		off += 8
+	}
+	return p, nil
+}
+
+// Encode writes the page image into buf, which must be at least
+// Size(d, len(records)) bytes. It returns the number of bytes written.
+func (p *Page) Encode(buf []byte) (int, error) {
+	need := Size(p.d, len(p.recs))
+	if len(buf) < need {
+		return 0, fmt.Errorf("datapage: buffer %d bytes < needed %d", len(buf), need)
+	}
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(p.recs)))
+	off := 2
+	for _, r := range p.recs {
+		if len(r.Key) != p.d {
+			return 0, fmt.Errorf("datapage: record key dimensionality %d != %d", len(r.Key), p.d)
+		}
+		for j := 0; j < p.d; j++ {
+			binary.BigEndian.PutUint64(buf[off:], uint64(r.Key[j]))
+			off += 8
+		}
+		binary.BigEndian.PutUint64(buf[off:], r.Value)
+		off += 8
+	}
+	return off, nil
+}
+
+// Len returns the number of records in the page.
+func (p *Page) Len() int { return len(p.recs) }
+
+// Records returns the page's records (shared slice; do not mutate).
+func (p *Page) Records() []Record { return p.recs }
+
+// Find returns the index of key and whether it is present.
+func (p *Page) Find(key bitkey.Vector) (int, bool) {
+	i := sort.Search(len(p.recs), func(i int) bool { return !p.recs[i].Key.Less(key) })
+	if i < len(p.recs) && p.recs[i].Key.Equal(key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Get returns the value stored under key.
+func (p *Page) Get(key bitkey.Vector) (uint64, bool) {
+	if i, ok := p.Find(key); ok {
+		return p.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Insert adds a record in sorted position. It returns false if the key is
+// already present (no change). Capacity is not enforced here; callers check
+// Len() against b and split first.
+func (p *Page) Insert(r Record) bool {
+	i, ok := p.Find(r.Key)
+	if ok {
+		return false
+	}
+	p.recs = append(p.recs, Record{})
+	copy(p.recs[i+1:], p.recs[i:])
+	p.recs[i] = r
+	return true
+}
+
+// Set overwrites the value of an existing key, or inserts it. It reports
+// whether the key was newly inserted.
+func (p *Page) Set(r Record) bool {
+	if i, ok := p.Find(r.Key); ok {
+		p.recs[i].Value = r.Value
+		return false
+	}
+	return p.Insert(r)
+}
+
+// Delete removes key and reports whether it was present.
+func (p *Page) Delete(key bitkey.Vector) bool {
+	i, ok := p.Find(key)
+	if !ok {
+		return false
+	}
+	p.recs = append(p.recs[:i], p.recs[i+1:]...)
+	return true
+}
+
+// PartitionByBit splits the page's records by bit number bitPos (1-based
+// from the most significant of width) of key component dim (0-based):
+// records with the bit 0 stay in p, records with the bit 1 move to the
+// returned page. This is the page-splitting step of every scheme: bitPos is
+// the new local depth of dimension dim, counted in the page's own (possibly
+// shifted) coordinate frame.
+func (p *Page) PartitionByBit(dim, bitPos, width int) *Page {
+	ones := &Page{d: p.d}
+	zeros := p.recs[:0]
+	for _, r := range p.recs {
+		if bitkey.Bit(r.Key[dim], bitPos, width) == 1 {
+			ones.recs = append(ones.recs, r)
+		} else {
+			zeros = append(zeros, r)
+		}
+	}
+	p.recs = zeros
+	return ones
+}
+
+// Merge moves all records of q into p (used by deletion's page merging).
+// Records are assumed disjoint; duplicates are rejected with an error.
+func (p *Page) Merge(q *Page) error {
+	for _, r := range q.recs {
+		if !p.Insert(r) {
+			return fmt.Errorf("datapage: merge found duplicate key %v", r.Key)
+		}
+	}
+	q.recs = nil
+	return nil
+}
+
+// SortCheck verifies the sorted-and-unique invariant; used by tests and the
+// integrity checker.
+func (p *Page) SortCheck() error {
+	for i := 1; i < len(p.recs); i++ {
+		if !p.recs[i-1].Key.Less(p.recs[i].Key) {
+			return fmt.Errorf("datapage: records %d,%d out of order", i-1, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package datapage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/pagestore"
+)
+
+func key(d int, vals ...uint64) bitkey.Vector {
+	k := make(bitkey.Vector, d)
+	for j := 0; j < d && j < len(vals); j++ {
+		k[j] = bitkey.Component(vals[j])
+	}
+	return k
+}
+
+func TestInsertKeepsSortedUnique(t *testing.T) {
+	p := New(2)
+	keys := [][]uint64{{5, 1}, {1, 9}, {3, 3}, {1, 2}, {5, 0}, {2, 2}}
+	for i, kv := range keys {
+		if !p.Insert(Record{Key: key(2, kv...), Value: uint64(i)}) {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+	if p.Insert(Record{Key: key(2, 3, 3), Value: 99}) {
+		t.Fatal("duplicate key accepted")
+	}
+	if err := p.SortCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != len(keys) {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	v, ok := p.Get(key(2, 1, 2))
+	if !ok || v != 3 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := p.Get(key(2, 9, 9)); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	p := New(1)
+	if !p.Set(Record{Key: key(1, 4), Value: 10}) {
+		t.Fatal("Set of new key should report insertion")
+	}
+	if p.Set(Record{Key: key(1, 4), Value: 20}) {
+		t.Fatal("Set of existing key should not report insertion")
+	}
+	if v, _ := p.Get(key(1, 4)); v != 20 {
+		t.Fatalf("value = %d, want 20", v)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := New(1)
+	for i := uint64(0); i < 10; i++ {
+		p.Insert(Record{Key: key(1, i), Value: i})
+	}
+	if !p.Delete(key(1, 4)) || p.Delete(key(1, 4)) {
+		t.Fatal("delete semantics broken")
+	}
+	if p.Len() != 9 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if err := p.SortCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		d := int(dRaw%4) + 1
+		n := int(nRaw % 50)
+		rng := rand.New(rand.NewSource(seed))
+		p := New(d)
+		for p.Len() < n {
+			k := make(bitkey.Vector, d)
+			for j := range k {
+				k[j] = bitkey.Component(rng.Uint64())
+			}
+			p.Insert(Record{Key: k, Value: rng.Uint64()})
+		}
+		buf := make([]byte, Size(d, n)+7)
+		w, err := p.Encode(buf)
+		if err != nil {
+			return false
+		}
+		if w != Size(d, p.Len()) {
+			return false
+		}
+		q, err := Decode(buf, d)
+		if err != nil {
+			return false
+		}
+		if q.Len() != p.Len() {
+			return false
+		}
+		for i, r := range p.Records() {
+			s := q.Records()[i]
+			if !r.Key.Equal(s.Key) || r.Value != s.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruptCount(t *testing.T) {
+	buf := make([]byte, 10)
+	buf[0], buf[1] = 0xff, 0xff // count 65535 overflows a 10-byte page
+	if _, err := Decode(buf, 2); err == nil {
+		t.Fatal("Decode accepted corrupt count")
+	}
+	if _, err := Decode([]byte{1}, 2); err == nil {
+		t.Fatal("Decode accepted 1-byte page")
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	p := New(2)
+	p.Insert(Record{Key: key(2, 1, 2), Value: 3})
+	if _, err := p.Encode(make([]byte, 5)); err == nil {
+		t.Fatal("Encode accepted short buffer")
+	}
+}
+
+func TestPartitionByBit(t *testing.T) {
+	p := New(1)
+	// Width 4: keys 0000, 0100, 1000, 1100 — bit 2 partitions {0,8} / {4,12}.
+	for _, v := range []uint64{0, 4, 8, 12} {
+		p.Insert(Record{Key: key(1, v), Value: v})
+	}
+	ones := p.PartitionByBit(0, 2, 4)
+	if p.Len() != 2 || ones.Len() != 2 {
+		t.Fatalf("partition sizes %d/%d, want 2/2", p.Len(), ones.Len())
+	}
+	for _, r := range p.Records() {
+		if bitkey.Bit(r.Key[0], 2, 4) != 0 {
+			t.Fatalf("zeros page contains %v", r.Key)
+		}
+	}
+	for _, r := range ones.Records() {
+		if bitkey.Bit(r.Key[0], 2, 4) != 1 {
+			t.Fatalf("ones page contains %v", r.Key)
+		}
+	}
+	if err := p.SortCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ones.SortCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionPreservesAll(t *testing.T) {
+	f := func(seed int64, dim uint8, bit uint8) bool {
+		d := int(dim%3) + 1
+		m := int(dim) % d
+		bitPos := int(bit%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := New(d)
+		for i := 0; i < 20; i++ {
+			k := make(bitkey.Vector, d)
+			for j := range k {
+				k[j] = bitkey.Component(rng.Uint64() & 0xffffffff)
+			}
+			p.Insert(Record{Key: k, Value: uint64(i)})
+		}
+		before := p.Len()
+		ones := p.PartitionByBit(m, bitPos, 32)
+		return p.Len()+ones.Len() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(1), New(1)
+	for _, v := range []uint64{1, 3, 5} {
+		a.Insert(Record{Key: key(1, v), Value: v})
+	}
+	for _, v := range []uint64{2, 4} {
+		b.Insert(Record{Key: key(1, v), Value: v})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 5 || b.Len() != 0 {
+		t.Fatalf("merge sizes %d/%d", a.Len(), b.Len())
+	}
+	if err := a.SortCheck(); err != nil {
+		t.Fatal(err)
+	}
+	dup := New(1)
+	dup.Insert(Record{Key: key(1, 3), Value: 9})
+	if err := a.Merge(dup); err == nil {
+		t.Fatal("merge accepted duplicate")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	st := pagestore.NewMemDisk(Size(2, 16))
+	io := NewIO(st, 2)
+	id, err := io.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(2)
+	for i := uint64(0); i < 10; i++ {
+		p.Insert(Record{Key: key(2, i, i*i), Value: i})
+	}
+	if err := io.Write(id, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := io.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("read back %d records", q.Len())
+	}
+	for i, r := range p.Records() {
+		if !q.Records()[i].Key.Equal(r.Key) || q.Records()[i].Value != r.Value {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := io.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Read(id); err == nil {
+		t.Fatal("read of freed page succeeded")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	// A page sized for b records must hold exactly b encoded records.
+	for _, d := range []int{1, 2, 3, 8} {
+		for _, b := range []int{1, 8, 64} {
+			p := New(d)
+			for i := 0; i < b; i++ {
+				k := make(bitkey.Vector, d)
+				k[0] = bitkey.Component(i)
+				p.Insert(Record{Key: k, Value: uint64(i)})
+			}
+			buf := make([]byte, Size(d, b))
+			if _, err := p.Encode(buf); err != nil {
+				t.Errorf("d=%d b=%d: %v", d, b, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package datapage
+
+import (
+	"fmt"
+	"sync"
+
+	"bmeh/internal/pagestore"
+)
+
+// IO reads and writes data pages through a page store. Scratch buffers
+// come from an internal pool, so any number of concurrent readers may
+// share one IO (writers are serialized by the owning index).
+type IO struct {
+	st  pagestore.Store
+	d   int
+	buf sync.Pool
+}
+
+// NewIO returns a data-page reader/writer for dimensionality d over st.
+func NewIO(st pagestore.Store, d int) *IO {
+	io := &IO{st: st, d: d}
+	io.buf.New = func() interface{} { b := make([]byte, st.PageSize()); return &b }
+	return io
+}
+
+// Read fetches and decodes the data page stored in page id (one disk read).
+func (io *IO) Read(id pagestore.PageID) (*Page, error) {
+	bp := io.buf.Get().(*[]byte)
+	defer io.buf.Put(bp)
+	if err := io.st.Read(id, *bp); err != nil {
+		return nil, fmt.Errorf("datapage: reading page %d: %w", id, err)
+	}
+	p, err := Decode(*bp, io.d)
+	if err != nil {
+		return nil, fmt.Errorf("datapage: decoding page %d: %w", id, err)
+	}
+	return p, nil
+}
+
+// Write encodes and stores the page into page id (one disk write).
+func (io *IO) Write(id pagestore.PageID, p *Page) error {
+	bp := io.buf.Get().(*[]byte)
+	defer io.buf.Put(bp)
+	w, err := p.Encode(*bp)
+	if err != nil {
+		return fmt.Errorf("datapage: encoding page %d: %w", id, err)
+	}
+	if err := io.st.Write(id, (*bp)[:w]); err != nil {
+		return fmt.Errorf("datapage: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Alloc allocates a fresh data page.
+func (io *IO) Alloc() (pagestore.PageID, error) {
+	return io.st.Alloc(pagestore.KindData)
+}
+
+// Free releases a data page.
+func (io *IO) Free(id pagestore.PageID) error { return io.st.Free(id) }

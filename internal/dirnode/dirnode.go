@@ -1,0 +1,273 @@
+// Package dirnode defines directory nodes: the building block of the
+// BMEH-tree and MEH-tree directories, and (entry codec only) of the flat
+// MDEH directory's pages.
+//
+// A node is a small multidimensional extendible-hash directory (paper
+// §3.1): it has per-dimension global depths H_j bounded by ξ_j, and
+// 2^{ΣH_j} directory elements. Each element carries a pointer P (to a data
+// page or to a lower-level node), d local depths h_j ≤ H_j, and the
+// dimension m along which the element's region was last split.
+//
+// In memory the element array is dense row-major over the current depths.
+// A node always occupies exactly one disk page regardless of how many of
+// its element slots are in use, which is why the paper reports tree
+// directory sizes in multiples of the node capacity M = 2^φ.
+//
+// On-disk layout (big endian):
+//
+//	offset 0:            level  uint8 (1 = leaf directory, counts up to root)
+//	offset 1..d:         H_j    uint8 each
+//	then 2^{ΣH_j} entries of:
+//	    ptr   uint32   (bit 31 set ⇒ pointer is a directory node)
+//	    h_j   uint8 × d
+//	    m     uint8    (0-based last-split dimension)
+package dirnode
+
+import (
+	"fmt"
+
+	"bmeh/internal/pagestore"
+)
+
+// nodeFlag marks a pointer as referring to a directory node rather than a
+// data page. PageIDs therefore must stay below 2^31.
+const nodeFlag uint32 = 1 << 31
+
+// Entry is one directory element.
+type Entry struct {
+	// Ptr is the page the element points to; NilPage for an empty region.
+	Ptr pagestore.PageID
+	// IsNode reports whether Ptr refers to a directory node (true) or a
+	// data page (false). Meaningless when Ptr is nil.
+	IsNode bool
+	// H holds the element's local depths h_j, one per dimension.
+	H []int
+	// M is the 0-based dimension along which the element's region was last
+	// split; the next split uses the cyclically following dimension.
+	M int
+}
+
+// CloneEntry returns a deep copy of e.
+func CloneEntry(e Entry) Entry {
+	c := e
+	c.H = append([]int(nil), e.H...)
+	return c
+}
+
+// EntrySize returns the encoded size of one element for dimensionality d.
+func EntrySize(d int) int { return 4 + d + 1 }
+
+// HeaderSize returns the encoded size of a node header for dimensionality d.
+func HeaderSize(d int) int { return 1 + d }
+
+// PageBytes returns the page bytes needed by a node with capacity
+// 2^phi elements of dimensionality d.
+func PageBytes(d, phi int) int {
+	return HeaderSize(d) + (1<<uint(phi))*EntrySize(d)
+}
+
+// Node is the decoded form of a directory node.
+type Node struct {
+	// Level is the node's height: 1 for leaf directory nodes (whose data
+	// pointers refer to data pages), increasing toward the root.
+	Level int
+	// Depths holds the node's global depths H_j.
+	Depths []int
+	// Entries is the dense row-major element array, len = 2^{ΣDepths}.
+	Entries []Entry
+	d       int
+}
+
+// New returns a single-element node (all depths zero) of the given level.
+func New(d, level int) *Node {
+	n := &Node{Level: level, Depths: make([]int, d), d: d}
+	n.Entries = make([]Entry, 1)
+	n.Entries[0] = Entry{H: make([]int, d), M: d - 1}
+	return n
+}
+
+// Dims returns the dimensionality.
+func (n *Node) Dims() int { return n.d }
+
+// Size returns the number of element slots, 2^{ΣH_j}.
+func (n *Node) Size() int { return len(n.Entries) }
+
+// SumDepths returns ΣH_j.
+func (n *Node) SumDepths() int {
+	s := 0
+	for _, h := range n.Depths {
+		s += h
+	}
+	return s
+}
+
+// Index converts a tuple index (one value per dimension, each < 2^{H_j})
+// into the row-major element position.
+func (n *Node) Index(idx []uint64) int {
+	q := uint64(0)
+	for j := 0; j < n.d; j++ {
+		if idx[j] >= uint64(1)<<uint(n.Depths[j]) {
+			panic(fmt.Sprintf("dirnode: index %d ≥ 2^%d in dimension %d", idx[j], n.Depths[j], j))
+		}
+		q = q<<uint(n.Depths[j]) | idx[j]
+	}
+	return int(q)
+}
+
+// Tuple is the inverse of Index.
+func (n *Node) Tuple(q int) []uint64 {
+	idx := make([]uint64, n.d)
+	u := uint64(q)
+	for j := n.d - 1; j >= 0; j-- {
+		mask := uint64(1)<<uint(n.Depths[j]) - 1
+		idx[j] = u & mask
+		u >>= uint(n.Depths[j])
+	}
+	return idx
+}
+
+// At returns a pointer to the element with the given tuple index.
+func (n *Node) At(idx []uint64) *Entry { return &n.Entries[n.Index(idx)] }
+
+// Double doubles the node along dimension m (0-based) using prefix
+// semantics: each old element's region splits in two and both halves
+// inherit its content (pointer, local depths, m). The element array is
+// rewritten; the node still fits its page by construction (callers enforce
+// H_m < ξ_m before doubling).
+func (n *Node) Double(m int) {
+	old := n.Entries
+	oldDepths := append([]int(nil), n.Depths...)
+	n.Depths[m]++
+	n.Entries = make([]Entry, len(old)*2)
+	for q := range n.Entries {
+		idx := n.Tuple(q)
+		src := append([]uint64(nil), idx...)
+		src[m] >>= 1
+		// Row-major position of src under the old depths.
+		sq := uint64(0)
+		for j := 0; j < n.d; j++ {
+			sq = sq<<uint(oldDepths[j]) | src[j]
+		}
+		n.Entries[q] = CloneEntry(old[sq])
+	}
+}
+
+// Buddies returns the positions of every element sharing the element at
+// position q's pointer region: all tuples that agree with q's tuple on the
+// first h_j bits of each dimension's index (equivalently, i_j >> (H_j-h_j)
+// matches). The element at q itself is included.
+func (n *Node) Buddies(q int) []int {
+	e := n.Entries[q]
+	base := n.Tuple(q)
+	var out []int
+	for p := range n.Entries {
+		idx := n.Tuple(p)
+		match := true
+		for j := 0; j < n.d; j++ {
+			shift := uint(n.Depths[j] - e.H[j])
+			if idx[j]>>shift != base[j]>>shift {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Encode writes the node image into buf and returns the bytes written.
+func (n *Node) Encode(buf []byte) (int, error) {
+	need := HeaderSize(n.d) + len(n.Entries)*EntrySize(n.d)
+	if len(buf) < need {
+		return 0, fmt.Errorf("dirnode: buffer %d bytes < needed %d", len(buf), need)
+	}
+	if n.Level < 0 || n.Level > 255 {
+		return 0, fmt.Errorf("dirnode: level %d out of range", n.Level)
+	}
+	buf[0] = byte(n.Level)
+	for j := 0; j < n.d; j++ {
+		if n.Depths[j] < 0 || n.Depths[j] > 63 {
+			return 0, fmt.Errorf("dirnode: depth H_%d = %d out of range", j+1, n.Depths[j])
+		}
+		buf[1+j] = byte(n.Depths[j])
+	}
+	off := HeaderSize(n.d)
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		for j := 0; j < n.d; j++ {
+			if e.H[j] < 0 || e.H[j] > n.Depths[j] {
+				return 0, fmt.Errorf("dirnode: entry %d local depth h_%d = %d out of range 0..%d", i, j+1, e.H[j], n.Depths[j])
+			}
+		}
+		if err := EncodeEntry(buf[off:], e, n.d); err != nil {
+			return 0, fmt.Errorf("dirnode: entry %d: %w", i, err)
+		}
+		off += EntrySize(n.d)
+	}
+	return off, nil
+}
+
+// Decode parses a node image for dimensionality d.
+func Decode(buf []byte, d int) (*Node, error) {
+	if len(buf) < HeaderSize(d) {
+		return nil, fmt.Errorf("dirnode: short page (%d bytes)", len(buf))
+	}
+	n := &Node{Level: int(buf[0]), Depths: make([]int, d), d: d}
+	sum := 0
+	for j := 0; j < d; j++ {
+		n.Depths[j] = int(buf[1+j])
+		sum += n.Depths[j]
+	}
+	if sum > 30 {
+		return nil, fmt.Errorf("dirnode: implausible ΣH_j = %d", sum)
+	}
+	count := 1 << uint(sum)
+	off := HeaderSize(d)
+	if off+count*EntrySize(d) > len(buf) {
+		return nil, fmt.Errorf("dirnode: %d entries overflow %d-byte page", count, len(buf))
+	}
+	n.Entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		e, err := DecodeEntry(buf[off:], d)
+		if err != nil {
+			return nil, fmt.Errorf("dirnode: entry %d: %w", i, err)
+		}
+		n.Entries[i] = e
+		off += EntrySize(d)
+	}
+	return n, nil
+}
+
+// Validate checks node invariants: local depths within global depths, and
+// every group of elements sharing a pointer forming a complete aligned
+// sub-box of the element grid.
+func (n *Node) Validate() error {
+	if len(n.Entries) != 1<<uint(n.SumDepths()) {
+		return fmt.Errorf("dirnode: %d entries, want 2^%d", len(n.Entries), n.SumDepths())
+	}
+	for q := range n.Entries {
+		e := &n.Entries[q]
+		for j := 0; j < n.d; j++ {
+			if e.H[j] < 0 || e.H[j] > n.Depths[j] {
+				return fmt.Errorf("dirnode: entry %d local depth h_%d = %d out of range 0..H=%d", q, j+1, e.H[j], n.Depths[j])
+			}
+		}
+		if e.Ptr == pagestore.NilPage {
+			continue
+		}
+		for _, p := range n.Buddies(q) {
+			b := &n.Entries[p]
+			if b.Ptr != e.Ptr || b.IsNode != e.IsNode {
+				return fmt.Errorf("dirnode: entries %d and %d should share pointer %d but differ", q, p, e.Ptr)
+			}
+			for j := 0; j < n.d; j++ {
+				if b.H[j] != e.H[j] {
+					return fmt.Errorf("dirnode: buddy entries %d,%d disagree on h_%d", q, p, j+1)
+				}
+			}
+		}
+	}
+	return nil
+}

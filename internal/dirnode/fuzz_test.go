@@ -1,0 +1,41 @@
+package dirnode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode hardens the node codec against arbitrary page images: Decode
+// must either return an error or a node whose shape is self-consistent —
+// never panic.
+func FuzzDecode(f *testing.F) {
+	for _, d := range []int{1, 2, 3} {
+		n := randomNode(rand.New(rand.NewSource(int64(d))), d)
+		buf := make([]byte, HeaderSize(d)+n.Size()*EntrySize(d))
+		if _, err := n.Encode(buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf, d)
+	}
+	f.Add([]byte{3, 40, 40}, 2)
+	f.Add([]byte{}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, dRaw int) {
+		d := dRaw%8 + 1
+		if d < 1 {
+			d = 1
+		}
+		n, err := Decode(data, d)
+		if err != nil {
+			return
+		}
+		if n.Size() != 1<<uint(n.SumDepths()) {
+			t.Fatalf("decoded node size %d inconsistent with depths %v", n.Size(), n.Depths)
+		}
+		// Index/Tuple must round-trip on any decoded shape.
+		for q := 0; q < n.Size(); q++ {
+			if got := n.Index(n.Tuple(q)); got != q {
+				t.Fatalf("Index(Tuple(%d)) = %d", q, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package extarray
+
+import "fmt"
+
+// This file generalizes the mapping function to dimensions of bounded
+// extendibility, the modification the paper sketches after Theorem 1: "the
+// case where the attribute values of a dimension may be coded by a shorter
+// string of binary digits than the rest", in which the cyclic choice of
+// doubling dimensions skips exhausted ones.
+//
+// The doubling schedule with caps c_j is: in round t = 1, 2, ..., every
+// dimension j with c_j ≥ t doubles to 2^t, in dimension order. The cell
+// ⟨i_1..i_d⟩ therefore belongs to the block appended by the event (z, s+1)
+// where (s, z) = lexicographic max over j of (⌊log2 i_j⌋, j); at that event
+// dimension j < z has bound 2^{min(s+1, c_j)} and dimension j > z has bound
+// 2^{min(s, c_j)}. With all caps ≥ 64 this reduces to Address/Tuple.
+
+// AddressCapped is Address for an array whose dimension j is extendible
+// only up to depth caps[j] (bound 2^{caps[j]}). It requires
+// i_j < 2^{caps[j]} for all j.
+func AddressCapped(idx []uint64, caps []int) uint64 {
+	d := len(idx)
+	if d == 0 || d > MaxDims || len(caps) != d {
+		panic(fmt.Sprintf("extarray: bad dims (idx %d, caps %d)", d, len(caps)))
+	}
+	z, s := 0, floorLog2(idx[0])
+	for j := 1; j < d; j++ {
+		if l := floorLog2(idx[j]); l >= s {
+			z, s = j, l
+		}
+	}
+	if s < 0 {
+		return 0
+	}
+	if s >= caps[z] {
+		panic(fmt.Sprintf("extarray: index %d exceeds cap 2^%d in dimension %d", idx[z], caps[z], z))
+	}
+	var addr uint64
+	var c uint64 = 1
+	for j := d - 1; j >= 0; j-- {
+		if j == z {
+			continue
+		}
+		if floorLog2(idx[j]) >= caps[j] {
+			panic(fmt.Sprintf("extarray: index %d exceeds cap 2^%d in dimension %d", idx[j], caps[j], j))
+		}
+		addr += idx[j] * c
+		c *= uint64(1) << uint(boundAt(j, z, s, caps[j]))
+	}
+	return idx[z]*c + addr
+}
+
+// boundAt returns the depth of dimension j at the moment dimension z grew
+// to depth s+1.
+func boundAt(j, z, s, cap int) int {
+	b := s
+	if j < z {
+		b = s + 1
+	}
+	if b > cap {
+		b = cap
+	}
+	return b
+}
+
+// TupleCapped is the inverse of AddressCapped.
+func TupleCapped(addr uint64, caps []int) []uint64 {
+	d := len(caps)
+	if d == 0 || d > MaxDims {
+		panic(fmt.Sprintf("extarray: dimensionality %d out of range 1..%d", d, MaxDims))
+	}
+	idx := make([]uint64, d)
+	if addr == 0 {
+		return idx
+	}
+	// Walk the doubling events (round t, dim z) in schedule order,
+	// accumulating the array size, until the block containing addr.
+	var total uint64 = 1
+	for t := 1; ; t++ {
+		grew := false
+		for z := 0; z < d; z++ {
+			if t > caps[z] {
+				continue
+			}
+			grew = true
+			// Block appended by event (z, t): size = total (doubling).
+			if addr < 2*total {
+				// addr lies in this block; decode.
+				off := addr - total
+				s := t - 1
+				var slab uint64 = 1
+				for j := 0; j < d; j++ {
+					if j == z {
+						continue
+					}
+					slab <<= uint(boundAt(j, z, s, caps[j]))
+				}
+				idx[z] = (uint64(1) << uint(s)) + off/slab
+				rem := off % slab
+				for j := 0; j < d; j++ {
+					if j == z {
+						continue
+					}
+					var c uint64 = 1
+					for r := j + 1; r < d; r++ {
+						if r == z {
+							continue
+						}
+						c <<= uint(boundAt(r, z, s, caps[r]))
+					}
+					idx[j] = rem / c
+					rem %= c
+				}
+				return idx
+			}
+			total *= 2
+		}
+		if !grew {
+			panic(fmt.Sprintf("extarray: address %d beyond fully-capped array size %d", addr, total))
+		}
+	}
+}
+
+// NextDouble returns the dimension that doubles next under the cyclic
+// schedule with caps, given the current depths, and whether any dimension
+// can still double. Depths must lie on the schedule (a capped staircase).
+func NextDouble(depths, caps []int) (int, bool) {
+	d := len(depths)
+	// The schedule position: find the first event (t, z) not yet performed.
+	for t := 1; ; t++ {
+		all := true
+		for z := 0; z < d; z++ {
+			if t > caps[z] {
+				continue
+			}
+			all = false
+			if depths[z] < t {
+				return z, true
+			}
+		}
+		if all {
+			return 0, false
+		}
+	}
+}
+
+// CanDouble reports whether doubling dimension j is the schedule's next
+// event given the current depths and caps.
+func CanDouble(depths, caps []int, j int) bool {
+	z, ok := NextDouble(depths, caps)
+	return ok && z == j
+}

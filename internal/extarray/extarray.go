@@ -1,0 +1,300 @@
+// Package extarray implements the d-dimensional extendible array of
+// exponential varying order from Otoo (VLDB 1984), restated as Theorem 1 of
+// the PODS 1986 paper. It provides:
+//
+//   - Address: the mapping function 𝒢 from a d-tuple index to a linear
+//     address, a bijection onto {0,1,2,...} under cyclic dimension doubling;
+//   - Tuple: the inverse mapping from a linear address back to the index;
+//   - Array: a generic container that grows by doubling one dimension at a
+//     time, appending cells without relocating existing ones.
+//
+// The array models a directory A[0:2^{h_1}, ..., 0:2^{h_d}]. When dimension
+// z doubles from 2^s to 2^{s+1}, the block of new cells is appended after
+// all existing cells. At that moment (cyclic doubling order 1,2,...,d,1,...)
+// dimensions j < z already have bound 2^{s+1} while dimensions j > z still
+// have bound 2^s; those historical bounds J_j are what 𝒢 reconstructs from
+// the index tuple alone, which is why the address of a cell never changes as
+// the array grows.
+package extarray
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDims bounds the dimensionality accepted by this package. The paper
+// evaluates d = 2 and d = 3; anything up to 8 is supported.
+const MaxDims = 8
+
+// floorLog2 returns ⌊log2 i⌋ with the convention floorLog2(0) = -1, which is
+// how the "max_j ⌊log2 i_j⌋" selection of Theorem 1 treats zero indices.
+func floorLog2(i uint64) int {
+	if i == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(i)
+}
+
+// Address is the mapping function 𝒢 of Theorem 1. It maps the d-tuple index
+// to its linear address. The tuple (0,...,0) maps to 0.
+//
+// Let z be the highest dimension index attaining max_j ⌊log2 i_j⌋ and
+// s = ⌊log2 i_z⌋. Then
+//
+//	𝒢(i) = i_z · ∏_{j≠z} J_j + Σ_{j≠z} i_j · C_j
+//	J_j  = 2^{s+1} if j < z, else 2^s
+//	C_j  = ∏_{r=j+1..d, r≠z} J_r
+//
+// Dimensions are 1-based in the paper; the slice here is 0-based, so
+// idx[0] is i_1. Time complexity O(d).
+func Address(idx []uint64) uint64 {
+	d := len(idx)
+	if d == 0 || d > MaxDims {
+		panic(fmt.Sprintf("extarray: dimensionality %d out of range 1..%d", d, MaxDims))
+	}
+	// Select z (0-based) = highest dimension with maximal ⌊log2 i_j⌋.
+	z, s := 0, floorLog2(idx[0])
+	for j := 1; j < d; j++ {
+		if l := floorLog2(idx[j]); l >= s {
+			z, s = j, l
+		}
+	}
+	if s < 0 {
+		return 0 // all indices zero
+	}
+	// J_j for j≠z: bound of dimension j when dimension z's block [2^s, 2^{s+1})
+	// was appended. 0-based: j < z ⇒ 2^{s+1}, j > z ⇒ 2^s.
+	var addr, slab uint64 = 0, 1
+	// Accumulate Σ i_j·C_j by scanning j from d-1 down to 0, maintaining the
+	// running product C of the J_r already passed.
+	var c uint64 = 1
+	for j := d - 1; j >= 0; j-- {
+		if j == z {
+			continue
+		}
+		addr += idx[j] * c
+		var jj uint64
+		if j < z {
+			jj = 1 << uint(s+1)
+		} else {
+			jj = 1 << uint(s)
+		}
+		c *= jj
+	}
+	slab = c // ∏_{j≠z} J_j
+	return idx[z]*slab + addr
+}
+
+// Tuple is the inverse of Address: it reconstructs the d-tuple index of a
+// linear address, given the dimensionality. It inverts the block structure:
+// blocks are appended in the cyclic order dim 1 doubles to 2, dim 2 doubles
+// to 2, ..., dim d doubles to 2, dim 1 doubles to 4, ... Address ranges:
+// the block appended when dimension z (0-based) grew to 2^{s+1} spans
+// [base, 2·base) with base = ∏ sizes before that doubling.
+func Tuple(addr uint64, d int) []uint64 {
+	if d <= 0 || d > MaxDims {
+		panic(fmt.Sprintf("extarray: dimensionality %d out of range 1..%d", d, MaxDims))
+	}
+	idx := make([]uint64, d)
+	if addr == 0 {
+		return idx
+	}
+	// Find the block: walk the doubling sequence until the running total
+	// exceeds addr. total after k doublings is 2^k; the k-th doubling (k>=1)
+	// doubles dimension z = (k-1) mod d to size 2^{s+1}, s = (k-1)/d.
+	k := floorLog2(addr) + 1 // addr ∈ [2^{k-1}, 2^k): created by doubling #k
+	z := (k - 1) % d
+	s := (k - 1) / d
+	// Within the block: offset = addr - 2^{k-1}; the block holds i_z in
+	// [2^s, 2^{s+1}) (a single leading value range of 2^s slabs), with slab
+	// size ∏_{j≠z} J_j and row-major layout over j≠z inside each slab.
+	off := addr - (uint64(1) << uint(k-1))
+	// J_j (0-based): j<z ⇒ 2^{s+1}; j>z ⇒ 2^s.
+	var slab uint64 = 1
+	for j := 0; j < d; j++ {
+		if j == z {
+			continue
+		}
+		if j < z {
+			slab <<= uint(s + 1)
+		} else {
+			slab <<= uint(s)
+		}
+	}
+	idx[z] = (uint64(1) << uint(s)) + off/slab
+	rem := off % slab
+	// Decode row-major over j≠z, most significant first.
+	for j := 0; j < d; j++ {
+		if j == z {
+			continue
+		}
+		// size of the remaining dims after j (excluding z)
+		var c uint64 = 1
+		for r := j + 1; r < d; r++ {
+			if r == z {
+				continue
+			}
+			if r < z {
+				c <<= uint(s + 1)
+			} else {
+				c <<= uint(s)
+			}
+		}
+		idx[j] = rem / c
+		rem %= c
+	}
+	return idx
+}
+
+// Array is a dynamically growing d-dimensional array addressed by 𝒢.
+// Elements are stored in a flat slice in 𝒢-linear order, so doubling a
+// dimension appends cells without moving existing ones. The zero value is
+// not usable; call New.
+type Array[T any] struct {
+	depths []int // h_j: dimension j has bound 2^{h_j}
+	cells  []T
+	d      int
+}
+
+// New returns an empty (single-cell) d-dimensional extendible array.
+func New[T any](d int) *Array[T] {
+	if d <= 0 || d > MaxDims {
+		panic(fmt.Sprintf("extarray: dimensionality %d out of range 1..%d", d, MaxDims))
+	}
+	return &Array[T]{depths: make([]int, d), cells: make([]T, 1), d: d}
+}
+
+// Dims returns the dimensionality d.
+func (a *Array[T]) Dims() int { return a.d }
+
+// Depth returns h_j for 0-based dimension j (bound 2^{h_j}).
+func (a *Array[T]) Depth(j int) int { return a.depths[j] }
+
+// Depths returns a copy of all dimension depths.
+func (a *Array[T]) Depths() []int {
+	out := make([]int, a.d)
+	copy(out, a.depths)
+	return out
+}
+
+// Len returns the number of allocated cells, 2^{Σ h_j}.
+func (a *Array[T]) Len() int { return len(a.cells) }
+
+// At returns a pointer to the cell with the given tuple index.
+func (a *Array[T]) At(idx []uint64) *T {
+	a.check(idx)
+	return &a.cells[Address(idx)]
+}
+
+// AtAddr returns a pointer to the cell with linear address q.
+func (a *Array[T]) AtAddr(q uint64) *T { return &a.cells[q] }
+
+// Get returns the value of the cell with the given tuple index.
+func (a *Array[T]) Get(idx []uint64) T { return *a.At(idx) }
+
+// Set stores v in the cell with the given tuple index.
+func (a *Array[T]) Set(idx []uint64, v T) { *a.At(idx) = v }
+
+func (a *Array[T]) check(idx []uint64) {
+	if len(idx) != a.d {
+		panic(fmt.Sprintf("extarray: index dimensionality %d != %d", len(idx), a.d))
+	}
+	for j, i := range idx {
+		if i >= uint64(1)<<uint(a.depths[j]) {
+			panic(fmt.Sprintf("extarray: index %d out of bound 2^%d in dimension %d", i, a.depths[j], j))
+		}
+	}
+}
+
+// Double doubles dimension j (0-based), appending 2^{Σh} new zero cells.
+// The caller is responsible for populating the new cells; in directory use
+// the convention is new cell content = buddy cell content with the index of
+// dimension j reinterpreted under the deeper prefix (see DoubleWithCopy).
+//
+// Growth must respect the exponential-varying-order invariant: the paper's
+// cyclic doubling guarantees it, and Address assumes it. Double enforces the
+// weaker structural requirement that makes 𝒢 bijective: dimension j may
+// double from 2^s to 2^{s+1} only if every dimension before j already has
+// depth ≥ s+1 and every dimension after j has depth ≥ s... in cyclic terms,
+// depths must remain a "staircase": h_1 ≥ h_2 ≥ ... ≥ h_d ≥ h_1 - 1.
+func (a *Array[T]) Double(j int) {
+	if j < 0 || j >= a.d {
+		panic(fmt.Sprintf("extarray: dimension %d out of range", j))
+	}
+	s := a.depths[j]
+	for r := 0; r < j; r++ {
+		if a.depths[r] < s+1 {
+			panic(fmt.Sprintf("extarray: doubling dim %d to 2^%d violates staircase (dim %d at 2^%d)", j, s+1, r, a.depths[r]))
+		}
+	}
+	for r := j + 1; r < a.d; r++ {
+		if a.depths[r] < s {
+			panic(fmt.Sprintf("extarray: doubling dim %d to 2^%d violates staircase (dim %d at 2^%d)", j, s+1, r, a.depths[r]))
+		}
+	}
+	a.depths[j]++
+	grown := make([]T, len(a.cells)) // doubling always doubles the cell count
+	a.cells = append(a.cells, grown...)
+}
+
+// DoubleWithCopy doubles dimension j and then rewrites the whole array so
+// that the cell at tuple index (..., i_j, ...) under the NEW depth holds the
+// value the cell (..., i_j >> 1, ...) held under the old depth. This is the
+// prefix-addressed extendible-hashing doubling: each old cell's region is
+// split in two and both halves inherit its content. The rewrite visits every
+// cell once (the O(n_d) cost the paper attributes to directory doubling).
+//
+// touched, if non-nil, receives the linear address of every cell written,
+// in write order; the simulation layer uses it to charge page I/O.
+func (a *Array[T]) DoubleWithCopy(j int, touched func(addr uint64)) {
+	old := a.snapshotTuples()
+	a.Double(j)
+	// Iterate new tuple space; read from old snapshot at i_j>>1.
+	idx := make([]uint64, a.d)
+	src := make([]uint64, a.d)
+	n := uint64(len(a.cells))
+	for q := uint64(0); q < n; q++ {
+		copy(idx, Tuple(q, a.d))
+		copy(src, idx)
+		src[j] = idx[j] >> 1
+		v, ok := old.get(src)
+		if !ok {
+			continue
+		}
+		a.cells[q] = v
+		if touched != nil {
+			touched(q)
+		}
+	}
+}
+
+// snapshot of pre-doubling contents addressed by tuple.
+type snapshot[T any] struct {
+	cells  []T
+	d      int
+	depths []int
+}
+
+func (a *Array[T]) snapshotTuples() snapshot[T] {
+	s := snapshot[T]{cells: make([]T, len(a.cells)), d: a.d, depths: append([]int(nil), a.depths...)}
+	copy(s.cells, a.cells)
+	return s
+}
+
+func (s snapshot[T]) get(idx []uint64) (T, bool) {
+	var zero T
+	for j, i := range idx {
+		if i >= uint64(1)<<uint(s.depths[j]) {
+			return zero, false
+		}
+	}
+	return s.cells[Address(idx)], true
+}
+
+// ForEach calls fn for every allocated cell with its tuple index and linear
+// address. Iteration is in linear-address order.
+func (a *Array[T]) ForEach(fn func(idx []uint64, addr uint64, v *T)) {
+	for q := range a.cells {
+		fn(Tuple(uint64(q), a.d), uint64(q), &a.cells[q])
+	}
+}

@@ -1,0 +1,269 @@
+package extarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAddressFigure1c checks 𝒢 against the cell numbering printed in the
+// paper's Figure 1c (2-dimensional directory of 4×4 cells): rows are i_1
+// ("00","01","10","11"), columns are i_2.
+func TestAddressFigure1c(t *testing.T) {
+	want := [4][4]uint64{
+		{0, 2, 8, 12},
+		{1, 3, 9, 13},
+		{4, 5, 10, 14},
+		{6, 7, 11, 15},
+	}
+	for i1 := uint64(0); i1 < 4; i1++ {
+		for i2 := uint64(0); i2 < 4; i2++ {
+			if got := Address([]uint64{i1, i2}); got != want[i1][i2] {
+				t.Errorf("𝒢(%d,%d) = %d, want %d", i1, i2, got, want[i1][i2])
+			}
+		}
+	}
+}
+
+// TestAddressBijection checks that 𝒢 is a bijection from the tuple space
+// onto a contiguous address prefix for arrays grown in cyclic order, for
+// d = 1, 2, 3, 4.
+func TestAddressBijection(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		depths := make([]int, d)
+		for round := 0; round < 3*d; round++ {
+			m := round % d
+			depths[m]++
+			size := uint64(1)
+			for _, h := range depths {
+				size <<= uint(h)
+			}
+			if size > 1<<12 {
+				break
+			}
+			seen := make([]bool, size)
+			idx := make([]uint64, d)
+			var walk func(j int)
+			walk = func(j int) {
+				if j == d {
+					a := Address(idx)
+					if a >= size {
+						t.Fatalf("d=%d depths=%v: 𝒢(%v) = %d ≥ size %d", d, depths, idx, a, size)
+					}
+					if seen[a] {
+						t.Fatalf("d=%d depths=%v: 𝒢(%v) = %d collides", d, depths, idx, a)
+					}
+					seen[a] = true
+					return
+				}
+				for i := uint64(0); i < 1<<uint(depths[j]); i++ {
+					idx[j] = i
+					walk(j + 1)
+				}
+			}
+			walk(0)
+			for a, ok := range seen {
+				if !ok {
+					t.Fatalf("d=%d depths=%v: address %d unused", d, depths, a)
+				}
+			}
+		}
+	}
+}
+
+// TestTupleInverse checks that Tuple inverts Address everywhere.
+func TestTupleInverse(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		for a := uint64(0); a < 1<<12; a++ {
+			idx := Tuple(a, d)
+			if got := Address(idx); got != a {
+				t.Fatalf("d=%d: Address(Tuple(%d)) = %d (tuple %v)", d, a, got, idx)
+			}
+		}
+	}
+}
+
+// TestAddressStability checks that a cell's address never changes as the
+// array doubles (the append-only property Theorem 1 exists for).
+func TestAddressStability(t *testing.T) {
+	d := 3
+	depths := make([]int, d)
+	addrOf := map[[3]uint64]uint64{}
+	for round := 0; round < 9; round++ {
+		m := round % d
+		depths[m]++
+		idx := make([]uint64, d)
+		var walk func(j int)
+		walk = func(j int) {
+			if j == d {
+				key := [3]uint64{idx[0], idx[1], idx[2]}
+				a := Address(idx)
+				if prev, ok := addrOf[key]; ok && prev != a {
+					t.Fatalf("cell %v moved from %d to %d at depths %v", idx, prev, a, depths)
+				}
+				addrOf[key] = a
+				return
+			}
+			for i := uint64(0); i < 1<<uint(depths[j]); i++ {
+				idx[j] = i
+				walk(j + 1)
+			}
+		}
+		walk(0)
+	}
+}
+
+func TestCappedMatchesUncappedWhenSlack(t *testing.T) {
+	caps := []int{60, 60, 60}
+	for a := uint64(0); a < 1<<12; a++ {
+		idx := Tuple(a, 3)
+		if got := AddressCapped(idx, caps); got != a {
+			t.Fatalf("AddressCapped(%v) = %d, want %d", idx, got, a)
+		}
+		ct := TupleCapped(a, caps)
+		for j := range ct {
+			if ct[j] != idx[j] {
+				t.Fatalf("TupleCapped(%d) = %v, want %v", a, ct, idx)
+			}
+		}
+	}
+}
+
+// TestCappedBijection exercises caps that actually bind: dimension depths
+// bounded at different levels, cyclic schedule skipping exhausted dims.
+func TestCappedBijection(t *testing.T) {
+	caseCaps := [][]int{
+		{2, 4},
+		{1, 3},
+		{3, 1},
+		{2, 3, 1},
+		{1, 1, 4},
+	}
+	for _, caps := range caseCaps {
+		d := len(caps)
+		total := uint64(1)
+		for _, c := range caps {
+			total <<= uint(c)
+		}
+		seen := make([]bool, total)
+		idx := make([]uint64, d)
+		var walk func(j int)
+		walk = func(j int) {
+			if j == d {
+				a := AddressCapped(idx, caps)
+				if a >= total {
+					t.Fatalf("caps=%v: address %d ≥ %d for %v", caps, a, total, idx)
+				}
+				if seen[a] {
+					t.Fatalf("caps=%v: address %d collides at %v", caps, a, idx)
+				}
+				seen[a] = true
+				inv := TupleCapped(a, caps)
+				for r := range inv {
+					if inv[r] != idx[r] {
+						t.Fatalf("caps=%v: TupleCapped(%d) = %v, want %v", caps, a, inv, idx)
+					}
+				}
+				return
+			}
+			for i := uint64(0); i < 1<<uint(caps[j]); i++ {
+				idx[j] = i
+				walk(j + 1)
+			}
+		}
+		walk(0)
+		for a, ok := range seen {
+			if !ok {
+				t.Fatalf("caps=%v: address %d unused", caps, a)
+			}
+		}
+	}
+}
+
+func TestNextDoubleSchedule(t *testing.T) {
+	caps := []int{2, 3, 1}
+	depths := []int{0, 0, 0}
+	wantOrder := []int{0, 1, 2, 0, 1, 1} // rounds: (0,1,2), (0,1), (1)
+	for i, want := range wantOrder {
+		z, ok := NextDouble(depths, caps)
+		if !ok {
+			t.Fatalf("step %d: schedule ended early", i)
+		}
+		if z != want {
+			t.Fatalf("step %d: next dim %d, want %d (depths %v)", i, z, want, depths)
+		}
+		if !CanDouble(depths, caps, z) {
+			t.Fatalf("step %d: CanDouble disagrees with NextDouble", i)
+		}
+		depths[z]++
+	}
+	if _, ok := NextDouble(depths, caps); ok {
+		t.Fatal("schedule should be exhausted")
+	}
+}
+
+func TestArrayDoubleAndAccess(t *testing.T) {
+	a := New[int](2)
+	a.Set([]uint64{0, 0}, 42)
+	a.Double(0)
+	a.Double(1)
+	a.Double(0)
+	a.Double(1)
+	if a.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", a.Len())
+	}
+	if got := a.Get([]uint64{0, 0}); got != 42 {
+		t.Errorf("cell (0,0) = %d, want 42 (must not move)", got)
+	}
+	n := 0
+	a.ForEach(func(idx []uint64, addr uint64, v *int) {
+		if Address(idx) != addr {
+			t.Errorf("ForEach addr mismatch at %v", idx)
+		}
+		n++
+	})
+	if n != 16 {
+		t.Errorf("ForEach visited %d cells", n)
+	}
+}
+
+func TestArrayDoubleWithCopy(t *testing.T) {
+	a := New[string](2)
+	a.Set([]uint64{0, 0}, "root")
+	a.DoubleWithCopy(0, nil)
+	if a.Get([]uint64{0, 0}) != "root" || a.Get([]uint64{1, 0}) != "root" {
+		t.Fatal("prefix doubling must copy content to both halves")
+	}
+	a.Set([]uint64{1, 0}, "hi")
+	var touched []uint64
+	a.DoubleWithCopy(1, func(q uint64) { touched = append(touched, q) })
+	if a.Get([]uint64{1, 0}) != "hi" || a.Get([]uint64{1, 1}) != "hi" {
+		t.Fatal("doubling dim 2 must duplicate along dim 2")
+	}
+	if a.Get([]uint64{0, 1}) != "root" {
+		t.Fatal("cell (0,1) should inherit (0,0)")
+	}
+	if len(touched) != a.Len() {
+		t.Fatalf("touched %d cells, want %d", len(touched), a.Len())
+	}
+}
+
+func TestArrayStaircasePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-cyclic doubling did not panic")
+		}
+	}()
+	a := New[int](2)
+	a.Double(1) // dim 2 before dim 1 violates the staircase
+}
+
+func TestTupleRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		d := 1 + rng.Intn(5)
+		a := rng.Uint64() % (1 << 30)
+		if got := Address(Tuple(a, d)); got != a {
+			t.Fatalf("d=%d: round trip of %d gave %d", d, a, got)
+		}
+	}
+}

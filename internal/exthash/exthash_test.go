@@ -1,0 +1,300 @@
+package exthash
+
+import (
+	"math/rand"
+	"testing"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/pagestore"
+)
+
+func newTable(t testing.TB, cfg Config) (*Table, *pagestore.MemDisk) {
+	t.Helper()
+	st := pagestore.NewMemDisk(cfg.PageBytes())
+	tab, err := New(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, st
+}
+
+func TestFigure1aExpansion(t *testing.T) {
+	// Paper Figure 1a/1b: inserting keys splits pages and doubles the
+	// directory once the local depth exceeds the global depth.
+	tab, _ := newTable(t, Config{Width: 8, Capacity: 2})
+	// Fill prefix regions "00", "01", "10", "11".
+	for i, lit := range []string{"000", "001", "010", "011", "100", "101", "110", "111"} {
+		k := bitkey.MustParse(lit, 8)
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatalf("insert %s: %v", lit, err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("after %s: %v", lit, err)
+		}
+	}
+	if tab.GlobalDepth() < 2 {
+		t.Errorf("global depth %d, want ≥ 2", tab.GlobalDepth())
+	}
+	for i, lit := range []string{"000", "001", "010", "011", "100", "101", "110", "111"} {
+		v, ok, err := tab.Search(bitkey.MustParse(lit, 8))
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("search %s: v=%d ok=%v err=%v", lit, v, ok, err)
+		}
+	}
+}
+
+func TestBulkRandom(t *testing.T) {
+	tab, _ := newTable(t, Config{Capacity: 8})
+	rng := rand.New(rand.NewSource(3))
+	keys := map[bitkey.Component]uint64{}
+	for len(keys) < 5000 {
+		k := bitkey.Component(rng.Uint32())
+		if _, dup := keys[k]; dup {
+			continue
+		}
+		keys[k] = uint64(len(keys))
+		if err := tab.Insert(k, keys[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 5000 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for k, v := range keys {
+		got, ok, err := tab.Search(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("search %v: %d %v %v", k, got, ok, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		k := bitkey.Component(rng.Uint32())
+		if _, dup := keys[k]; dup {
+			continue
+		}
+		if _, ok, _ := tab.Search(k); ok {
+			t.Fatal("found absent key")
+		}
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	tab, _ := newTable(t, Config{Capacity: 4})
+	if err := tab.Insert(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(100, 2); err != ErrDuplicate {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+// TestWorstCaseDirectory drives the §3 degeneration: keys sharing long
+// prefixes force the flat directory toward O(M/(b+1)) elements.
+func TestWorstCaseDirectory(t *testing.T) {
+	tab, _ := newTable(t, Config{Width: 16, Capacity: 2})
+	// Keys 0, 1, 2 agree on the first 14 bits: splitting must reach depth
+	// 15 (where {0,1} separates from {2} into capacity-2 pages), doubling
+	// the 2^15-element directory for 3 keys — the degeneration the
+	// BMEH-tree prevents.
+	for i, v := range []bitkey.Component{0, 1, 2} {
+		if err := tab.Insert(v, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.GlobalDepth() != 15 {
+		t.Errorf("adversarial keys should force depth 15, got %d", tab.GlobalDepth())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []bitkey.Component{0, 1, 2} {
+		if got, ok, _ := tab.Search(v); !ok || got != uint64(i) {
+			t.Fatalf("key %v lost", v)
+		}
+	}
+}
+
+func TestDeleteAllContracts(t *testing.T) {
+	tab, st := newTable(t, Config{Capacity: 4})
+	rng := rand.New(rand.NewSource(5))
+	var keys []bitkey.Component
+	seen := map[bitkey.Component]bool{}
+	for len(keys) < 2000 {
+		k := bitkey.Component(rng.Uint32())
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		if err := tab.Insert(k, uint64(len(keys))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		ok, err := tab.Delete(k)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+		if i%400 == 0 {
+			if err := tab.Validate(); err != nil {
+				t.Fatalf("after delete %d: %v", i, err)
+			}
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.GlobalDepth() != 0 || tab.DirSize() != 1 {
+		t.Errorf("directory did not contract: depth=%d size=%d", tab.GlobalDepth(), tab.DirSize())
+	}
+	if n := st.Allocated()[pagestore.KindData]; n != 0 {
+		t.Errorf("%d data pages leaked", n)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	tab, _ := newTable(t, Config{Capacity: 4})
+	for v := uint64(0); v < 256; v++ {
+		if err := tab.Insert(bitkey.Component(v<<24), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err := tab.Range(bitkey.Component(10<<24), bitkey.Component(200<<24), func(k bitkey.Component, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 191 {
+		t.Fatalf("range returned %d keys, want 191", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("range not in key order")
+		}
+	}
+	// Early stop.
+	n := 0
+	tab.Range(0, ^bitkey.Component(0)>>32, func(bitkey.Component, uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestTwoAccessPrinciple(t *testing.T) {
+	// With the directory in memory, any search costs at most one page read.
+	tab, st := newTable(t, Config{Capacity: 8})
+	rng := rand.New(rand.NewSource(9))
+	var keys []bitkey.Component
+	seen := map[bitkey.Component]bool{}
+	for len(keys) < 3000 {
+		k := bitkey.Component(rng.Uint32())
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		if err := tab.Insert(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.ResetStats()
+	for _, k := range keys[:500] {
+		if _, ok, _ := tab.Search(k); !ok {
+			t.Fatal("lost key")
+		}
+	}
+	if r := st.Stats().Reads; r != 500 {
+		t.Errorf("500 searches cost %d page reads, want exactly 500", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	st := pagestore.NewMemDisk(16)
+	if _, err := New(st, Config{Capacity: 64}); err == nil {
+		t.Error("accepted store with too-small pages")
+	}
+	st2 := pagestore.NewMemDisk(4096)
+	if _, err := New(st2, Config{Width: 99}); err == nil {
+		t.Error("accepted width 99")
+	}
+}
+
+// TestModelRandomOps drives the 1-d table through random operation
+// sequences checked against a map model, with invariant validation.
+func TestModelRandomOps(t *testing.T) {
+	tab, _ := newTable(t, Config{Width: 16, Capacity: 3})
+	rng := rand.New(rand.NewSource(0x1d))
+	model := map[bitkey.Component]uint64{}
+	var keys []bitkey.Component
+	for i := 0; i < 6000; i++ {
+		k := bitkey.Component(rng.Intn(1<<10) << 6) // dense 10-bit space
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert
+			_, exists := model[k]
+			err := tab.Insert(k, uint64(i))
+			switch {
+			case exists && err != ErrDuplicate:
+				t.Fatalf("op %d: duplicate insert returned %v", i, err)
+			case !exists && err != nil:
+				t.Fatalf("op %d: insert: %v", i, err)
+			case !exists:
+				model[k] = uint64(i)
+				keys = append(keys, k)
+			}
+		case 5, 6: // delete
+			_, exists := model[k]
+			ok, err := tab.Delete(k)
+			if err != nil {
+				t.Fatalf("op %d: delete: %v", i, err)
+			}
+			if ok != exists {
+				t.Fatalf("op %d: delete reported %v, model %v", i, ok, exists)
+			}
+			delete(model, k)
+		case 7, 8: // search
+			want, exists := model[k]
+			v, ok, err := tab.Search(k)
+			if err != nil || ok != exists || (ok && v != want) {
+				t.Fatalf("op %d: search (%d,%v,%v), model (%d,%v)", i, v, ok, err, want, exists)
+			}
+		default: // range vs model
+			lo := bitkey.Component(rng.Intn(1<<10) << 6)
+			hi := lo + bitkey.Component(rng.Intn(1<<8)<<6)
+			if hi > 0xffff {
+				hi = 0xffff
+			}
+			want := 0
+			for mk := range model {
+				if mk >= lo && mk <= hi {
+					want++
+				}
+			}
+			got := 0
+			if err := tab.Range(lo, hi, func(bitkey.Component, uint64) bool { got++; return true }); err != nil {
+				t.Fatalf("op %d: range: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("op %d: range got %d, want %d", i, got, want)
+			}
+		}
+		if i%1000 == 999 {
+			if err := tab.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if tab.Len() != len(model) {
+				t.Fatalf("op %d: Len=%d model=%d", i, tab.Len(), len(model))
+			}
+		}
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

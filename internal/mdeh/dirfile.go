@@ -1,0 +1,215 @@
+package mdeh
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+)
+
+// dirFile stores the flat directory's elements across fixed-size disk pages
+// in 𝒢-linear order: element q lives in directory page q/perPage, slot
+// q%perPage. The page table (pages) is index metadata, held in memory like
+// the paper's directory header.
+type dirFile struct {
+	st      pagestore.Store
+	d       int
+	perPage int
+	pages   []pagestore.PageID
+	size    uint64 // number of live elements, 2^{ΣH_j}
+	buf     sync.Pool
+	// acct, when non-nil, switches accounting to the paper's cost model:
+	// one disk access per directory *element* touched. Physical page I/O
+	// still happens normally; acct adds the difference between element
+	// counts and page counts to the store's statistics.
+	acct func(reads, writes uint64)
+}
+
+// ensure grows the element count to size, allocating pages as needed.
+func (f *dirFile) ensure(size uint64) error {
+	need := int((size + uint64(f.perPage) - 1) / uint64(f.perPage))
+	for len(f.pages) < need {
+		id, err := f.st.Alloc(pagestore.KindDirectory)
+		if err != nil {
+			return err
+		}
+		f.pages = append(f.pages, id)
+	}
+	f.size = size
+	return nil
+}
+
+// shrinkTo reduces the element count, freeing pages past the end.
+func (f *dirFile) shrinkTo(size uint64) error {
+	need := int((size + uint64(f.perPage) - 1) / uint64(f.perPage))
+	if need < 1 {
+		need = 1
+	}
+	for len(f.pages) > need {
+		id := f.pages[len(f.pages)-1]
+		if err := f.st.Free(id); err != nil {
+			return err
+		}
+		f.pages = f.pages[:len(f.pages)-1]
+	}
+	f.size = size
+	return nil
+}
+
+// readPage reads and decodes one directory page (one disk read). Slots past
+// the live size decode to zero entries; callers never look at them.
+func (f *dirFile) readPage(pno int) ([]dirnode.Entry, error) {
+	if pno < 0 || pno >= len(f.pages) {
+		return nil, fmt.Errorf("mdeh: directory page %d out of range %d", pno, len(f.pages))
+	}
+	bp := f.buf.Get().(*[]byte)
+	defer f.buf.Put(bp)
+	buf := *bp
+	if err := f.st.Read(f.pages[pno], buf); err != nil {
+		return nil, err
+	}
+	es := dirnode.EntrySize(f.d)
+	out := make([]dirnode.Entry, f.perPage)
+	for i := 0; i < f.perPage; i++ {
+		e, err := dirnode.DecodeEntry(buf[i*es:], f.d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// writePage encodes and writes one directory page (one disk write).
+func (f *dirFile) writePage(pno int, entries []dirnode.Entry) error {
+	bp := f.buf.Get().(*[]byte)
+	defer f.buf.Put(bp)
+	buf := *bp
+	es := dirnode.EntrySize(f.d)
+	for i := range entries {
+		if err := dirnode.EncodeEntry(buf[i*es:], &entries[i], f.d); err != nil {
+			return err
+		}
+	}
+	for i := len(entries) * es; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return f.st.Write(f.pages[pno], buf)
+}
+
+// readAll reads the whole live directory (one read per page).
+func (f *dirFile) readAll() ([]dirnode.Entry, error) {
+	out := make([]dirnode.Entry, 0, f.size)
+	for pno := 0; uint64(len(out)) < f.size; pno++ {
+		es, err := f.readPage(pno)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(es) && uint64(len(out)) < f.size; i++ {
+			out = append(out, es[i])
+		}
+	}
+	return out, nil
+}
+
+// writeAll rewrites the whole live directory (one write per page).
+func (f *dirFile) writeAll(entries []dirnode.Entry) error {
+	if uint64(len(entries)) != f.size {
+		return fmt.Errorf("mdeh: writeAll of %d entries, directory holds %d", len(entries), f.size)
+	}
+	for pno := 0; pno*f.perPage < len(entries); pno++ {
+		lo := pno * f.perPage
+		hi := lo + f.perPage
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		if err := f.writePage(pno, entries[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// begin opens an operation-scoped view of the directory: each touched page
+// is read once and each dirtied page written once at flush, which is how a
+// real implementation would hold pages in its buffer for the duration of
+// one insertion.
+func (f *dirFile) begin() *dirOp {
+	op := &dirOp{f: f, loaded: make(map[int][]dirnode.Entry), dirty: make(map[int]bool)}
+	if f.acct != nil {
+		op.touched = make(map[uint64]bool)
+		op.dirtied = make(map[uint64]bool)
+	}
+	return op
+}
+
+type dirOp struct {
+	f      *dirFile
+	loaded map[int][]dirnode.Entry
+	dirty  map[int]bool
+	// Element-level touch sets, tracked only under the paper's per-element
+	// cost model.
+	touched map[uint64]bool
+	dirtied map[uint64]bool
+}
+
+// get returns a pointer to element q, reading its page on first touch.
+func (o *dirOp) get(q uint64) (*dirnode.Entry, error) {
+	if q >= o.f.size {
+		return nil, fmt.Errorf("mdeh: element %d out of directory size %d", q, o.f.size)
+	}
+	if o.touched != nil {
+		o.touched[q] = true
+	}
+	pno := int(q / uint64(o.f.perPage))
+	page, ok := o.loaded[pno]
+	if !ok {
+		var err error
+		page, err = o.f.readPage(pno)
+		if err != nil {
+			return nil, err
+		}
+		o.loaded[pno] = page
+	}
+	return &page[q%uint64(o.f.perPage)], nil
+}
+
+// markDirty flags element q's page for write-back.
+func (o *dirOp) markDirty(q uint64) {
+	if o.dirtied != nil {
+		o.dirtied[q] = true
+	}
+	o.dirty[int(q/uint64(o.f.perPage))] = true
+}
+
+// flush writes every dirty page, in page order, settles the per-element
+// accounting difference, and resets the view.
+func (o *dirOp) flush() error {
+	pnos := make([]int, 0, len(o.dirty))
+	for pno := range o.dirty {
+		pnos = append(pnos, pno)
+	}
+	sort.Ints(pnos)
+	for _, pno := range pnos {
+		if err := o.f.writePage(pno, o.loaded[pno]); err != nil {
+			return err
+		}
+	}
+	if o.f.acct != nil {
+		o.f.acct(uint64(len(o.touched)-len(o.loaded)), uint64(len(o.dirtied)-len(o.dirty)))
+	}
+	o.reset()
+	return nil
+}
+
+// reset discards the view without writing.
+func (o *dirOp) reset() {
+	o.loaded = make(map[int][]dirnode.Entry)
+	o.dirty = make(map[int]bool)
+	if o.touched != nil {
+		o.touched = make(map[uint64]bool)
+		o.dirtied = make(map[uint64]bool)
+	}
+}

@@ -1,0 +1,94 @@
+package mdeh
+
+import (
+	"errors"
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// TestFaultPropagation verifies that storage failures surface as errors —
+// never panics — and that acknowledged records survive. (The flat
+// directory is a measurement baseline without the BMEH-tree's atomicity
+// guarantees; the bar is error propagation and no loss of acknowledged
+// data.)
+func TestFaultPropagation(t *testing.T) {
+	prm := params.Default(2, 4)
+	inner := pagestore.NewMemDisk(PageBytes(prm))
+	fs := pagestore.NewFaultStore(inner, -1)
+	tab, err := New(fs, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Uniform(2, 55)
+	keys := gen.Take(2000)
+	var acked []int
+	faults := 0
+	for i, k := range keys {
+		if i%6 == 2 {
+			fs.Arm(int64(i % 13))
+		}
+		err := tab.Insert(k, uint64(i))
+		fs.Disarm()
+		switch {
+		case err == nil:
+			acked = append(acked, i)
+		case errors.Is(err, pagestore.ErrInjected):
+			faults++
+			if err := tab.Insert(k, uint64(i)); err == nil || err == ErrDuplicate {
+				acked = append(acked, i)
+			} else {
+				t.Fatalf("insert %d retry: %v", i, err)
+			}
+		default:
+			t.Fatalf("insert %d: unexpected error %v", i, err)
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no faults fired; test is vacuous")
+	}
+	for _, i := range acked {
+		v, ok, err := tab.Search(keys[i])
+		if err != nil {
+			t.Fatalf("search %d errored after recovery: %v", i, err)
+		}
+		if !ok || v != uint64(i) {
+			t.Fatalf("acknowledged key %d lost (v=%d ok=%v)", i, v, ok)
+		}
+	}
+}
+
+// TestOverflowGuard drives the flat directory into its §3 degeneration and
+// checks the overflow error (instead of unbounded memory use).
+func TestOverflowGuard(t *testing.T) {
+	prm := params.Default(2, 2)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tab, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NoiseBurst(2, 100, 4, 3)
+	sawOverflow := false
+	for i := 0; i < 20000; i++ {
+		err := tab.Insert(gen.Next(), uint64(i))
+		if errors.Is(err, ErrDirectoryOverflow) {
+			sawOverflow = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if !sawOverflow {
+		t.Fatalf("noise keys never tripped the overflow guard (σ=%d)", tab.DirectoryElements())
+	}
+	if tab.DirectoryElements() > MaxDirectoryElements {
+		t.Fatalf("directory exceeded the cap: %d", tab.DirectoryElements())
+	}
+	// The table keeps answering for everything stored so far.
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package mdeh
+
+import (
+	"testing"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+func newTable(t *testing.T, prm params.Params) (*Table, *pagestore.MemDisk) {
+	t.Helper()
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tab, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, st
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	prm := params.Default(2, 2)
+	tab, _ := newTable(t, prm)
+	keys := []bitkey.Vector{
+		bitkey.MustParseVector(32, "1110", "010"),
+		bitkey.MustParseVector(32, "1011", "101"),
+		bitkey.MustParseVector(32, "0101", "101"),
+		bitkey.MustParseVector(32, "1100", "101"),
+		bitkey.MustParseVector(32, "0001", "111"),
+		bitkey.MustParseVector(32, "0010", "100"),
+		bitkey.MustParseVector(32, "0100", "010"),
+		bitkey.MustParseVector(32, "0111", "100"),
+	}
+	for i, k := range keys {
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok, err := tab.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("search %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := tab.Search(bitkey.MustParseVector(32, "1111", "111")); ok {
+		t.Fatal("found absent key")
+	}
+	if err := tab.Insert(keys[0], 99); err != ErrDuplicate {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformBulk(t *testing.T) {
+	prm := params.Default(2, 8)
+	tab, _ := newTable(t, prm)
+	gen := workload.Uniform(2, 42)
+	keys := gen.Take(3000)
+	for i, k := range keys {
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i, k := range keys {
+		v, ok, err := tab.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("search %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.DirectoryElements() < 256 {
+		t.Errorf("directory suspiciously small: %d", tab.DirectoryElements())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	prm := params.Default(2, 4)
+	tab, st := newTable(t, prm)
+	gen := workload.Uniform(2, 7)
+	keys := gen.Take(500)
+	for i, k := range keys {
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		ok, err := tab.Delete(k)
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("delete %d: not found", i)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tab.Len())
+	}
+	if n := st.Allocated()[pagestore.KindData]; n != 0 {
+		t.Errorf("%d data pages leaked", n)
+	}
+	if got := tab.DirectoryElements(); got != 1 {
+		t.Errorf("directory did not contract: %d elements", got)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse after emptying.
+	if err := tab.Insert(keys[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tab.Search(keys[0]); !ok {
+		t.Fatal("reinserted key not found")
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	prm := params.Default(2, 4)
+	tab, _ := newTable(t, prm)
+	// Grid of keys (x, y) with x, y in {0..15} << 27.
+	var want int
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			k := bitkey.Vector{bitkey.Component(x << 27), bitkey.Component(y << 27)}
+			if err := tab.Insert(k, x*16+y); err != nil {
+				t.Fatal(err)
+			}
+			if x >= 3 && x <= 9 && y >= 5 && y <= 12 {
+				want++
+			}
+		}
+	}
+	lo := bitkey.Vector{bitkey.Component(3 << 27), bitkey.Component(5 << 27)}
+	hi := bitkey.Vector{bitkey.Component(9 << 27), bitkey.Component(12 << 27)}
+	got := 0
+	err := tab.Range(lo, hi, func(k bitkey.Vector, v uint64) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("range returned %d records, want %d", got, want)
+	}
+}
+
+func TestSearchIsTwoReads(t *testing.T) {
+	prm := params.Default(2, 8)
+	tab, st := newTable(t, prm)
+	gen := workload.Uniform(2, 3)
+	keys := gen.Take(2000)
+	for i, k := range keys {
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.ResetStats()
+	for _, k := range keys[:200] {
+		if _, ok, err := tab.Search(k); !ok || err != nil {
+			t.Fatal("search failed")
+		}
+	}
+	s := st.Stats()
+	if s.Reads != 400 || s.Writes != 0 {
+		t.Errorf("200 searches cost %d reads %d writes; want exactly 400 reads (2 per search)", s.Reads, s.Writes)
+	}
+}

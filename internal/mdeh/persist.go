@@ -1,0 +1,163 @@
+package mdeh
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bmeh/internal/datapage"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+)
+
+// metaVersion identifies the meta-record layout.
+const metaVersion = 1
+
+// The directory's page table can hold tens of thousands of page ids, far
+// beyond a meta page, so SaveMeta snapshots it into a chain of dedicated
+// pages: each chain page holds [count u16][next u32][ids u32...]. The meta
+// record then carries the chain head.
+const chainHeaderSize = 6
+
+// SaveMeta snapshots the table's header state. The directory page table is
+// written into a chain of pages (replacing any previous chain), and a
+// small meta record referencing the chain is returned for the caller to
+// store in its superblock. Call on Sync/Close.
+func (t *Table) SaveMeta() ([]byte, error) {
+	// Rebuild the chain from scratch: free the old one, allocate anew.
+	for _, id := range t.tableChain {
+		if err := t.st.Free(id); err != nil {
+			return nil, err
+		}
+	}
+	t.tableChain = nil
+	perPage := (t.st.PageSize() - chainHeaderSize) / 4
+	ids := t.dir.pages
+	nChain := (len(ids) + perPage - 1) / perPage
+	chain := make([]pagestore.PageID, nChain)
+	for i := range chain {
+		id, err := t.st.Alloc(pagestore.KindDirectory)
+		if err != nil {
+			return nil, err
+		}
+		chain[i] = id
+	}
+	buf := make([]byte, t.st.PageSize())
+	for i := 0; i < nChain; i++ {
+		lo := i * perPage
+		hi := lo + perPage
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		binary.BigEndian.PutUint16(buf[0:2], uint16(hi-lo))
+		next := pagestore.NilPage
+		if i+1 < nChain {
+			next = chain[i+1]
+		}
+		binary.BigEndian.PutUint32(buf[2:6], uint32(next))
+		for j, id := range ids[lo:hi] {
+			binary.BigEndian.PutUint32(buf[chainHeaderSize+4*j:], uint32(id))
+		}
+		if err := t.st.Write(chain[i], buf[:chainHeaderSize+4*(hi-lo)]); err != nil {
+			return nil, err
+		}
+	}
+	t.tableChain = chain
+	// Meta record.
+	d := t.prm.Dims
+	meta := make([]byte, 0, 32+2*d)
+	meta = append(meta, 'D', metaVersion, byte(d), byte(t.prm.Width))
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(t.prm.Capacity))
+	meta = append(meta, u16[:]...)
+	for _, xi := range t.prm.Xi {
+		meta = append(meta, byte(xi))
+	}
+	for _, h := range t.depths {
+		meta = append(meta, byte(h))
+	}
+	var u32 [4]byte
+	head := pagestore.NilPage
+	if len(chain) > 0 {
+		head = chain[0]
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(head))
+	meta = append(meta, u32[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], t.dir.size)
+	meta = append(meta, u64[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(t.n))
+	meta = append(meta, u64[:]...)
+	return meta, nil
+}
+
+// Load reconstructs a table from a page store and the meta record written
+// by SaveMeta, reading the page-table chain back.
+func Load(st pagestore.Store, meta []byte) (*Table, error) {
+	if len(meta) < 6 || meta[0] != 'D' {
+		return nil, fmt.Errorf("mdeh: bad meta record")
+	}
+	if meta[1] != metaVersion {
+		return nil, fmt.Errorf("mdeh: unsupported meta version %d", meta[1])
+	}
+	d := int(meta[2])
+	prm := params.Params{
+		Dims:     d,
+		Width:    int(meta[3]),
+		Capacity: int(binary.BigEndian.Uint16(meta[4:6])),
+	}
+	off := 6
+	if len(meta) < off+2*d+20 {
+		return nil, fmt.Errorf("mdeh: truncated meta record (%d bytes)", len(meta))
+	}
+	prm.Xi = make([]int, d)
+	for j := 0; j < d; j++ {
+		prm.Xi[j] = int(meta[off+j])
+	}
+	off += d
+	if err := prm.Validate(); err != nil {
+		return nil, fmt.Errorf("mdeh: corrupt meta record: %w", err)
+	}
+	if st.PageSize() < PageBytes(prm) {
+		return nil, fmt.Errorf("mdeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
+	}
+	t := &Table{
+		st:     st,
+		prm:    prm,
+		pages:  datapage.NewIO(st, d),
+		caps:   make([]int, d),
+		depths: make([]int, d),
+	}
+	for j := range t.caps {
+		t.caps[j] = prm.Width
+	}
+	for j := 0; j < d; j++ {
+		t.depths[j] = int(meta[off+j])
+	}
+	off += d
+	head := pagestore.PageID(binary.BigEndian.Uint32(meta[off:]))
+	size := binary.BigEndian.Uint64(meta[off+4:])
+	t.n = int(binary.BigEndian.Uint64(meta[off+12:]))
+	t.dir = dirFile{st: st, d: d, perPage: prm.NodeEntries(), size: size}
+	t.dir.buf.New = func() interface{} { b := make([]byte, st.PageSize()); return &b }
+	// Read the page-table chain.
+	buf := make([]byte, st.PageSize())
+	for id := head; id != pagestore.NilPage; {
+		if err := st.Read(id, buf); err != nil {
+			return nil, fmt.Errorf("mdeh: reading page-table chain: %w", err)
+		}
+		t.tableChain = append(t.tableChain, id)
+		count := int(binary.BigEndian.Uint16(buf[0:2]))
+		next := pagestore.PageID(binary.BigEndian.Uint32(buf[2:6]))
+		if chainHeaderSize+4*count > len(buf) {
+			return nil, fmt.Errorf("mdeh: corrupt page-table chain page %d", id)
+		}
+		for j := 0; j < count; j++ {
+			t.dir.pages = append(t.dir.pages, pagestore.PageID(binary.BigEndian.Uint32(buf[chainHeaderSize+4*j:])))
+		}
+		id = next
+	}
+	if want := int((size + uint64(t.dir.perPage) - 1) / uint64(t.dir.perPage)); len(t.dir.pages) < want {
+		return nil, fmt.Errorf("mdeh: page table holds %d pages, directory needs %d", len(t.dir.pages), want)
+	}
+	return t, nil
+}

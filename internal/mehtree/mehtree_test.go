@@ -1,0 +1,186 @@
+package mehtree
+
+import (
+	"testing"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+func newTree(t testing.TB, prm params.Params) (*Tree, *pagestore.MemDisk) {
+	t.Helper()
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, st
+}
+
+func TestInsertSearchUniform(t *testing.T) {
+	prm := params.Default(2, 8)
+	tr, _ := newTree(t, prm)
+	gen := workload.Uniform(2, 21)
+	keys := gen.Take(4000)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, err := tr.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("search %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, ok, _ := tr.Search(gen.Absent()); ok {
+			t.Fatal("found absent key")
+		}
+	}
+	if err := tr.Insert(keys[0], 1); err != ErrDuplicate {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if tr.Levels() < 2 {
+		t.Errorf("tree should have pushed down at least once, depth=%d", tr.Levels())
+	}
+}
+
+func TestSkewBuildsDepth(t *testing.T) {
+	prm := params.Default(2, 8)
+	tr, _ := newTree(t, prm)
+	gen := workload.Normal(2, 1<<30, 1<<27, 43)
+	keys := gen.Take(4000)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, ok, _ := tr.Search(k); !ok || v != uint64(i) {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+	t.Logf("normal keys: depth=%d nodes=%d σ=%d", tr.Levels(), tr.Nodes(), tr.DirectoryElements())
+}
+
+func TestDeleteAll(t *testing.T) {
+	prm := params.Default(2, 4)
+	tr, st := newTree(t, prm)
+	gen := workload.Uniform(2, 77)
+	keys := gen.Take(1500)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		ok, err := tr.Delete(k)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+		if i%300 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after delete %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Allocated()[pagestore.KindData]; n != 0 {
+		t.Errorf("%d data pages leaked", n)
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("%d directory nodes left, want 1 (the root)", tr.Nodes())
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	prm := params.Default(2, 8)
+	tr, _ := newTree(t, prm)
+	gen := workload.Clustered(2, 3, 1<<25, 55)
+	keys := gen.Take(2500)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := workload.Uniform(2, 66)
+	for trial := 0; trial < 25; trial++ {
+		a, b := rng.Next(), rng.Next()
+		lo := make(bitkey.Vector, 2)
+		hi := make(bitkey.Vector, 2)
+		for j := 0; j < 2; j++ {
+			lo[j], hi[j] = a[j], b[j]
+			if lo[j] > hi[j] {
+				lo[j], hi[j] = hi[j], lo[j]
+			}
+		}
+		want := 0
+		for _, k := range keys {
+			if inBox(k, lo, hi) {
+				want++
+			}
+		}
+		got := 0
+		seen := make(map[uint64]bool)
+		err := tr.Range(lo, hi, func(k bitkey.Vector, v uint64) bool {
+			if seen[v] {
+				t.Fatalf("trial %d: duplicate delivery", trial)
+			}
+			seen[v] = true
+			got++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d records, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	prm := params.Params{Dims: 3, Width: 32, Capacity: 4, Xi: []int{2, 2, 2}}
+	tr, _ := newTree(t, prm)
+	gen := workload.Uniform(3, 88)
+	keys := gen.Take(1000)
+	live := map[int]bool{}
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		live[i] = true
+		if i%2 == 1 {
+			victim := i - 1
+			ok, err := tr.Delete(keys[victim])
+			if err != nil || !ok {
+				t.Fatalf("delete %d: ok=%v err=%v", victim, ok, err)
+			}
+			delete(live, victim)
+		}
+		if i%200 == 199 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	for i := range live {
+		if v, ok, _ := tr.Search(keys[i]); !ok || v != uint64(i) {
+			t.Fatalf("live key %d lost", i)
+		}
+	}
+}

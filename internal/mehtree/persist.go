@@ -1,0 +1,87 @@
+package mehtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bmeh/internal/datapage"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+)
+
+// metaVersion identifies the meta-record layout.
+const metaVersion = 1
+
+// MarshalMeta serializes the tree's header state; together with the page
+// store's contents it fully reconstructs the tree.
+func (t *Tree) MarshalMeta() []byte {
+	d := t.prm.Dims
+	buf := make([]byte, 0, 16+d+20)
+	buf = append(buf, 'M', metaVersion, byte(d), byte(t.prm.Width))
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(t.prm.Capacity))
+	buf = append(buf, u16[:]...)
+	for _, xi := range t.prm.Xi {
+		buf = append(buf, byte(xi))
+	}
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(t.rootID))
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(t.nNodes))
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(t.depth))
+	buf = append(buf, u32[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(t.n))
+	buf = append(buf, u64[:]...)
+	return buf
+}
+
+// Load reconstructs a tree from a page store and the meta record written
+// by MarshalMeta. It reads and pins the root node (one disk read).
+func Load(st pagestore.Store, meta []byte) (*Tree, error) {
+	if len(meta) < 6 || meta[0] != 'M' {
+		return nil, fmt.Errorf("mehtree: bad meta record")
+	}
+	if meta[1] != metaVersion {
+		return nil, fmt.Errorf("mehtree: unsupported meta version %d", meta[1])
+	}
+	d := int(meta[2])
+	prm := params.Params{
+		Dims:     d,
+		Width:    int(meta[3]),
+		Capacity: int(binary.BigEndian.Uint16(meta[4:6])),
+	}
+	off := 6
+	if len(meta) < off+d+20 {
+		return nil, fmt.Errorf("mehtree: truncated meta record (%d bytes)", len(meta))
+	}
+	prm.Xi = make([]int, d)
+	for j := 0; j < d; j++ {
+		prm.Xi[j] = int(meta[off+j])
+	}
+	off += d
+	if err := prm.Validate(); err != nil {
+		return nil, fmt.Errorf("mehtree: corrupt meta record: %w", err)
+	}
+	if st.PageSize() < PageBytes(prm) {
+		return nil, fmt.Errorf("mehtree: page size %d < required %d", st.PageSize(), PageBytes(prm))
+	}
+	t := &Tree{
+		st:     st,
+		prm:    prm,
+		pages:  datapage.NewIO(st, d),
+		nodes:  dirnode.NewIO(st, d),
+		rootID: pagestore.PageID(binary.BigEndian.Uint32(meta[off:])),
+		nNodes: int(binary.BigEndian.Uint32(meta[off+4:])),
+		depth:  int(binary.BigEndian.Uint32(meta[off+8:])),
+		n:      int(binary.BigEndian.Uint64(meta[off+12:])),
+	}
+	root, err := t.nodes.Read(t.rootID)
+	if err != nil {
+		return nil, fmt.Errorf("mehtree: reading root node: %w", err)
+	}
+	t.root = root
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package mehtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Normal(2, 1<<30, 1<<28, 5)
+	keys := gen.Take(1500)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := Load(st, tr.MarshalMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() || re.Nodes() != tr.Nodes() || re.Levels() != tr.Levels() {
+		t.Fatalf("reloaded state mismatch: len %d/%d nodes %d/%d depth %d/%d",
+			re.Len(), tr.Len(), re.Nodes(), tr.Nodes(), re.Levels(), tr.Levels())
+	}
+	if re.Params().Capacity != prm.Capacity {
+		t.Fatal("params lost")
+	}
+	for i, k := range keys {
+		v, ok, err := re.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("key %d lost across reload", i)
+		}
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruptMeta(t *testing.T) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := tr.MarshalMeta()
+	for name, meta := range map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{'X'}, good[1:]...),
+		"bad version": append([]byte{'M', 9}, good[2:]...),
+		"truncated":   good[:7],
+	} {
+		if _, err := Load(st, meta); err == nil {
+			t.Errorf("%s meta accepted", name)
+		}
+	}
+	small := pagestore.NewMemDisk(32)
+	if _, err := Load(small, good); err == nil {
+		t.Error("Load accepted undersized pages")
+	}
+}
+
+func TestDumpRendersStructure(t *testing.T) {
+	prm := params.Params{Dims: 2, Width: 32, Capacity: 2, Xi: []int{2, 2}}
+	tr, _ := newTree(t, prm)
+	gen := workload.Uniform(2, 3)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(gen.Next(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MEH-tree:", "node ", "depth=", "records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package pagestore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool is a write-back page cache layered over a Store. It exists for
+// the public API's convenience (real workloads do not want a page fault per
+// directory probe); the experiment harness bypasses it, because the paper's
+// metrics count raw page accesses with only the root node held in memory.
+//
+// Eviction is LRU over unpinned frames. Dirty frames are written back on
+// eviction and on Flush.
+type BufferPool struct {
+	mu     sync.Mutex
+	store  Store
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // of *frame, front = most recent
+	hits   uint64
+	misses uint64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// NewBufferPool creates a pool holding up to capacity pages over store.
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("pagestore: buffer pool capacity %d < 1", capacity))
+	}
+	return &BufferPool{
+		store:  store,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Store returns the underlying store.
+func (bp *BufferPool) Store() Store { return bp.store }
+
+// Get returns the page contents, pinning the frame. The returned slice is
+// the frame's buffer: the caller may read it, and may modify it if it calls
+// MarkDirty before Unpin. Callers must Unpin exactly once per Get.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if ok {
+		bp.hits++
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	bp.misses++
+	if err := bp.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, bp.store.PageSize())
+	if err := bp.store.Read(id, data); err != nil {
+		return nil, err
+	}
+	f = &frame{id: id, data: data, pins: 1}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// NewPage allocates a page in the store and returns its zeroed, pinned
+// frame (no read I/O).
+func (bp *BufferPool) NewPage(kind Kind) (PageID, []byte, error) {
+	id, err := bp.store.Alloc(kind)
+	if err != nil {
+		return NilPage, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictIfFullLocked(); err != nil {
+		return NilPage, nil, err
+	}
+	f := &frame{id: id, data: make([]byte, bp.store.PageSize()), pins: 1, dirty: true}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return id, f.data, nil
+}
+
+// MarkDirty flags the page's frame as modified; it must be pinned.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// Unpin releases one pin on the page's frame.
+func (bp *BufferPool) Unpin(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("pagestore: unpin of unpinned page %d", id))
+	}
+	f.pins--
+}
+
+// Drop removes the page's frame without write-back (for freed pages).
+func (bp *BufferPool) Drop(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.lru.Remove(f.elem)
+		delete(bp.frames, id)
+	}
+}
+
+// Flush writes back every dirty frame.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.store.Write(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// HitRate returns cache hits, misses since creation.
+func (bp *BufferPool) HitRate() (hits, misses uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+func (bp *BufferPool) evictIfFullLocked() error {
+	for len(bp.frames) >= bp.cap {
+		var victim *frame
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			if f := e.Value.(*frame); f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("pagestore: buffer pool exhausted (%d frames, all pinned)", bp.cap)
+		}
+		if victim.dirty {
+			if err := bp.store.Write(victim.id, victim.data); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(victim.elem)
+		delete(bp.frames, victim.id)
+	}
+	return nil
+}

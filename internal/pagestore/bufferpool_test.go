@@ -1,0 +1,173 @@
+package pagestore
+
+import (
+	"os"
+	"testing"
+)
+
+func createFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	st := NewMemDisk(64)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := st.Alloc(KindData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st.ResetStats()
+	bp := NewBufferPool(st, 3)
+	// First touch: miss; second: hit.
+	for _, id := range ids[:3] {
+		data, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id)
+		_ = data
+	}
+	for _, id := range ids[:3] {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id)
+	}
+	hits, misses := bp.HitRate()
+	if hits != 3 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if st.Stats().Reads != 3 {
+		t.Fatalf("physical reads %d, want 3", st.Stats().Reads)
+	}
+	// Filling past capacity evicts the LRU frame.
+	for _, id := range ids[3:] {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id)
+	}
+	if _, err := bp.Get(ids[0]); err != nil { // evicted: physical read again
+		t.Fatal(err)
+	}
+	bp.Unpin(ids[0])
+	if st.Stats().Reads != 7 {
+		t.Fatalf("physical reads %d, want 7", st.Stats().Reads)
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	st := NewMemDisk(64)
+	id, _ := st.Alloc(KindData)
+	bp := NewBufferPool(st, 2)
+	data, err := bp.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "dirty")
+	bp.MarkDirty(id)
+	bp.Unpin(id)
+	// Not yet on disk.
+	buf := make([]byte, 64)
+	if err := st.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) == "dirty" {
+		t.Fatal("write-back happened before flush")
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) != "dirty" {
+		t.Fatal("flush did not write back")
+	}
+}
+
+func TestBufferPoolPinnedExhaustion(t *testing.T) {
+	st := NewMemDisk(64)
+	bp := NewBufferPool(st, 2)
+	a, _ := st.Alloc(KindData)
+	b, _ := st.Alloc(KindData)
+	c, _ := st.Alloc(KindData)
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(c); err == nil {
+		t.Fatal("pool returned a frame with all frames pinned")
+	}
+	bp.Unpin(a)
+	if _, err := bp.Get(c); err != nil {
+		t.Fatalf("pool did not evict unpinned frame: %v", err)
+	}
+}
+
+func TestCachedStoreSemantics(t *testing.T) {
+	inner := NewMemDisk(64)
+	cs := NewCachedStore(inner, 8)
+	id, err := cs.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Write(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := cs.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) != "abc" {
+		t.Fatalf("read back %q", buf[:3])
+	}
+	// The write is cached: inner has not seen it.
+	if err := inner.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) == "abc" {
+		t.Fatal("write-through happened despite write-back cache")
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) != "abc" {
+		t.Fatal("flush did not reach inner store")
+	}
+	// Free drops the frame.
+	if err := cs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Read(id, buf); err == nil {
+		t.Fatal("read of freed page succeeded")
+	}
+}
+
+func TestCachedStoreReadAbsorption(t *testing.T) {
+	inner := NewMemDisk(64)
+	id, _ := inner.Alloc(KindData)
+	inner.Write(id, []byte("x"))
+	inner.ResetStats()
+	cs := NewCachedStore(inner, 4)
+	buf := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		if err := cs.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := inner.Stats().Reads; r != 1 {
+		t.Fatalf("100 cached reads cost %d physical reads, want 1", r)
+	}
+}

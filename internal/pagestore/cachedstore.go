@@ -1,0 +1,90 @@
+package pagestore
+
+// CachedStore layers a BufferPool behind the Store interface so index
+// implementations, which speak Store, transparently gain a page cache.
+// Reads are served from the pool; writes land in the pool (write-back) and
+// reach the inner store on eviction or Flush. Access counters of the inner
+// store then reflect physical I/O only, which is what a production
+// deployment experiences — the experiment harness uses raw stores instead,
+// because the paper counts logical page accesses.
+type CachedStore struct {
+	inner Store
+	pool  *BufferPool
+}
+
+// NewCachedStore wraps inner with a pool of the given frame capacity.
+func NewCachedStore(inner Store, frames int) *CachedStore {
+	return &CachedStore{inner: inner, pool: NewBufferPool(inner, frames)}
+}
+
+// PageSize implements Store.
+func (c *CachedStore) PageSize() int { return c.inner.PageSize() }
+
+// Alloc implements Store: the fresh page materializes directly in the pool.
+func (c *CachedStore) Alloc(kind Kind) (PageID, error) {
+	id, _, err := c.pool.NewPage(kind)
+	if err != nil {
+		return NilPage, err
+	}
+	c.pool.Unpin(id)
+	return id, nil
+}
+
+// Free implements Store, dropping any cached frame.
+func (c *CachedStore) Free(id PageID) error {
+	c.pool.Drop(id)
+	return c.inner.Free(id)
+}
+
+// Read implements Store.
+func (c *CachedStore) Read(id PageID, buf []byte) error {
+	data, err := c.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	copy(buf[:c.inner.PageSize()], data)
+	c.pool.Unpin(id)
+	return nil
+}
+
+// Write implements Store (write-back).
+func (c *CachedStore) Write(id PageID, data []byte) error {
+	frame, err := c.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	n := copy(frame, data)
+	for i := n; i < len(frame); i++ {
+		frame[i] = 0
+	}
+	c.pool.MarkDirty(id)
+	c.pool.Unpin(id)
+	return nil
+}
+
+// KindOf implements Store.
+func (c *CachedStore) KindOf(id PageID) (Kind, error) { return c.inner.KindOf(id) }
+
+// Stats implements Store, reporting the inner store's physical I/O.
+func (c *CachedStore) Stats() Stats { return c.inner.Stats() }
+
+// ResetStats implements Store.
+func (c *CachedStore) ResetStats() { c.inner.ResetStats() }
+
+// Allocated implements Store.
+func (c *CachedStore) Allocated() map[Kind]int { return c.inner.Allocated() }
+
+// Flush writes every dirty frame back to the inner store.
+func (c *CachedStore) Flush() error { return c.pool.Flush() }
+
+// HitRate reports the pool's cache hits and misses.
+func (c *CachedStore) HitRate() (hits, misses uint64) { return c.pool.HitRate() }
+
+// Close flushes and closes the inner store.
+func (c *CachedStore) Close() error {
+	if err := c.pool.Flush(); err != nil {
+		c.inner.Close()
+		return err
+	}
+	return c.inner.Close()
+}

@@ -1,0 +1,99 @@
+package pagestore
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a FaultStore when its countdown
+// expires.
+var ErrInjected = errors.New("pagestore: injected fault")
+
+// FaultStore wraps a Store and fails every operation after a configurable
+// number of successful accesses. The test suite uses it to verify that
+// index implementations surface storage errors instead of panicking or
+// corrupting their in-memory state.
+type FaultStore struct {
+	mu    sync.Mutex
+	inner Store
+	left  int64 // remaining successful operations; < 0 disarms
+}
+
+// NewFaultStore wraps inner; the store fails after `after` successful
+// operations (Alloc/Free/Read/Write each count as one).
+func NewFaultStore(inner Store, after int64) *FaultStore {
+	return &FaultStore{inner: inner, left: after}
+}
+
+// Arm resets the countdown.
+func (f *FaultStore) Arm(after int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.left = after
+}
+
+// Disarm stops injecting faults.
+func (f *FaultStore) Disarm() { f.Arm(-1) }
+
+func (f *FaultStore) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left < 0 {
+		return nil
+	}
+	if f.left == 0 {
+		return ErrInjected
+	}
+	f.left--
+	return nil
+}
+
+// PageSize implements Store.
+func (f *FaultStore) PageSize() int { return f.inner.PageSize() }
+
+// Alloc implements Store.
+func (f *FaultStore) Alloc(kind Kind) (PageID, error) {
+	if err := f.tick(); err != nil {
+		return NilPage, err
+	}
+	return f.inner.Alloc(kind)
+}
+
+// Free implements Store.
+func (f *FaultStore) Free(id PageID) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Free(id)
+}
+
+// Read implements Store.
+func (f *FaultStore) Read(id PageID, buf []byte) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Read(id, buf)
+}
+
+// Write implements Store.
+func (f *FaultStore) Write(id PageID, data []byte) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Write(id, data)
+}
+
+// KindOf implements Store.
+func (f *FaultStore) KindOf(id PageID) (Kind, error) { return f.inner.KindOf(id) }
+
+// Stats implements Store.
+func (f *FaultStore) Stats() Stats { return f.inner.Stats() }
+
+// ResetStats implements Store.
+func (f *FaultStore) ResetStats() { f.inner.ResetStats() }
+
+// Allocated implements Store.
+func (f *FaultStore) Allocated() map[Kind]int { return f.inner.Allocated() }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }

@@ -1,0 +1,328 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// fileMagic identifies a pagestore file. Stored in the first 8 bytes of the
+// meta page together with the page size, so reopening validates geometry.
+const fileMagic uint64 = 0x424d45485f504753 // "BMEH_PGS"
+
+// fileHeaderSize is the number of meta-page bytes reserved for the store's
+// own header; the remainder of the meta page is available to the client via
+// ReadMeta/WriteMeta.
+const fileHeaderSize = 24 // magic(8) pageSize(4) pageCount(4) freeHead(4) pad(4)
+
+// FileDisk is a file-backed Store. Pages live at fixed offsets
+// (id * pageSize); the free list is threaded through freed pages (first 4
+// bytes of a free page hold the next free id). Safe for concurrent use.
+//
+// FileDisk is crash-naive by design: it is a faithful substrate for the
+// paper's simulation and a convenience for persisting example datasets, not
+// a transactional storage manager.
+type FileDisk struct {
+	mu        sync.Mutex
+	f         *os.File
+	pageSize  int
+	pageCount uint32
+	freeHead  PageID
+	kinds     []Kind // in-memory mirror; rebuilt lazily on open
+	stats     Stats
+	closed    bool
+}
+
+// CreateFileDisk creates (truncating) a file-backed disk at path.
+func CreateFileDisk(path string, pageSize int) (*FileDisk, error) {
+	if pageSize < fileHeaderSize+16 {
+		return nil, fmt.Errorf("pagestore: page size %d too small for file store", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &FileDisk{f: f, pageSize: pageSize, pageCount: 1, freeHead: NilPage}
+	d.kinds = []Kind{KindMeta}
+	meta := make([]byte, pageSize)
+	d.encodeHeader(meta)
+	if _, err := f.WriteAt(meta, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenFileDisk opens an existing file-backed disk and validates its header.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint64(hdr[0:8]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: %s is not a pagestore file", path)
+	}
+	d := &FileDisk{
+		f:         f,
+		pageSize:  int(binary.BigEndian.Uint32(hdr[8:12])),
+		pageCount: binary.BigEndian.Uint32(hdr[12:16]),
+		freeHead:  PageID(binary.BigEndian.Uint32(hdr[16:20])),
+	}
+	// Kinds are not persisted per page (they are advisory); mark everything
+	// allocated as directory-or-data unknown. Walk the free list to mark
+	// free pages.
+	d.kinds = make([]Kind, d.pageCount)
+	for i := range d.kinds {
+		d.kinds[i] = KindData
+	}
+	d.kinds[0] = KindMeta
+	buf := make([]byte, 4)
+	for id := d.freeHead; id != NilPage; {
+		if int(id) >= len(d.kinds) {
+			f.Close()
+			return nil, fmt.Errorf("pagestore: corrupt free list (id %d of %d)", id, d.pageCount)
+		}
+		d.kinds[id] = KindFree
+		if _, err := f.ReadAt(buf, int64(id)*int64(d.pageSize)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		id = PageID(binary.BigEndian.Uint32(buf))
+	}
+	return d, nil
+}
+
+func (d *FileDisk) encodeHeader(meta []byte) {
+	binary.BigEndian.PutUint64(meta[0:8], fileMagic)
+	binary.BigEndian.PutUint32(meta[8:12], uint32(d.pageSize))
+	binary.BigEndian.PutUint32(meta[12:16], d.pageCount)
+	binary.BigEndian.PutUint32(meta[16:20], uint32(d.freeHead))
+}
+
+func (d *FileDisk) syncHeaderLocked() error {
+	hdr := make([]byte, fileHeaderSize)
+	d.encodeHeader(hdr)
+	_, err := d.f.WriteAt(hdr, 0)
+	return err
+}
+
+// PageSize implements Store.
+func (d *FileDisk) PageSize() int { return d.pageSize }
+
+// Alloc implements Store.
+func (d *FileDisk) Alloc(kind Kind) (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return NilPage, ErrClosed
+	}
+	if kind == KindFree || kind == KindMeta {
+		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
+	}
+	d.stats.Allocs++
+	if d.freeHead != NilPage {
+		id := d.freeHead
+		buf := make([]byte, 4)
+		if _, err := d.f.ReadAt(buf, int64(id)*int64(d.pageSize)); err != nil {
+			return NilPage, err
+		}
+		d.freeHead = PageID(binary.BigEndian.Uint32(buf))
+		d.kinds[id] = kind
+		if err := d.zeroPageLocked(id); err != nil {
+			return NilPage, err
+		}
+		return id, d.syncHeaderLocked()
+	}
+	id := PageID(d.pageCount)
+	d.pageCount++
+	d.kinds = append(d.kinds, kind)
+	if err := d.zeroPageLocked(id); err != nil {
+		return NilPage, err
+	}
+	return id, d.syncHeaderLocked()
+}
+
+func (d *FileDisk) zeroPageLocked(id PageID) error {
+	zero := make([]byte, d.pageSize)
+	_, err := d.f.WriteAt(zero, int64(id)*int64(d.pageSize))
+	return err
+}
+
+// Free implements Store.
+func (d *FileDisk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkLocked(id); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(d.freeHead))
+	if _, err := d.f.WriteAt(buf, int64(id)*int64(d.pageSize)); err != nil {
+		return err
+	}
+	d.freeHead = id
+	d.kinds[id] = KindFree
+	d.stats.Frees++
+	return d.syncHeaderLocked()
+}
+
+// Read implements Store.
+func (d *FileDisk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkLocked(id); err != nil {
+		return err
+	}
+	if len(buf) < d.pageSize {
+		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
+	}
+	if _, err := d.f.ReadAt(buf[:d.pageSize], int64(id)*int64(d.pageSize)); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// Write implements Store.
+func (d *FileDisk) Write(id PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkLocked(id); err != nil {
+		return err
+	}
+	if len(data) > d.pageSize {
+		return ErrPageSize
+	}
+	page := make([]byte, d.pageSize)
+	copy(page, data)
+	if _, err := d.f.WriteAt(page, int64(id)*int64(d.pageSize)); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// ReadMeta copies the client portion of the meta page (everything after the
+// store header) into buf and returns the number of bytes copied. Not
+// counted as a disk read (the superblock is assumed resident, like the
+// paper's pinned root).
+func (d *FileDisk) ReadMeta(buf []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	avail := d.pageSize - fileHeaderSize
+	n := len(buf)
+	if n > avail {
+		n = avail
+	}
+	if _, err := d.f.ReadAt(buf[:n], fileHeaderSize); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// WriteMeta stores client metadata in the meta page after the store header.
+func (d *FileDisk) WriteMeta(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(data) > d.pageSize-fileHeaderSize {
+		return ErrPageSize
+	}
+	_, err := d.f.WriteAt(data, fileHeaderSize)
+	return err
+}
+
+// KindOf implements Store.
+func (d *FileDisk) KindOf(id PageID) (Kind, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.kinds) {
+		return KindFree, ErrOutOfRange
+	}
+	return d.kinds[id], nil
+}
+
+// Stats implements Store.
+func (d *FileDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats implements Store.
+func (d *FileDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// Allocated implements Store.
+func (d *FileDisk) Allocated() map[Kind]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[Kind]int)
+	for _, k := range d.kinds[1:] {
+		if k != KindFree {
+			out[k]++
+		}
+	}
+	return out
+}
+
+// Sync flushes the file to stable storage.
+func (d *FileDisk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close implements Store.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.syncHeaderLocked(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}
+
+func (d *FileDisk) checkLocked(id PageID) error {
+	switch {
+	case id == NilPage:
+		return ErrNilPage
+	case uint32(id) >= d.pageCount:
+		return ErrOutOfRange
+	case d.kinds[id] == KindFree:
+		return ErrFreedPage
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package params holds the configuration shared by every hashing scheme:
+// the dimensionality d, the pseudo-key width w, the data-page capacity b,
+// and — for the tree-structured directories — the per-dimension node depth
+// bounds ξ_j whose sum φ fixes the node capacity M = 2^φ (paper §3.1).
+package params
+
+import (
+	"fmt"
+
+	"bmeh/internal/extarray"
+)
+
+// Params configures an index.
+type Params struct {
+	// Dims is the dimensionality d of the keys (1..extarray.MaxDims).
+	Dims int
+	// Width is the number of significant bits w in each pseudo-key
+	// component (1..64). The paper uses w = 32.
+	Width int
+	// Capacity is the data page capacity b in records.
+	Capacity int
+	// Xi is the per-dimension bound ξ_j on a directory node's global depth
+	// (tree schemes only; ignored by the flat MDEH directory except to size
+	// its directory pages). len(Xi) must equal Dims; each ξ_j ≥ 1.
+	Xi []int
+}
+
+// Default returns the paper's experimental configuration for the given
+// dimensionality: w = 32, φ = 6 (ξ = ⟨3,3⟩ for d = 2, ⟨2,2,2⟩ for d = 3),
+// and the given page capacity.
+func Default(dims, capacity int) Params {
+	xi := make([]int, dims)
+	for j := range xi {
+		xi[j] = 6 / dims
+		if xi[j] < 1 {
+			xi[j] = 1
+		}
+	}
+	return Params{Dims: dims, Width: 32, Capacity: capacity, Xi: xi}
+}
+
+// Validate checks the configuration.
+func (p Params) Validate() error {
+	if p.Dims < 1 || p.Dims > extarray.MaxDims {
+		return fmt.Errorf("params: dims %d out of range 1..%d", p.Dims, extarray.MaxDims)
+	}
+	if p.Width < 1 || p.Width > 64 {
+		return fmt.Errorf("params: width %d out of range 1..64", p.Width)
+	}
+	if p.Capacity < 1 {
+		return fmt.Errorf("params: page capacity %d < 1", p.Capacity)
+	}
+	if len(p.Xi) != p.Dims {
+		return fmt.Errorf("params: len(Xi) = %d, want %d", len(p.Xi), p.Dims)
+	}
+	phi := 0
+	for j, xi := range p.Xi {
+		if xi < 1 {
+			return fmt.Errorf("params: ξ_%d = %d < 1", j+1, xi)
+		}
+		if xi > p.Width {
+			return fmt.Errorf("params: ξ_%d = %d exceeds width %d", j+1, xi, p.Width)
+		}
+		phi += xi
+	}
+	if phi > 24 {
+		return fmt.Errorf("params: φ = Σξ_j = %d too large (max 24)", phi)
+	}
+	return nil
+}
+
+// Phi returns φ = Σ_j ξ_j, the number of address bits per node.
+func (p Params) Phi() int {
+	phi := 0
+	for _, xi := range p.Xi {
+		phi += xi
+	}
+	return phi
+}
+
+// NodeEntries returns M = 2^φ, the fixed entry capacity of a directory node
+// (and the number of directory elements per flat-directory page).
+func (p Params) NodeEntries() int { return 1 << uint(p.Phi()) }
+
+// MaxLevels returns ⌈(d·w)/φ⌉, the paper's bound ℓ on tree height for a
+// directory addressed by at most w bits per dimension.
+func (p Params) MaxLevels() int {
+	phi := p.Phi()
+	total := p.Dims * p.Width
+	return (total + phi - 1) / phi
+}

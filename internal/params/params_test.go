@@ -1,0 +1,56 @@
+package params
+
+import "testing"
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	p2 := Default(2, 8)
+	if p2.Phi() != 6 || p2.Xi[0] != 3 || p2.Xi[1] != 3 {
+		t.Errorf("d=2 default ξ = %v (φ=%d), want ⟨3,3⟩", p2.Xi, p2.Phi())
+	}
+	if p2.NodeEntries() != 64 {
+		t.Errorf("node entries %d, want 64", p2.NodeEntries())
+	}
+	p3 := Default(3, 8)
+	if p3.Phi() != 6 || p3.Xi[0] != 2 {
+		t.Errorf("d=3 default ξ = %v, want ⟨2,2,2⟩", p3.Xi)
+	}
+	if p2.Width != 32 {
+		t.Errorf("width %d, want 32", p2.Width)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Default(2, 8)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Params{
+		{Dims: 0, Width: 32, Capacity: 8, Xi: nil},
+		{Dims: 9, Width: 32, Capacity: 8, Xi: make([]int, 9)},
+		{Dims: 2, Width: 0, Capacity: 8, Xi: []int{3, 3}},
+		{Dims: 2, Width: 65, Capacity: 8, Xi: []int{3, 3}},
+		{Dims: 2, Width: 32, Capacity: 0, Xi: []int{3, 3}},
+		{Dims: 2, Width: 32, Capacity: 8, Xi: []int{3}},
+		{Dims: 2, Width: 32, Capacity: 8, Xi: []int{0, 3}},
+		{Dims: 2, Width: 32, Capacity: 8, Xi: []int{13, 13}},
+		{Dims: 2, Width: 4, Capacity: 8, Xi: []int{5, 3}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v) should fail validation", i, p)
+		}
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	// Paper: φ = 9 gives ℓ ≤ 3 for w ≤ 27 bits of total addressing and
+	// ℓ ≤ 4 for w ≤ 36.
+	p := Params{Dims: 3, Width: 9, Capacity: 8, Xi: []int{3, 3, 3}}
+	if got := p.MaxLevels(); got != 3 {
+		t.Errorf("MaxLevels = %d, want 3", got)
+	}
+	p.Width = 12
+	if got := p.MaxLevels(); got != 4 {
+		t.Errorf("MaxLevels = %d, want 4", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package psi implements order-preserving binary encodings ψ_j of attribute
+// values into pseudo-key components (paper §1, §4.4): for any attribute j
+// with values k_{j1} ≤ k_{j2}, the encodings satisfy ψ(k_{j1}) ≤ ψ(k_{j2}).
+// Order preservation is what makes the directory's rectilinear partitioning
+// align with range predicates, at the cost of the non-uniform pseudo-key
+// distributions the BMEH-tree is designed to survive.
+//
+// All encoders produce a bitkey.Component holding the leading Width bits of
+// the encoding (most significant bit = bit 1 of the paper's bit strings).
+package psi
+
+import (
+	"math"
+
+	"bmeh/internal/bitkey"
+)
+
+// Encoder maps attribute values of type T to order-preserving pseudo-key
+// components of the given bit width.
+type Encoder[T any] interface {
+	// Encode returns the pseudo-key component for v.
+	Encode(v T) bitkey.Component
+	// Width returns the number of significant bits produced.
+	Width() int
+}
+
+// Uint32 encodes a uint32 attribute into a 32-bit component (identity: the
+// binary value of the integer, left-aligned semantics handled by bitkey).
+type Uint32 struct{}
+
+// Encode implements Encoder.
+func (Uint32) Encode(v uint32) bitkey.Component { return bitkey.Component(v) }
+
+// Width implements Encoder.
+func (Uint32) Width() int { return 32 }
+
+// Uint64 encodes a uint64 attribute into a 64-bit component.
+type Uint64 struct{}
+
+// Encode implements Encoder.
+func (Uint64) Encode(v uint64) bitkey.Component { return bitkey.Component(v) }
+
+// Width implements Encoder.
+func (Uint64) Width() int { return 64 }
+
+// Int32 encodes a signed int32 by flipping the sign bit, mapping
+// math.MinInt32..math.MaxInt32 monotonically onto 0..2^32-1.
+type Int32 struct{}
+
+// Encode implements Encoder.
+func (Int32) Encode(v int32) bitkey.Component {
+	return bitkey.Component(uint32(v) ^ 0x8000_0000)
+}
+
+// Width implements Encoder.
+func (Int32) Width() int { return 32 }
+
+// Int64 encodes a signed int64 by flipping the sign bit.
+type Int64 struct{}
+
+// Encode implements Encoder.
+func (Int64) Encode(v int64) bitkey.Component {
+	return bitkey.Component(uint64(v) ^ 0x8000_0000_0000_0000)
+}
+
+// Width implements Encoder.
+func (Int64) Width() int { return 64 }
+
+// Float64 encodes an IEEE-754 double order-preservingly: positive values
+// get the sign bit flipped; negative values are wholly complemented. NaNs
+// sort above +Inf (all-ones prefix); -0 and +0 map to adjacent codes with
+// -0 < +0.
+type Float64 struct{}
+
+// Encode implements Encoder.
+func (Float64) Encode(v float64) bitkey.Component {
+	b := math.Float64bits(v)
+	if b&0x8000_0000_0000_0000 != 0 {
+		b = ^b
+	} else {
+		b |= 0x8000_0000_0000_0000
+	}
+	return bitkey.Component(b)
+}
+
+// Width implements Encoder.
+func (Float64) Width() int { return 64 }
+
+// String encodes the leading bytes of a string into a component of the
+// configured width (a multiple of 8, at most 64): lexicographic order on
+// strings maps to numeric order on the prefixes. Strings sharing a long
+// common prefix collide in the component; the index stores full keys in the
+// data pages, so collisions cost page-local search, not correctness — but a
+// wider component discriminates better.
+type String struct {
+	// Bits is the component width; 0 means 64.
+	Bits int
+}
+
+// Encode implements Encoder.
+func (s String) Encode(v string) bitkey.Component {
+	w := s.Width()
+	var c uint64
+	nb := w / 8
+	for i := 0; i < nb; i++ {
+		c <<= 8
+		if i < len(v) {
+			c |= uint64(v[i])
+		}
+	}
+	return bitkey.Component(c) << uint(64-w) >> uint(64-w)
+}
+
+// Width implements Encoder.
+func (s String) Width() int {
+	if s.Bits == 0 {
+		return 64
+	}
+	return s.Bits
+}
+
+// Bounded linearly rescales a float64 attribute known to lie in [Lo, Hi]
+// onto the full 32-bit component range, preserving order. Values outside
+// the interval are clamped. This is the natural encoder for spatial
+// coordinates (latitude/longitude, bounded measurements).
+type Bounded struct {
+	Lo, Hi float64
+}
+
+// Encode implements Encoder.
+func (b Bounded) Encode(v float64) bitkey.Component {
+	if v <= b.Lo {
+		return 0
+	}
+	if v >= b.Hi {
+		return bitkey.Component(math.MaxUint32)
+	}
+	frac := (v - b.Lo) / (b.Hi - b.Lo)
+	return bitkey.Component(uint32(frac * float64(math.MaxUint32)))
+}
+
+// Width implements Encoder.
+func (Bounded) Width() int { return 32 }

@@ -1,0 +1,113 @@
+package psi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32Identity(t *testing.T) {
+	e := Uint32{}
+	if e.Width() != 32 || e.Encode(42) != 42 {
+		t.Fatal("Uint32 should be the identity")
+	}
+}
+
+func TestInt32OrderPreserving(t *testing.T) {
+	e := Int32{}
+	f := func(a, b int32) bool {
+		if a <= b {
+			return e.Encode(a) <= e.Encode(b)
+		}
+		return e.Encode(a) > e.Encode(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if e.Encode(math.MinInt32) != 0 {
+		t.Error("MinInt32 should map to 0")
+	}
+	if e.Encode(math.MaxInt32) != 0xffffffff {
+		t.Error("MaxInt32 should map to all ones")
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	e := Int64{}
+	f := func(a, b int64) bool {
+		if a <= b {
+			return e.Encode(a) <= e.Encode(b)
+		}
+		return e.Encode(a) > e.Encode(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64OrderPreserving(t *testing.T) {
+	e := Float64{}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a < b {
+			return e.Encode(a) < e.Encode(b)
+		}
+		if a > b {
+			return e.Encode(a) > e.Encode(b)
+		}
+		// a == b includes -0 == +0, which encode adjacently but unequal.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if e.Encode(math.Copysign(0, -1)) >= e.Encode(0) {
+		t.Error("-0 should sort below +0")
+	}
+	if e.Encode(math.NaN()) <= e.Encode(math.Inf(1)) {
+		t.Error("positive NaN should sort above +Inf")
+	}
+	if e.Encode(math.Inf(-1)) >= e.Encode(-math.MaxFloat64) {
+		t.Error("-Inf should sort below every finite value")
+	}
+}
+
+func TestStringPrefixOrder(t *testing.T) {
+	e := String{Bits: 32}
+	cases := [][2]string{
+		{"", "a"}, {"a", "b"}, {"ab", "b"}, {"abc", "abd"},
+		{"abc", "abca"}, {"zz", "zza"},
+	}
+	for _, c := range cases {
+		if e.Encode(c[0]) > e.Encode(c[1]) {
+			t.Errorf("Encode(%q) > Encode(%q)", c[0], c[1])
+		}
+	}
+	// Long shared prefixes collide — documented behaviour.
+	if e.Encode("abcdX") != e.Encode("abcdY") {
+		t.Error("strings differing past the prefix width should collide")
+	}
+	if (String{}).Width() != 64 {
+		t.Error("default width should be 64")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	e := Bounded{Lo: -90, Hi: 90}
+	if e.Encode(-100) != 0 {
+		t.Error("below-range should clamp to 0")
+	}
+	if e.Encode(100) != math.MaxUint32 {
+		t.Error("above-range should clamp to max")
+	}
+	prev := e.Encode(-90)
+	for v := -89.0; v <= 90; v += 1.0 {
+		cur := e.Encode(v)
+		if cur <= prev {
+			t.Fatalf("not strictly monotone at %v", v)
+		}
+		prev = cur
+	}
+}

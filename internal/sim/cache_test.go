@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation takes seconds")
+	}
+	rows, err := RunCacheAblation(Uniform, 2, 8, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || rows[0].Frames != 0 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	// Unbuffered searches cost exactly `levels` physical reads; caches only
+	// reduce them, monotonically in capacity (allowing small noise).
+	if rows[0].SearchReads < 2 {
+		t.Errorf("unbuffered reads/search %.3f implausible", rows[0].SearchReads)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SearchReads > rows[i-1].SearchReads+0.05 {
+			t.Errorf("reads/search not decreasing: %.3f → %.3f at %d frames",
+				rows[i-1].SearchReads, rows[i].SearchReads, rows[i].Frames)
+		}
+		if rows[i].BuildAccesses > rows[i-1].BuildAccesses+0.05 {
+			t.Errorf("build accesses not decreasing at %d frames", rows[i].Frames)
+		}
+	}
+	// The largest cache should absorb nearly everything.
+	if last := rows[len(rows)-1]; last.SearchReads > 1 || last.HitRate < 0.9 {
+		t.Errorf("4096-frame cache: reads/search %.3f hit rate %.3f", last.SearchReads, last.HitRate)
+	}
+	var sb strings.Builder
+	FormatCache(&sb, rows, 4000)
+	if !strings.Contains(sb.String(), "buffer pool") || !strings.Contains(sb.String(), "none") {
+		t.Errorf("cache format malformed:\n%s", sb.String())
+	}
+}

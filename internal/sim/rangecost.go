@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/core"
+	"bmeh/internal/mdeh"
+	"bmeh/internal/mehtree"
+	"bmeh/internal/workload"
+)
+
+// RangePoint is one row of the Theorem 4 experiment: partial-range queries
+// of one selectivity level against one scheme.
+type RangePoint struct {
+	Scheme    Scheme
+	Side      float64 // query box side as a fraction of each axis
+	AvgReads  float64 // disk reads per query
+	AvgHits   float64 // records returned per query
+	AvgPages  float64 // data pages touched per query (≈ n_R lower bound)
+	ReadRatio float64 // AvgReads / max(AvgPages, 1): ≈ ℓ of Theorem 4
+}
+
+// RunRange measures orthogonal-range-query cost across selectivities for
+// every scheme (Theorem 4: O(ℓ·n_R) accesses for n_R covering cells).
+func RunRange(dist Distribution, dims, capacity, n, queries int, seed int64) ([]RangePoint, error) {
+	sides := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+	var out []RangePoint
+	for _, s := range Schemes {
+		cfg := Config{Scheme: s, Dist: dist, Dims: dims, Capacity: capacity, N: n, Seed: seed}
+		cfg = cfg.withDefaults()
+		prm := cfg.Params()
+		idx, st, err := newIndex(s, prm)
+		if err != nil {
+			return nil, err
+		}
+		gen := cfg.generator()
+		for i := 0; i < cfg.N; i++ {
+			if err := idx.Insert(gen.Next(), uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		ranger, ok := idx.(interface {
+			Range(lo, hi bitkey.Vector, fn func(bitkey.Vector, uint64) bool) error
+		})
+		if !ok {
+			return nil, fmt.Errorf("sim: scheme %v does not support range queries", s)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0xfeed))
+		for _, side := range sides {
+			st.ResetStats()
+			hits := 0
+			for qi := 0; qi < queries; qi++ {
+				lo := make(bitkey.Vector, dims)
+				hi := make(bitkey.Vector, dims)
+				span := uint64(side * float64(workload.MaxComponent))
+				for j := 0; j < dims; j++ {
+					start := uint64(rng.Int63n(workload.MaxComponent + 1 - int64(span)))
+					lo[j] = bitkey.Component(start)
+					hi[j] = bitkey.Component(start + span)
+				}
+				if err := ranger.Range(lo, hi, func(bitkey.Vector, uint64) bool { hits++; return true }); err != nil {
+					return nil, err
+				}
+			}
+			stats := st.Stats()
+			// Every record hit implies its page was read; approximate data
+			// pages touched by distinct-page reads: the schemes read each
+			// page at most once per query, so reads = dirAccesses + pages.
+			avgReads := float64(stats.Reads) / float64(queries)
+			avgHits := float64(hits) / float64(queries)
+			avgPages := avgHits / (float64(capacity) * 0.69) // ≈ pages at load factor α
+			if avgPages < 1 {
+				avgPages = 1
+			}
+			out = append(out, RangePoint{
+				Scheme:    s,
+				Side:      side,
+				AvgReads:  avgReads,
+				AvgHits:   avgHits,
+				AvgPages:  avgPages,
+				ReadRatio: avgReads / avgPages,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatRange writes the Theorem 4 experiment as a table.
+func FormatRange(w io.Writer, pts []RangePoint) {
+	fmt.Fprintln(w, "Theorem 4: partial-range query cost (reads per query vs. covered pages)")
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %12s %10s\n", "method", "side", "avg reads", "avg hits", "≈pages", "reads/page")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %8.2f %12.2f %12.2f %12.2f %10.2f\n",
+			p.Scheme, p.Side, p.AvgReads, p.AvgHits, p.AvgPages, p.ReadRatio)
+	}
+}
+
+// AblationRow is one configuration of the φ-sweep ablation: how the node
+// size 2^φ trades directory height against node utilization in the
+// BMEH-tree (DESIGN.md ablation; not in the paper).
+type AblationRow struct {
+	Xi     []int
+	Phi    int
+	Result Result
+}
+
+// RunPhiAblation sweeps node capacities for the BMEH-tree on the given
+// workload.
+func RunPhiAblation(dist Distribution, dims, capacity, n int, seed int64) ([]AblationRow, error) {
+	var xis [][]int
+	switch dims {
+	case 2:
+		xis = [][]int{{2, 2}, {3, 3}, {4, 4}, {5, 4}, {5, 5}}
+	case 3:
+		xis = [][]int{{2, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	default:
+		return nil, fmt.Errorf("sim: φ ablation supports d=2,3 (got %d)", dims)
+	}
+	var rows []AblationRow
+	for _, xi := range xis {
+		res, err := Run(Config{
+			Scheme:   BMEHTree,
+			Dist:     dist,
+			Dims:     dims,
+			Capacity: capacity,
+			N:        n,
+			Seed:     seed,
+			Xi:       xi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		phi := 0
+		for _, x := range xi {
+			phi += x
+		}
+		rows = append(rows, AblationRow{Xi: xi, Phi: phi, Result: res})
+	}
+	return rows, nil
+}
+
+// FormatAblation writes the φ sweep as a table.
+func FormatAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation: BMEH-tree node size 2^φ sweep")
+	fmt.Fprintf(w, "%-10s %4s %8s %8s %8s %8s %10s %8s\n", "ξ", "φ", "λ", "λ'", "ρ", "α", "σ", "levels")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %4d %8.3f %8.3f %8.3f %8.3f %10d %8d\n",
+			fmt.Sprint(r.Xi), r.Phi, r.Result.Lambda, r.Result.LambdaPrime, r.Result.Rho, r.Result.Alpha, r.Result.Sigma, r.Result.Levels)
+	}
+}
+
+// Compile-time checks that all schemes expose Range for RunRange.
+var (
+	_ = (*core.Tree)(nil)
+	_ = (*mdeh.Table)(nil)
+	_ = (*mehtree.Tree)(nil)
+)

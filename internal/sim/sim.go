@@ -1,0 +1,314 @@
+// Package sim is the experiment harness that regenerates the paper's
+// evaluation (§5): Tables 2–4 and Figures 6–7, plus the extra ablations
+// listed in DESIGN.md. It implements the paper's protocol exactly: insert
+// N = 40,000 distinct keys and compute the performance measures over the
+// last 4,000 insertions, with the directory root (tree schemes) pinned in
+// memory and every other page access counted at the page-store layer.
+//
+// Reported measures (paper §5):
+//
+//	λ  — average disk reads per successful exact-match search
+//	λ′ — average disk reads per unsuccessful exact-match search
+//	ρ  — average disk accesses (reads + writes) per key insertion
+//	α  — load factor: keys stored / (data pages × capacity)
+//	σ  — directory size in elements (2^{ΣH_j} for MDEH; nodes × 2^φ for
+//	     the tree schemes, whose nodes are fixed-size pages)
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bmeh/internal/bitkey"
+	"bmeh/internal/core"
+	"bmeh/internal/mdeh"
+	"bmeh/internal/mehtree"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// Scheme selects the hashing scheme under test.
+type Scheme int
+
+const (
+	// MDEH is multidimensional extendible hashing with a one-level
+	// directory (baseline 1).
+	MDEH Scheme = iota
+	// MEHTree is the downward-growing multidimensional extendible hash
+	// tree (baseline 2).
+	MEHTree
+	// BMEHTree is the balanced multidimensional extendible hash tree (the
+	// paper's contribution).
+	BMEHTree
+)
+
+// String implements fmt.Stringer with the paper's row labels.
+func (s Scheme) String() string {
+	switch s {
+	case MDEH:
+		return "MDEH"
+	case MEHTree:
+		return "MEH-Tree"
+	case BMEHTree:
+		return "BMEH-Tree"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all schemes in the paper's row order.
+var Schemes = []Scheme{MDEH, MEHTree, BMEHTree}
+
+// Distribution selects the key distribution.
+type Distribution int
+
+const (
+	// Uniform keys: each component uniform in [0, 2^31-1] (paper dist. 1).
+	Uniform Distribution = iota
+	// Normal keys: truncated discretized normal per component (paper
+	// dist. 2, the 2-dimensional case of Table 3).
+	Normal
+	// Clustered keys: Gaussian cluster mixture (ablation workload).
+	Clustered
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Normal:
+		return "normal"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Index is the common surface of the three schemes the harness exercises.
+type Index interface {
+	Insert(k bitkey.Vector, v uint64) error
+	Search(k bitkey.Vector) (uint64, bool, error)
+	DirectoryElements() int
+	Levels() int
+	Len() int
+}
+
+// Config describes one experimental run.
+type Config struct {
+	Scheme   Scheme
+	Dist     Distribution
+	Dims     int
+	Capacity int // data page capacity b
+	N        int // keys to insert (paper: 40,000)
+	Measure  int // tail window for averages (paper: 4,000)
+	Seed     int64
+	// Xi overrides the per-dimension node depth bounds; nil means the
+	// paper's φ = 6 split (⟨3,3⟩ for d = 2, ⟨2,2,2⟩ for d = 3).
+	Xi []int
+}
+
+// withDefaults fills derived fields.
+func (c Config) withDefaults() Config {
+	if c.Dims == 0 {
+		c.Dims = 2
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 8
+	}
+	if c.N == 0 {
+		c.N = 40000
+	}
+	if c.Measure == 0 || c.Measure > c.N {
+		c.Measure = c.N / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 19860301 // PODS'86
+	}
+	return c
+}
+
+// Params returns the index parameters for the run. The component width is
+// 31 bits: the paper draws components from [0, 2^31−1], and its directory
+// sizes (e.g. Table 2's σ = 8,192 for 3,650 pages at b = 16) are only
+// achievable if the address function discriminates on bits that actually
+// vary — a 32-bit width would waste the constant top bit of every
+// dimension and inflate the flat directory 2^d-fold.
+func (c Config) Params() params.Params {
+	prm := params.Default(c.Dims, c.Capacity)
+	prm.Width = 31
+	if c.Xi != nil {
+		prm.Xi = append([]int(nil), c.Xi...)
+	}
+	return prm
+}
+
+// Result holds the paper's performance measures for one run.
+type Result struct {
+	Config      Config
+	Lambda      float64 // λ
+	LambdaPrime float64 // λ′
+	Rho         float64 // ρ
+	Alpha       float64 // α
+	Sigma       int     // σ
+	Levels      int
+	DataPages   int
+	Nodes       int // directory nodes (tree schemes; MDEH: directory pages)
+}
+
+// newIndex builds the scheme's index over a fresh in-memory disk.
+func newIndex(s Scheme, prm params.Params) (Index, *pagestore.MemDisk, error) {
+	var pb int
+	switch s {
+	case MDEH:
+		pb = mdeh.PageBytes(prm)
+	case MEHTree:
+		pb = mehtree.PageBytes(prm)
+	case BMEHTree:
+		pb = core.PageBytes(prm)
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown scheme %d", int(s))
+	}
+	st := pagestore.NewMemDisk(pb)
+	var (
+		idx Index
+		err error
+	)
+	switch s {
+	case MDEH:
+		t, err2 := mdeh.New(st, prm)
+		if err2 == nil {
+			// The paper charges flat-directory accesses per element (§3),
+			// which is what makes Table 3's MDEH insertion cost explode.
+			err2 = t.UsePaperCostModel()
+		}
+		idx, err = t, err2
+	case MEHTree:
+		idx, err = mehtree.New(st, prm)
+	case BMEHTree:
+		idx, err = core.New(st, prm)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, st, nil
+}
+
+// generator builds the workload for the run.
+func (c Config) generator() *workload.Generator {
+	switch c.Dist {
+	case Uniform:
+		return workload.Uniform(c.Dims, c.Seed)
+	case Normal:
+		return workload.Normal(c.Dims, 1<<30, 1<<28, c.Seed)
+	case Clustered:
+		return workload.Clustered(c.Dims, 8, 1<<25, c.Seed)
+	default:
+		panic(fmt.Sprintf("sim: unknown distribution %d", int(c.Dist)))
+	}
+}
+
+// Run executes one experiment per the paper's protocol.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	prm := cfg.Params()
+	if err := prm.Validate(); err != nil {
+		return Result{}, err
+	}
+	idx, st, err := newIndex(cfg.Scheme, prm)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := cfg.generator()
+	keys := make([]bitkey.Vector, 0, cfg.N)
+	warm := cfg.N - cfg.Measure
+	for i := 0; i < warm; i++ {
+		k := gen.Next()
+		keys = append(keys, k)
+		if err := idx.Insert(k, uint64(i)); err != nil {
+			return Result{}, fmt.Errorf("sim: insert %d: %w", i, err)
+		}
+	}
+	// ρ over the last Measure insertions.
+	st.ResetStats()
+	for i := warm; i < cfg.N; i++ {
+		k := gen.Next()
+		keys = append(keys, k)
+		if err := idx.Insert(k, uint64(i)); err != nil {
+			return Result{}, fmt.Errorf("sim: insert %d: %w", i, err)
+		}
+	}
+	rho := float64(st.Stats().Accesses()) / float64(cfg.Measure)
+	// λ over Measure successful searches of random stored keys.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	st.ResetStats()
+	for i := 0; i < cfg.Measure; i++ {
+		k := keys[rng.Intn(len(keys))]
+		_, ok, err := idx.Search(k)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			return Result{}, fmt.Errorf("sim: stored key not found")
+		}
+	}
+	lambda := float64(st.Stats().Reads) / float64(cfg.Measure)
+	// λ′ over Measure unsuccessful searches of absent same-distribution keys.
+	st.ResetStats()
+	for i := 0; i < cfg.Measure; i++ {
+		k := gen.Absent()
+		_, ok, err := idx.Search(k)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return Result{}, fmt.Errorf("sim: absent key found")
+		}
+	}
+	lambdaPrime := float64(st.Stats().Reads) / float64(cfg.Measure)
+	dataPages := st.Allocated()[pagestore.KindData]
+	dirPages := st.Allocated()[pagestore.KindDirectory]
+	return Result{
+		Config:      cfg,
+		Lambda:      lambda,
+		LambdaPrime: lambdaPrime,
+		Rho:         rho,
+		Alpha:       float64(idx.Len()) / float64(dataPages*cfg.Capacity),
+		Sigma:       idx.DirectoryElements(),
+		Levels:      idx.Levels(),
+		DataPages:   dataPages,
+		Nodes:       dirPages,
+	}, nil
+}
+
+// GrowthPoint is one sample of a directory-growth curve (Figures 6–7).
+type GrowthPoint struct {
+	Inserted int
+	Sigma    int
+}
+
+// RunGrowth builds the index and samples the directory size every `every`
+// insertions, producing one growth curve (one line of Figure 6 or 7).
+func RunGrowth(cfg Config, every int) ([]GrowthPoint, error) {
+	cfg = cfg.withDefaults()
+	prm := cfg.Params()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	idx, _, err := newIndex(cfg.Scheme, prm)
+	if err != nil {
+		return nil, err
+	}
+	gen := cfg.generator()
+	var pts []GrowthPoint
+	for i := 0; i < cfg.N; i++ {
+		if err := idx.Insert(gen.Next(), uint64(i)); err != nil {
+			return nil, fmt.Errorf("sim: insert %d: %w", i, err)
+		}
+		if (i+1)%every == 0 || i == cfg.N-1 {
+			pts = append(pts, GrowthPoint{Inserted: i + 1, Sigma: idx.DirectoryElements()})
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunShapes executes scaled-down versions of the paper's runs and
+// asserts the qualitative shapes the paper reports. Full-size (N=40,000)
+// runs live in the benchmark harness (cmd/bmehbench, bench_test.go).
+func TestRunShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-down experiment still takes seconds")
+	}
+	n, m := 8000, 800
+	get := func(s Scheme, dist Distribution, b int) Result {
+		t.Helper()
+		r, err := Run(Config{Scheme: s, Dist: dist, Dims: 2, Capacity: b, N: n, Measure: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// MDEH: exactly 2 reads per successful search (directory page + data
+	// page), any distribution, any b. Unsuccessful searches may cost
+	// slightly less when the absent key hits an empty directory cell.
+	for _, dist := range []Distribution{Uniform, Normal} {
+		r := get(MDEH, dist, 8)
+		if r.Lambda != 2 {
+			t.Errorf("MDEH %v: λ=%.3f, want exactly 2", dist, r.Lambda)
+		}
+		if r.LambdaPrime > 2 || r.LambdaPrime < 1.9 {
+			t.Errorf("MDEH %v: λ'=%.3f, want ≈2", dist, r.LambdaPrime)
+		}
+	}
+
+	// BMEH: λ is exactly levels (balanced tree, root pinned).
+	for _, dist := range []Distribution{Uniform, Normal} {
+		r := get(BMEHTree, dist, 8)
+		if r.Lambda != float64(r.Levels) {
+			t.Errorf("BMEH %v: λ=%.3f with %d levels; balance violated", dist, r.Lambda, r.Levels)
+		}
+	}
+
+	// Directory size: BMEH smallest for the skewed distribution at b=8;
+	// MDEH explodes under skew.
+	mdehN := get(MDEH, Normal, 8)
+	mehN := get(MEHTree, Normal, 8)
+	bmehN := get(BMEHTree, Normal, 8)
+	if !(bmehN.Sigma < mehN.Sigma && bmehN.Sigma < mdehN.Sigma) {
+		t.Errorf("normal b=8: σ BMEH=%d MEH=%d MDEH=%d; BMEH should be smallest",
+			bmehN.Sigma, mehN.Sigma, mdehN.Sigma)
+	}
+	mdehU := get(MDEH, Uniform, 8)
+	if mdehN.Sigma <= mdehU.Sigma {
+		t.Errorf("MDEH σ should explode under skew: normal=%d uniform=%d", mdehN.Sigma, mdehU.Sigma)
+	}
+
+	// ρ: the flat directory pays much more per insertion under skew.
+	if mdehN.Rho <= bmehN.Rho {
+		t.Errorf("normal b=8: ρ MDEH=%.2f should exceed BMEH=%.2f", mdehN.Rho, bmehN.Rho)
+	}
+
+	// α: load factor is scheme-independent (same page-split discipline).
+	if diff := mdehN.Alpha - bmehN.Alpha; diff > 0.02 || diff < -0.02 {
+		t.Errorf("α should match across schemes: MDEH=%.3f BMEH=%.3f", mdehN.Alpha, bmehN.Alpha)
+	}
+
+	t.Logf("uniform b=8: MDEH σ=%d ρ=%.2f | MEH σ=%d ρ=%.2f λ=%.2f | BMEH σ=%d ρ=%.2f λ=%.2f",
+		mdehU.Sigma, mdehU.Rho,
+		get(MEHTree, Uniform, 8).Sigma, get(MEHTree, Uniform, 8).Rho, get(MEHTree, Uniform, 8).Lambda,
+		get(BMEHTree, Uniform, 8).Sigma, get(BMEHTree, Uniform, 8).Rho, get(BMEHTree, Uniform, 8).Lambda)
+	t.Logf("normal b=8:  MDEH σ=%d ρ=%.2f | MEH σ=%d ρ=%.2f λ=%.2f | BMEH σ=%d ρ=%.2f λ=%.2f levels=%d",
+		mdehN.Sigma, mdehN.Rho, mehN.Sigma, mehN.Rho, mehN.Lambda, bmehN.Sigma, bmehN.Rho, bmehN.Lambda, bmehN.Levels)
+}
+
+func TestTableAndFigureFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-down table still takes seconds")
+	}
+	spec, err := TableSpecFor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTable(spec, 2000, 200, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table 2", "MDEH", "BMEH-Tree", "λ", "σ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	fspec, err := FigureSpecFor(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunFigure(fspec, 2000, 500, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	fr.Format(&sb)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Errorf("figure output malformed:\n%s", sb.String())
+	}
+	for _, s := range Schemes {
+		if len(fr.Curves[s]) != 4 {
+			t.Errorf("%v: %d growth points, want 4", s, len(fr.Curves[s]))
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-down figure still takes seconds")
+	}
+	spec, err := FigureSpecFor(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunFigure(spec, 1000, 250, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fr.FormatCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // header + 4 samples
+		t.Fatalf("%d CSV lines, want 5:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "inserted,MDEH,MEH-Tree,BMEH-Tree" {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 3 {
+			t.Errorf("malformed CSV row %q", l)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Capacities are the paper's page capacities, the columns of Tables 2–4.
+var Capacities = []int{8, 16, 32, 64}
+
+// TableSpec maps the paper's table numbers to their workloads.
+type TableSpec struct {
+	Number int
+	Title  string
+	Dims   int
+	Dist   Distribution
+}
+
+// Tables lists the paper's evaluation tables.
+var Tables = []TableSpec{
+	{Number: 2, Title: "2-dimensional uniform distributed keys", Dims: 2, Dist: Uniform},
+	{Number: 3, Title: "2-dimensional normal distributed keys", Dims: 2, Dist: Normal},
+	{Number: 4, Title: "3-dimensional uniform distributed keys", Dims: 3, Dist: Uniform},
+}
+
+// TableSpecFor returns the spec for a paper table number.
+func TableSpecFor(n int) (TableSpec, error) {
+	for _, t := range Tables {
+		if t.Number == n {
+			return t, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("sim: no table %d in the paper (tables 2-4)", n)
+}
+
+// TableResult holds one full table: rows[scheme][capacity index].
+type TableResult struct {
+	Spec    TableSpec
+	N       int
+	Results map[Scheme][]Result
+}
+
+// RunTable reproduces one paper table: every scheme at every page capacity.
+// n and measure default to the paper's 40,000 / 4,000. progress, if
+// non-nil, is called before each run.
+func RunTable(spec TableSpec, n, measure int, seed int64, progress func(s Scheme, b int)) (*TableResult, error) {
+	tr := &TableResult{Spec: spec, N: n, Results: make(map[Scheme][]Result)}
+	for _, s := range Schemes {
+		for _, b := range Capacities {
+			if progress != nil {
+				progress(s, b)
+			}
+			res, err := Run(Config{
+				Scheme:   s,
+				Dist:     spec.Dist,
+				Dims:     spec.Dims,
+				Capacity: b,
+				N:        n,
+				Measure:  measure,
+				Seed:     seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: table %d, %v b=%d: %w", spec.Number, s, b, err)
+			}
+			if tr.N == 0 {
+				tr.N = res.Config.N
+			}
+			tr.Results[s] = append(tr.Results[s], res)
+		}
+	}
+	if tr.N == 0 {
+		tr.N = n
+	}
+	return tr, nil
+}
+
+// Format writes the table in the paper's layout.
+func (tr *TableResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Table %d: Results for %s (N=%d)\n", tr.Spec.Number, tr.Spec.Title, tr.N)
+	fmt.Fprintf(w, "%-38s %-10s %10s %10s %10s %10s\n", "Performance measure", "Method", "b=8", "b=16", "b=32", "b=64")
+	line := strings.Repeat("-", 94)
+	fmt.Fprintln(w, line)
+	rows := []struct {
+		label string
+		get   func(Result) string
+	}{
+		{"Avg disk I/O per succ. search (λ)", func(r Result) string { return fmt.Sprintf("%.3f", r.Lambda) }},
+		{"Avg disk I/O per unsucc. search (λ')", func(r Result) string { return fmt.Sprintf("%.3f", r.LambdaPrime) }},
+		{"Avg disk I/O per insertion (ρ)", func(r Result) string { return fmt.Sprintf("%.3f", r.Rho) }},
+		{"Avg load factor (α)", func(r Result) string { return fmt.Sprintf("%.3f", r.Alpha) }},
+		{"Directory size (σ)", func(r Result) string { return fmt.Sprintf("%d", r.Sigma) }},
+	}
+	for _, row := range rows {
+		for i, s := range Schemes {
+			label := ""
+			if i == 0 {
+				label = row.label
+			}
+			fmt.Fprintf(w, "%-38s %-10s", trunc(label, 38), s)
+			for _, r := range tr.Results[s] {
+				fmt.Fprintf(w, " %10s", row.get(r))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func trunc(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n])
+}
+
+// FigureSpec maps the paper's figure numbers to their workloads.
+type FigureSpec struct {
+	Number   int
+	Title    string
+	Dist     Distribution
+	Capacity int
+}
+
+// Figures lists the paper's directory-growth figures.
+var Figures = []FigureSpec{
+	{Number: 6, Title: "directory growth, 2-d uniform keys, b=8", Dist: Uniform, Capacity: 8},
+	{Number: 7, Title: "directory growth, 2-d normal keys, b=8", Dist: Normal, Capacity: 8},
+}
+
+// FigureSpecFor returns the spec for a paper figure number.
+func FigureSpecFor(n int) (FigureSpec, error) {
+	for _, f := range Figures {
+		if f.Number == n {
+			return f, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("sim: no figure %d in the paper (figures 6-7)", n)
+}
+
+// FigureResult holds the growth curves of one figure.
+type FigureResult struct {
+	Spec   FigureSpec
+	Every  int
+	Curves map[Scheme][]GrowthPoint
+}
+
+// RunFigure reproduces one growth figure: the directory-size curve of every
+// scheme, sampled every `every` insertions.
+func RunFigure(spec FigureSpec, n, every int, seed int64, progress func(s Scheme)) (*FigureResult, error) {
+	fr := &FigureResult{Spec: spec, Every: every, Curves: make(map[Scheme][]GrowthPoint)}
+	for _, s := range Schemes {
+		if progress != nil {
+			progress(s)
+		}
+		pts, err := RunGrowth(Config{
+			Scheme:   s,
+			Dist:     spec.Dist,
+			Dims:     2,
+			Capacity: spec.Capacity,
+			N:        n,
+			Seed:     seed,
+		}, every)
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure %d, %v: %w", spec.Number, s, err)
+		}
+		fr.Curves[s] = pts
+	}
+	return fr, nil
+}
+
+// FormatCSV writes the figure's series as CSV (insertions, one σ column
+// per scheme) for external plotting tools.
+func (fr *FigureResult) FormatCSV(w io.Writer) {
+	fmt.Fprint(w, "inserted")
+	for _, s := range Schemes {
+		fmt.Fprintf(w, ",%s", s)
+	}
+	fmt.Fprintln(w)
+	n := 0
+	for _, s := range Schemes {
+		if len(fr.Curves[s]) > n {
+			n = len(fr.Curves[s])
+		}
+	}
+	for i := 0; i < n; i++ {
+		var ins int
+		for _, s := range Schemes {
+			if i < len(fr.Curves[s]) {
+				ins = fr.Curves[s][i].Inserted
+			}
+		}
+		fmt.Fprintf(w, "%d", ins)
+		for _, s := range Schemes {
+			if i < len(fr.Curves[s]) {
+				fmt.Fprintf(w, ",%d", fr.Curves[s][i].Sigma)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Format writes the figure's series as an aligned table (insertions vs. σ
+// per scheme), the textual equivalent of the paper's plot.
+func (fr *FigureResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure %d: %s (directory elements vs. keys inserted)\n", fr.Spec.Number, fr.Spec.Title)
+	fmt.Fprintf(w, "%10s", "inserted")
+	for _, s := range Schemes {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+	n := 0
+	for _, s := range Schemes {
+		if len(fr.Curves[s]) > n {
+			n = len(fr.Curves[s])
+		}
+	}
+	for i := 0; i < n; i++ {
+		var ins int
+		for _, s := range Schemes {
+			if i < len(fr.Curves[s]) {
+				ins = fr.Curves[s][i].Inserted
+			}
+		}
+		fmt.Fprintf(w, "%10d", ins)
+		for _, s := range Schemes {
+			if i < len(fr.Curves[s]) {
+				fmt.Fprintf(w, " %12d", fr.Curves[s][i].Sigma)
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bmeh/internal/exthash"
+	"bmeh/internal/mdeh"
+	"bmeh/internal/pagestore"
+	"bmeh/internal/workload"
+)
+
+// NoisePoint is one sample of the §3 degeneration experiment: directory
+// size under "noise burst" keys (runs of consecutive keys differing only
+// in their low-order bits — the paper's motivating pathology for flat
+// directories).
+type NoisePoint struct {
+	Inserted int
+	Sigma    map[string]int // scheme label → directory elements
+}
+
+// RunNoise inserts n noise-burst keys into the 1-dimensional flat table
+// (§2.1), the flat MDEH directory, the MEH-tree and the BMEH-tree, and
+// samples σ every `every` insertions. Flat directories degenerate toward
+// O(M/(b+1)) while the tree directories stay near-linear — the argument of
+// §3 in executable form. Schemes whose directory overflows report their
+// last size (the overflow is the finding).
+func RunNoise(n, every, burstLen, noiseBits int, seed int64) ([]NoisePoint, error) {
+	type driver struct {
+		label  string
+		insert func(i int) error
+		sigma  func() int
+	}
+	var drivers []driver
+
+	// 1-d order-preserving extendible hashing over the same component
+	// stream (first component of the 2-d keys).
+	ehCfg := exthash.Config{Width: 31, Capacity: 8}
+	ehStore := pagestore.NewMemDisk(ehCfg.PageBytes())
+	eh, err := exthash.New(ehStore, ehCfg)
+	if err != nil {
+		return nil, err
+	}
+	ehGen := workload.NoiseBurst(1, burstLen, noiseBits, seed)
+	ehDead := false
+	drivers = append(drivers, driver{
+		label: "ExtHash-1d",
+		insert: func(i int) error {
+			if ehDead {
+				return nil
+			}
+			err := eh.Insert(ehGen.Next()[0], uint64(i))
+			if err == exthash.ErrDirectoryOverflow {
+				ehDead = true // freeze at the overflow size
+				return nil
+			}
+			return err
+		},
+		sigma: func() int { return eh.DirSize() },
+	})
+
+	for _, s := range Schemes {
+		s := s
+		cfg := Config{Scheme: s, Dims: 2, Capacity: 8, N: n, Seed: seed}
+		cfg = cfg.withDefaults()
+		idx, _, err := newIndex(s, cfg.Params())
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NoiseBurst(2, burstLen, noiseBits, seed)
+		dead := false
+		drivers = append(drivers, driver{
+			label: s.String(),
+			insert: func(i int) error {
+				if dead {
+					return nil
+				}
+				err := idx.Insert(gen.Next(), uint64(i))
+				if errors.Is(err, mdeh.ErrDirectoryOverflow) {
+					// The flat directory's overflow guard is the expected
+					// outcome under this workload; freeze its curve there.
+					dead = true
+					return nil
+				}
+				return err
+			},
+			sigma: func() int { return idx.DirectoryElements() },
+		})
+	}
+
+	var pts []NoisePoint
+	for i := 0; i < n; i++ {
+		for _, d := range drivers {
+			if err := d.insert(i); err != nil {
+				return nil, fmt.Errorf("sim: noise experiment, %s at %d: %w", d.label, i, err)
+			}
+		}
+		if (i+1)%every == 0 || i == n-1 {
+			p := NoisePoint{Inserted: i + 1, Sigma: make(map[string]int)}
+			for _, d := range drivers {
+				p.Sigma[d.label] = d.sigma()
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+// NoiseLabels is the column order for FormatNoise.
+var NoiseLabels = []string{"ExtHash-1d", "MDEH", "MEH-Tree", "BMEH-Tree"}
+
+// FormatNoise renders the noise experiment as an aligned table.
+func FormatNoise(w io.Writer, pts []NoisePoint) {
+	fmt.Fprintln(w, "§3 degeneration: directory size under noise-burst keys (b=8)")
+	fmt.Fprintf(w, "%10s", "inserted")
+	for _, l := range NoiseLabels {
+		fmt.Fprintf(w, " %12s", l)
+	}
+	fmt.Fprintln(w)
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10d", p.Inserted)
+		for _, l := range NoiseLabels {
+			fmt.Fprintf(w, " %12d", p.Sigma[l])
+		}
+		fmt.Fprintln(w)
+	}
+}

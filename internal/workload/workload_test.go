@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bmeh/internal/bitkey"
+)
+
+func TestUniformDistinctAndInRange(t *testing.T) {
+	g := Uniform(3, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := g.Next()
+		if len(k) != 3 {
+			t.Fatal("wrong dimensionality")
+		}
+		for _, c := range k {
+			if uint64(c) > MaxComponent {
+				t.Fatalf("component %d out of range", c)
+			}
+		}
+		sig := string(keyBytes(k))
+		if seen[sig] {
+			t.Fatal("duplicate key emitted")
+		}
+		seen[sig] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(2, 42).Take(100)
+	b := Uniform(2, 42).Take(100)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("key %d differs across same-seed generators", i)
+		}
+	}
+	c := Uniform(2, 43).Take(100)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestAbsentNeverEmitted(t *testing.T) {
+	g := Uniform(2, 7)
+	keys := g.Take(1000)
+	index := map[string]bool{}
+	for _, k := range keys {
+		index[string(keyBytes(k))] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if index[string(keyBytes(g.Absent()))] {
+			t.Fatal("Absent returned an emitted key")
+		}
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	mean, sd := float64(uint64(1)<<30), float64(uint64(1)<<28)
+	g := Normal(2, mean, sd, 3)
+	inside := 0
+	n := 4000
+	var sum float64
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		v := float64(k[0])
+		sum += v
+		if math.Abs(v-mean) <= 2*sd {
+			inside++
+		}
+	}
+	if frac := float64(inside) / float64(n); frac < 0.90 {
+		t.Errorf("only %.2f of mass within 2σ; not a normal", frac)
+	}
+	if avg := sum / float64(n); math.Abs(avg-mean) > sd/4 {
+		t.Errorf("sample mean %.0f too far from %.0f", avg, mean)
+	}
+}
+
+func TestClusteredIsClumped(t *testing.T) {
+	g := Clustered(2, 4, 1<<20, 9)
+	// With tiny cluster σ relative to the domain, the pairwise spread of
+	// most consecutive samples should be either tiny (same cluster) or
+	// huge (different clusters) — crudely: the coordinate histogram over
+	// 16 buckets should be very uneven.
+	var hist [16]int
+	n := 2000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		hist[uint64(k[0])>>27]++
+	}
+	max := 0
+	for _, c := range hist {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/8 {
+		t.Errorf("clustered distribution looks uniform: max bucket %d of %d", max, n)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := Zipf(1, 1.5, 11)
+	small := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		if uint64(g.Next()[0]) < 1000 {
+			small++
+		}
+	}
+	// With s = 1.5 over a 2^31 range, a large fraction of the mass sits in
+	// the first thousand values — vastly above the uniform expectation of
+	// ~1e-6 of samples.
+	if small < n/5 {
+		t.Errorf("zipf not skewed to small values: %d/%d below 1000", small, n)
+	}
+}
+
+func TestNoiseBurstSharesPrefix(t *testing.T) {
+	g := NoiseBurst(2, 10, 6, 13)
+	keys := g.Take(10) // one burst
+	base := keys[0][0] >> 6
+	for _, k := range keys {
+		if k[0]>>6 != base {
+			t.Fatal("burst keys should share the high-order prefix")
+		}
+	}
+	// The next burst should (almost surely) have a different prefix.
+	next := g.Take(10)
+	if next[0][0]>>6 == base {
+		t.Log("warning: consecutive bursts share a prefix (possible but unlikely)")
+	}
+}
+
+func TestTakeAndDims(t *testing.T) {
+	g := Uniform(4, 5)
+	if g.Dims() != 4 {
+		t.Fatal("Dims")
+	}
+	ks := g.Take(17)
+	if len(ks) != 17 {
+		t.Fatal("Take length")
+	}
+	if g.Name() == "" {
+		t.Fatal("Name empty")
+	}
+}
+
+func TestKeyBytesInjective(t *testing.T) {
+	a := bitkey.Vector{1, 2}
+	b := bitkey.Vector{1, 3}
+	if string(keyBytes(a)) == string(keyBytes(b)) {
+		t.Fatal("keyBytes collided")
+	}
+}
+
+func TestSequentialMonotone(t *testing.T) {
+	g := Sequential(2, 1000, 3, 1)
+	prev := g.Next()
+	for i := 0; i < 500; i++ {
+		k := g.Next()
+		if !prev.Less(k) {
+			t.Fatalf("sequence not monotone at %d: %v then %v", i, prev, k)
+		}
+		if k[0] != k[1] {
+			t.Fatalf("components should move together, got %v", k)
+		}
+		prev = k
+	}
+}

@@ -1,0 +1,57 @@
+package bmeh
+
+import (
+	"bmeh/internal/psi"
+)
+
+// This file provides order-preserving encodings ψ from common attribute
+// types to key components (paper §1, §4.4): for attribute values a ≤ b the
+// encodings satisfy ψ(a) ≤ ψ(b), which is what makes range predicates map
+// to component ranges. Mix encoders freely across dimensions.
+//
+// The 32-bit encoders match the default index Width of 32; the 64-bit
+// encoders require Options.Width = 64.
+
+// Uint32 encodes a uint32 attribute (identity, 32-bit widths).
+func Uint32(v uint32) uint64 { return uint64(psi.Uint32{}.Encode(v)) }
+
+// Int32 encodes a signed int32 attribute order-preservingly (32-bit
+// widths): math.MinInt32 maps to 0.
+func Int32(v int32) uint64 { return uint64(psi.Int32{}.Encode(v)) }
+
+// Uint64 encodes a uint64 attribute (identity, 64-bit widths).
+func Uint64(v uint64) uint64 { return uint64(psi.Uint64{}.Encode(v)) }
+
+// Int64 encodes a signed int64 attribute order-preservingly (64-bit
+// widths).
+func Int64(v int64) uint64 { return uint64(psi.Int64{}.Encode(v)) }
+
+// Float64 encodes an IEEE-754 double order-preservingly (64-bit widths):
+// -Inf < negatives < -0 < +0 < positives < +Inf < NaN.
+func Float64(v float64) uint64 { return uint64(psi.Float64{}.Encode(v)) }
+
+// Bounded linearly rescales v from [lo, hi] onto the full 32-bit component
+// range, clamping outside values — the natural encoder for spatial
+// coordinates (32-bit widths).
+func Bounded(v, lo, hi float64) uint64 {
+	return uint64(psi.Bounded{Lo: lo, Hi: hi}.Encode(v))
+}
+
+// StringPrefix encodes the leading bytes of s into a component of the
+// given bit width (a multiple of 8, at most 64). Strings sharing the
+// prefix collide into the same component; the index still distinguishes
+// full keys only if other dimensions differ, so use this for clustering
+// and range pruning, not as a unique key.
+func StringPrefix(s string, bits int) uint64 {
+	return uint64(psi.String{Bits: bits}.Encode(s))
+}
+
+// Unbounded returns the [0, max] bounds for an unconstrained dimension of
+// a partial-range query against an index of the given component width,
+// matching the paper's "0000…" / "1111…" convention.
+func Unbounded(width int) (lo, hi uint64) {
+	if width >= 64 {
+		return 0, ^uint64(0)
+	}
+	return 0, 1<<uint(width) - 1
+}

@@ -1,0 +1,298 @@
+package bmeh
+
+// Model-based randomized testing: every scheme is driven through long
+// random operation sequences and checked step-by-step against a plain map
+// model, with periodic structural validation and range cross-checks. This
+// is the library's strongest correctness net — any divergence between the
+// paged structures and the model is a real bug.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// modelKey is a comparable rendering of a Key for the map model.
+func modelKey(k Key) string {
+	return fmt.Sprint([]uint64(k))
+}
+
+// opMix drives ops against one index configuration with the given rng and
+// operation count, verifying against a model continuously.
+func opMix(t *testing.T, opts Options, rng *rand.Rand, ops int, keySpaceBits uint) {
+	t.Helper()
+	ix, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	model := make(map[string]uint64)
+	var keys []Key // insertion-ordered live keys (may contain deleted)
+	randKey := func() Key {
+		// Keys vary in their keySpaceBits leading bits (prefix hashing
+		// discriminates by leading bits; a small dense space maximizes
+		// collisions, splits and merges).
+		shift := uint(opts.width()) - keySpaceBits
+		k := make(Key, opts.Dims)
+		for j := range k {
+			k[j] = (rng.Uint64() & (1<<keySpaceBits - 1)) << shift
+		}
+		return k
+	}
+	existingKey := func() (Key, bool) {
+		if len(keys) == 0 {
+			return nil, false
+		}
+		for try := 0; try < 8; try++ {
+			k := keys[rng.Intn(len(keys))]
+			if _, ok := model[modelKey(k)]; ok {
+				return k, true
+			}
+		}
+		return nil, false
+	}
+	for i := 0; i < ops; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // insert
+			k := randKey()
+			mk := modelKey(k)
+			_, exists := model[mk]
+			err := ix.Insert(k, uint64(i))
+			switch {
+			case exists && err != ErrDuplicate:
+				t.Fatalf("op %d: duplicate insert of %v returned %v", i, k, err)
+			case !exists && err != nil:
+				t.Fatalf("op %d: insert %v: %v", i, k, err)
+			case !exists:
+				model[mk] = uint64(i)
+				keys = append(keys, k)
+			}
+		case op < 7: // delete (mostly existing)
+			var k Key
+			if ek, ok := existingKey(); ok && rng.Intn(4) > 0 {
+				k = ek
+			} else {
+				k = randKey()
+			}
+			mk := modelKey(k)
+			_, exists := model[mk]
+			ok, err := ix.Delete(k)
+			if err != nil {
+				t.Fatalf("op %d: delete %v: %v", i, k, err)
+			}
+			if ok != exists {
+				t.Fatalf("op %d: delete %v reported %v, model says %v", i, k, ok, exists)
+			}
+			delete(model, mk)
+		case op < 9: // point lookup
+			var k Key
+			if ek, ok := existingKey(); ok && rng.Intn(3) > 0 {
+				k = ek
+			} else {
+				k = randKey()
+			}
+			want, exists := model[modelKey(k)]
+			v, ok, err := ix.Get(k)
+			if err != nil {
+				t.Fatalf("op %d: get %v: %v", i, k, err)
+			}
+			if ok != exists || (ok && v != want) {
+				t.Fatalf("op %d: get %v = (%d,%v), model (%d,%v)", i, k, v, ok, want, exists)
+			}
+		default: // range cross-check
+			a, b := randKey(), randKey()
+			lo := make(Key, opts.Dims)
+			hi := make(Key, opts.Dims)
+			for j := range lo {
+				lo[j], hi[j] = a[j], b[j]
+				if lo[j] > hi[j] {
+					lo[j], hi[j] = hi[j], lo[j]
+				}
+			}
+			// Model count, derived from the live subset of keys.
+			want := 0
+			counted := map[string]bool{}
+			for _, k := range keys {
+				mk := modelKey(k)
+				if counted[mk] {
+					continue
+				}
+				counted[mk] = true
+				if _, live := model[mk]; !live {
+					continue
+				}
+				in := true
+				for j := range k {
+					if k[j] < lo[j] || k[j] > hi[j] {
+						in = false
+						break
+					}
+				}
+				if in {
+					want++
+				}
+			}
+			got := 0
+			seen := map[string]bool{}
+			err := ix.Range(lo, hi, func(k Key, v uint64) bool {
+				mk := modelKey(k)
+				if seen[mk] {
+					t.Fatalf("op %d: range delivered %v twice", i, k)
+				}
+				seen[mk] = true
+				mv, live := model[mk]
+				if !live || mv != v {
+					t.Fatalf("op %d: range delivered %v=%d, model (%d,%v)", i, k, v, mv, live)
+				}
+				got++
+				return true
+			})
+			if err != nil {
+				t.Fatalf("op %d: range: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("op %d: range matched %d records, model says %d", i, got, want)
+			}
+		}
+		if i%500 == 499 {
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("op %d: validate: %v", i, err)
+			}
+			if ix.Len() != len(model) {
+				t.Fatalf("op %d: Len=%d model=%d", i, ix.Len(), len(model))
+			}
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("final Len=%d model=%d", ix.Len(), len(model))
+	}
+}
+
+// width resolves the effective component width of the options.
+func (o Options) width() int {
+	if o.Width == 0 {
+		return 32
+	}
+	return o.Width
+}
+
+func TestModelRandomOps(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+		bits uint
+	}{
+		{"BMEH-2d", Options{Scheme: SchemeBMEH, Dims: 2, PageCapacity: 4}, 8},
+		{"BMEH-3d", Options{Scheme: SchemeBMEH, Dims: 3, PageCapacity: 6}, 6},
+		{"BMEH-quadtree", Options{Scheme: SchemeBMEH, Dims: 2, PageCapacity: 3, NodeBits: []int{1, 1}}, 7},
+		{"BMEH-asym", Options{Scheme: SchemeBMEH, Dims: 2, PageCapacity: 4, NodeBits: []int{3, 1}}, 8},
+		{"BMEH-wide", Options{Scheme: SchemeBMEH, Dims: 2, PageCapacity: 8, Width: 16}, 10},
+		{"MDEH-2d", Options{Scheme: SchemeMDEH, Dims: 2, PageCapacity: 4}, 8},
+		{"MDEH-3d", Options{Scheme: SchemeMDEH, Dims: 3, PageCapacity: 6}, 6},
+		{"MEH-2d", Options{Scheme: SchemeMEH, Dims: 2, PageCapacity: 4}, 8},
+		{"MEH-3d", Options{Scheme: SchemeMEH, Dims: 3, PageCapacity: 6}, 6},
+	}
+	for _, c := range configs {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			ops := 4000
+			if testing.Short() {
+				ops = 800
+			}
+			opMix(t, c.opts, rand.New(rand.NewSource(0xB0E5)), ops, c.bits)
+		})
+	}
+}
+
+// TestModelDenseKeySpace hammers a tiny key space so duplicates, deletes
+// and re-inserts of the same keys dominate — the regime where region
+// bookkeeping errors surface.
+func TestModelDenseKeySpace(t *testing.T) {
+	for _, s := range []Scheme{SchemeBMEH, SchemeMDEH, SchemeMEH} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			ops := 6000
+			if testing.Short() {
+				ops = 1000
+			}
+			opMix(t, Options{Scheme: s, Dims: 2, PageCapacity: 2, Width: 12}, rand.New(rand.NewSource(7)), ops, 4)
+		})
+	}
+}
+
+// TestSchemesAgree checks that all three schemes give identical answers to
+// identical operation sequences (they index the same records; only the
+// directory differs).
+func TestSchemesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ixs := make([]*Index, 3)
+		for i, s := range []Scheme{SchemeBMEH, SchemeMDEH, SchemeMEH} {
+			ix, err := New(Options{Scheme: s, Dims: 2, PageCapacity: 4})
+			if err != nil {
+				return false
+			}
+			defer ix.Close()
+			ixs[i] = ix
+		}
+		var keys []Key
+		for i := 0; i < 300; i++ {
+			k := Key{uint64(rng.Intn(1<<10) << 21), uint64(rng.Intn(1<<10) << 21)}
+			keys = append(keys, k)
+			var results [3]error
+			for j, ix := range ixs {
+				results[j] = ix.Insert(k, uint64(i))
+			}
+			if results[0] != results[1] || results[1] != results[2] {
+				return false
+			}
+		}
+		// Random deletions must agree.
+		for i := 0; i < 100; i++ {
+			k := keys[rng.Intn(len(keys))]
+			var oks [3]bool
+			for j, ix := range ixs {
+				ok, err := ix.Delete(k)
+				if err != nil {
+					return false
+				}
+				oks[j] = ok
+			}
+			if oks[0] != oks[1] || oks[1] != oks[2] {
+				return false
+			}
+		}
+		// All lookups agree.
+		for _, k := range keys {
+			var vs [3]uint64
+			var oks [3]bool
+			for j, ix := range ixs {
+				v, ok, err := ix.Get(k)
+				if err != nil {
+					return false
+				}
+				vs[j], oks[j] = v, ok
+			}
+			if oks[0] != oks[1] || oks[1] != oks[2] {
+				return false
+			}
+			if oks[0] && (vs[0] != vs[1] || vs[1] != vs[2]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
