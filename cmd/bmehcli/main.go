@@ -6,6 +6,11 @@
 //
 //	bmehcli -dims 2 index.bmeh
 //	bmehcli -mem -dims 3 -scheme mdeh
+//	bmehcli fsck index.bmeh
+//
+// The fsck form runs an offline integrity check — page checksums, header,
+// structural invariants — and exits 0 (clean) or 1 (problems found)
+// instead of starting the shell.
 //
 // Commands (keys are space-separated unsigned components):
 //
@@ -36,6 +41,10 @@ func main() {
 		scheme   = flag.String("scheme", "bmeh", "scheme for a new index: bmeh, mdeh or meh")
 	)
 	flag.Parse()
+
+	if flag.Arg(0) == "fsck" {
+		os.Exit(runFsck(flag.Arg(1)))
+	}
 
 	ix, err := openIndex(*mem, *scheme, *dims, *capacity, flag.Arg(0))
 	if err != nil {
@@ -156,6 +165,32 @@ func main() {
 			fmt.Println("unknown command; type 'help'")
 		}
 	}
+}
+
+// runFsck checks an index file offline and prints the findings, returning
+// the process exit code: 0 clean, 1 problems found, 2 usage/IO error.
+func runFsck(path string) int {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "usage: bmehcli fsck <index-file>")
+		return 2
+	}
+	rep, err := bmeh.Fsck(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmehcli: fsck:", err)
+		return 2
+	}
+	if rep.Scheme != "" {
+		fmt.Printf("%s: %s, %d page(s) (%d free) of %d bytes, %d record(s)\n",
+			rep.Path, rep.Scheme, rep.Pages, rep.FreePages, rep.PageSize, rep.Records)
+	}
+	if rep.OK() {
+		fmt.Println("ok")
+		return 0
+	}
+	for _, p := range rep.Problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	return 1
 }
 
 func openIndex(mem bool, scheme string, dims, capacity int, path string) (*bmeh.Index, error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"bmeh/internal/datapage"
 	"bmeh/internal/dirnode"
@@ -10,16 +11,27 @@ import (
 	"bmeh/internal/params"
 )
 
-// metaVersion identifies the meta-record layout.
-const metaVersion = 1
+// metaVersion identifies the meta-record layout. Version 2 appended a
+// CRC-32C over the record, so a damaged header is rejected instead of
+// silently reconstructing a broken tree.
+const metaVersion = 2
+
+// metaCRCTable matches the pagestore's on-disk checksum polynomial.
+var metaCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// metaLen returns the full record length (checksum included) for a
+// d-dimensional tree's meta record.
+func metaLen(d int) int {
+	return 6 + d + 16 + 4 // header(6) xi(d) root+nodes(8) count(8) crc(4)
+}
 
 // MarshalMeta serializes the tree's header state (configuration, root
-// pointer, counters). Together with the page store's contents this fully
-// reconstructs the tree; the root package persists it in the store's meta
-// page.
+// pointer, counters) followed by a CRC-32C over the record. Together with
+// the page store's contents this fully reconstructs the tree; the root
+// package persists it in the store's meta page.
 func (t *Tree) MarshalMeta() []byte {
 	d := t.prm.Dims
-	buf := make([]byte, 0, 16+d+3*8)
+	buf := make([]byte, 0, metaLen(d))
 	buf = append(buf, 'B', metaVersion, byte(d), byte(t.prm.Width))
 	var u16 [2]byte
 	binary.BigEndian.PutUint16(u16[:], uint16(t.prm.Capacity))
@@ -35,31 +47,41 @@ func (t *Tree) MarshalMeta() []byte {
 	var u64 [8]byte
 	binary.BigEndian.PutUint64(u64[:], uint64(t.n))
 	buf = append(buf, u64[:]...)
-	return buf
+	binary.BigEndian.PutUint32(u32[:], crc32.Checksum(buf, metaCRCTable))
+	return append(buf, u32[:]...)
 }
 
 // Load reconstructs a tree from a page store and the meta record written by
-// MarshalMeta. It reads the root node (one disk read) and pins it.
+// MarshalMeta. The record's checksum is verified first — a corrupted or
+// truncated record yields an error wrapping pagestore.ErrCorrupt, never a
+// panic or a broken tree. Trailing bytes beyond the record (a store hands
+// back the whole meta area) are ignored. Load reads the root node (one
+// disk read) and pins it.
 func Load(st pagestore.Store, meta []byte) (*Tree, error) {
 	if len(meta) < 6 {
-		return nil, fmt.Errorf("bmeh: meta record too short (%d bytes)", len(meta))
+		return nil, fmt.Errorf("bmeh: meta record too short (%d bytes): %w", len(meta), pagestore.ErrCorrupt)
 	}
 	if meta[0] != 'B' {
-		return nil, fmt.Errorf("bmeh: bad meta magic %q", meta[0])
+		return nil, fmt.Errorf("bmeh: bad meta magic %q: %w", meta[0], pagestore.ErrCorrupt)
 	}
 	if meta[1] != metaVersion {
-		return nil, fmt.Errorf("bmeh: unsupported meta version %d", meta[1])
+		return nil, fmt.Errorf("bmeh: unsupported meta version %d: %w", meta[1], pagestore.ErrCorrupt)
 	}
 	d := int(meta[2])
+	rec := metaLen(d)
+	if len(meta) < rec {
+		return nil, fmt.Errorf("bmeh: truncated meta record (%d of %d bytes): %w", len(meta), rec, pagestore.ErrCorrupt)
+	}
+	sum := binary.BigEndian.Uint32(meta[rec-4 : rec])
+	if crc32.Checksum(meta[:rec-4], metaCRCTable) != sum {
+		return nil, fmt.Errorf("bmeh: meta record checksum mismatch: %w", pagestore.ErrCorrupt)
+	}
 	prm := params.Params{
 		Dims:     d,
 		Width:    int(meta[3]),
 		Capacity: int(binary.BigEndian.Uint16(meta[4:6])),
 	}
 	off := 6
-	if len(meta) < off+d+16 {
-		return nil, fmt.Errorf("bmeh: truncated meta record (%d bytes)", len(meta))
-	}
 	prm.Xi = make([]int, d)
 	for j := 0; j < d; j++ {
 		prm.Xi[j] = int(meta[off+j])

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// FuzzLoadMeta feeds arbitrary bytes — seeded with valid, truncated, and
+// bit-flipped meta records — to Load. Whatever the input, Load must either
+// succeed on a genuinely intact record or return an error: it must never
+// panic, index out of bounds, or hand back a tree it cannot support.
+func FuzzLoadMeta(f *testing.F) {
+	prm := params.Default(2, 8)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gen := workload.Uniform(2, 9)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(gen.Next(), uint64(i)); err != nil && err != ErrDuplicate {
+			f.Fatal(err)
+		}
+	}
+	good := tr.MarshalMeta()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:1])
+	f.Add(good[:6])
+	f.Add(good[:len(good)-1])
+	for _, i := range []int{0, 1, 2, 3, 5, 8, len(good) / 2, len(good) - 2} {
+		flipped := append([]byte(nil), good...)
+		flipped[i] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add(append(append([]byte(nil), good...), 0xEE, 0xFF))
+	f.Fuzz(func(t *testing.T, meta []byte) {
+		re, err := Load(st, meta)
+		if err != nil {
+			return
+		}
+		// The rare input that passes the checksum must be a usable tree.
+		if re.Len() != tr.Len() {
+			t.Fatalf("accepted meta reconstructed %d records, want %d", re.Len(), tr.Len())
+		}
+	})
+}

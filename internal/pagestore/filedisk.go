@@ -3,118 +3,348 @@ package pagestore
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"sort"
 	"sync"
 )
 
 // fileMagic identifies a pagestore file. Stored in the first 8 bytes of the
-// meta page together with the page size, so reopening validates geometry.
+// meta page together with the format version and geometry, so reopening
+// validates both.
 const fileMagic uint64 = 0x424d45485f504753 // "BMEH_PGS"
+
+// fileVersion is the on-disk format version. Version 2 introduced the
+// crash-consistency layer: per-page CRC trailers, the checksummed meta
+// page, and the write-ahead log. Version-1 files (which predate checksums)
+// are rejected loudly rather than misread.
+const fileVersion = 2
 
 // fileHeaderSize is the number of meta-page bytes reserved for the store's
 // own header; the remainder of the meta page is available to the client via
 // ReadMeta/WriteMeta.
-const fileHeaderSize = 24 // magic(8) pageSize(4) pageCount(4) freeHead(4) pad(4)
+const fileHeaderSize = 32 // magic(8) version(4) pageSize(4) pageCount(4) freeHead(4) metaLen(4) reserved(4)
 
-// FileDisk is a file-backed Store. Pages live at fixed offsets
-// (id * pageSize); the free list is threaded through freed pages (first 4
-// bytes of a free page hold the next free id). Safe for concurrent use.
+// pageTrailerSize is the per-slot trailer appended after each page's data:
+// crc32(4) over data+kind, kind(1), reserved(3). The trailer both detects
+// corruption and persists the page's Kind, so a reopened store knows every
+// page's role.
+const pageTrailerSize = 8
+
+// walSuffix names the write-ahead log that travels with a store file.
+const walSuffix = ".wal"
+
+// FileDisk is a file-backed Store with crash consistency. On disk, each
+// page occupies a slot of pageSize+pageTrailerSize bytes at offset
+// id*slotSize; the trailer carries a CRC-32C over the page image and the
+// page's kind. The free list is threaded through freed pages (first 4
+// bytes of a free page hold the next free id).
 //
-// FileDisk is crash-naive by design: it is a faithful substrate for the
-// paper's simulation and a convenience for persisting example datasets, not
-// a transactional storage manager.
+// Durability model: Write, Alloc and Free stage their effects in memory;
+// Sync is the commit point. A Sync journals every dirty page plus the meta
+// page to the write-ahead log (path + ".wal"), fsyncs it, then writes the
+// pages to their home slots, fsyncs the main file, and resets the log.
+// A crash at any write therefore leaves the file recoverable to either the
+// previous or the new commit: OpenFileDisk replays a fully committed log
+// tail and discards an incomplete one. Checksum damage anywhere surfaces
+// as an error wrapping ErrCorrupt, never a silent wrong answer.
+//
+// Safe for concurrent use.
 type FileDisk struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         File
+	wal       *WAL
 	pageSize  int
 	pageCount uint32
 	freeHead  PageID
-	kinds     []Kind // in-memory mirror; rebuilt lazily on open
+	kinds     []Kind            // persisted in each slot's trailer
+	dirty     map[PageID][]byte // staged page images awaiting Sync
+	meta      []byte            // client meta record (staged + cached)
+	metaDirty bool
 	stats     Stats
 	closed    bool
 }
 
-// CreateFileDisk creates (truncating) a file-backed disk at path.
+// CreateFileDisk creates (truncating) a file-backed disk at path, together
+// with its write-ahead log at path+".wal".
 func CreateFileDisk(path string, pageSize int) (*FileDisk, error) {
+	f, err := openOSFile(path, true)
+	if err != nil {
+		return nil, err
+	}
+	wf, err := openOSFile(path+walSuffix, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d, err := CreateFileDiskFiles(f, wf, pageSize)
+	if err != nil {
+		f.Close()
+		wf.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// CreateFileDiskFiles is CreateFileDisk over caller-supplied Files (tests
+// inject MemFiles, optionally behind a CrashDisk).
+func CreateFileDiskFiles(main, walFile File, pageSize int) (*FileDisk, error) {
 	if pageSize < fileHeaderSize+16 {
 		return nil, fmt.Errorf("pagestore: page size %d too small for file store", pageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	wal, err := CreateWAL(walFile, pageSize)
 	if err != nil {
 		return nil, err
 	}
-	d := &FileDisk{f: f, pageSize: pageSize, pageCount: 1, freeHead: NilPage}
-	d.kinds = []Kind{KindMeta}
-	meta := make([]byte, pageSize)
-	d.encodeHeader(meta)
-	if _, err := f.WriteAt(meta, 0); err != nil {
-		f.Close()
+	if err := main.Truncate(0); err != nil {
 		return nil, err
-	}
-	return d, nil
-}
-
-// OpenFileDisk opens an existing file-backed disk and validates its header.
-func OpenFileDisk(path string) (*FileDisk, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	hdr := make([]byte, fileHeaderSize)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: reading header: %w", err)
-	}
-	if binary.BigEndian.Uint64(hdr[0:8]) != fileMagic {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: %s is not a pagestore file", path)
 	}
 	d := &FileDisk{
-		f:         f,
-		pageSize:  int(binary.BigEndian.Uint32(hdr[8:12])),
-		pageCount: binary.BigEndian.Uint32(hdr[12:16]),
-		freeHead:  PageID(binary.BigEndian.Uint32(hdr[16:20])),
+		f:         main,
+		wal:       wal,
+		pageSize:  pageSize,
+		pageCount: 1,
+		freeHead:  NilPage,
+		kinds:     []Kind{KindMeta},
+		dirty:     make(map[PageID][]byte),
+		metaDirty: true,
 	}
-	// Kinds are not persisted per page (they are advisory); mark everything
-	// allocated as directory-or-data unknown. Walk the free list to mark
-	// free pages.
-	d.kinds = make([]Kind, d.pageCount)
-	for i := range d.kinds {
-		d.kinds[i] = KindData
-	}
-	d.kinds[0] = KindMeta
-	buf := make([]byte, 4)
-	for id := d.freeHead; id != NilPage; {
-		if int(id) >= len(d.kinds) {
-			f.Close()
-			return nil, fmt.Errorf("pagestore: corrupt free list (id %d of %d)", id, d.pageCount)
-		}
-		d.kinds[id] = KindFree
-		if _, err := f.ReadAt(buf, int64(id)*int64(d.pageSize)); err != nil {
-			f.Close()
-			return nil, err
-		}
-		id = PageID(binary.BigEndian.Uint32(buf))
+	// The initial commit writes the meta page through the WAL like any
+	// other, so even creation is atomic: a crash mid-create leaves a file
+	// that fails to open rather than one that half-opens.
+	if err := d.syncLocked(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
-func (d *FileDisk) encodeHeader(meta []byte) {
-	binary.BigEndian.PutUint64(meta[0:8], fileMagic)
-	binary.BigEndian.PutUint32(meta[8:12], uint32(d.pageSize))
-	binary.BigEndian.PutUint32(meta[12:16], d.pageCount)
-	binary.BigEndian.PutUint32(meta[16:20], uint32(d.freeHead))
+// OpenFileDisk opens an existing file-backed disk, running crash recovery
+// against its write-ahead log and validating the meta page's checksum and
+// the free list. Damage is reported as an error wrapping ErrCorrupt.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := openExistingOSFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// The WAL is created if absent: a store that was closed cleanly by an
+	// older process may travel without one. If the open then fails — the
+	// path wasn't a pagestore at all, say — a WAL we created is removed
+	// again rather than left as a stray file next to a non-store.
+	walPath := path + walSuffix
+	_, statErr := os.Stat(walPath)
+	walExisted := statErr == nil
+	wf, err := openOSFile(walPath, false)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d, err := OpenFileDiskFiles(f, wf)
+	if err != nil {
+		f.Close()
+		wf.Close()
+		if !walExisted {
+			os.Remove(walPath)
+		}
+		return nil, err
+	}
+	return d, nil
 }
 
-func (d *FileDisk) syncHeaderLocked() error {
+// OpenFileDiskFiles is OpenFileDisk over caller-supplied Files.
+func OpenFileDiskFiles(main, walFile File) (*FileDisk, error) {
+	// Phase 1: crash recovery. The WAL header is authoritative for the
+	// geometry during replay, because the main header itself may be a
+	// torn write that the committed batch repairs.
+	walSize, err := walFile.Size()
+	if err != nil {
+		return nil, err
+	}
+	var wal *WAL
+	if walSize >= walHeaderSize {
+		wal, err = OpenWAL(walFile, 0)
+		if err != nil {
+			return nil, err
+		}
+		slot := int64(wal.PageSize() + pageTrailerSize)
+		batches, err := wal.Recover(func(fr Frame) error {
+			buf := encodeSlot(fr.Data, fr.Kind)
+			_, werr := main.WriteAt(buf, int64(fr.ID)*slot)
+			return werr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: WAL replay: %w", err)
+		}
+		if batches > 0 {
+			if err := main.Sync(); err != nil {
+				return nil, err
+			}
+		}
+		if err := wal.Reset(); err != nil {
+			return nil, err
+		}
+	} else if walSize != 0 {
+		// Shorter than a header: a crash during WAL creation; the main
+		// file cannot contain anything durable that depends on it.
+		if err := walFile.Truncate(0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: meta page. Geometry is unknown until the header is read,
+	// and the header lives inside the checksummed slot 0 — so read the
+	// fixed-size prefix first, derive the slot size, then verify.
 	hdr := make([]byte, fileHeaderSize)
-	d.encodeHeader(hdr)
-	_, err := d.f.WriteAt(hdr, 0)
-	return err
+	if _, err := main.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("pagestore: file too small for a pagestore header: %w", ErrCorrupt)
+	}
+	if binary.BigEndian.Uint64(hdr[0:8]) != fileMagic {
+		return nil, fmt.Errorf("pagestore: not a pagestore file (bad magic): %w", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != fileVersion {
+		return nil, fmt.Errorf("pagestore: unsupported format version %d (want %d): %w", v, fileVersion, ErrCorrupt)
+	}
+	pageSize := int(binary.BigEndian.Uint32(hdr[12:16]))
+	if pageSize < fileHeaderSize+16 || pageSize > 1<<26 {
+		return nil, fmt.Errorf("pagestore: implausible page size %d: %w", pageSize, ErrCorrupt)
+	}
+	d := &FileDisk{
+		f:         main,
+		pageSize:  pageSize,
+		pageCount: binary.BigEndian.Uint32(hdr[16:20]),
+		freeHead:  PageID(binary.BigEndian.Uint32(hdr[20:24])),
+		dirty:     make(map[PageID][]byte),
+	}
+	metaPage, err := d.readSlot(0, KindMeta)
+	if err != nil {
+		return nil, err
+	}
+	metaLen := int(binary.BigEndian.Uint32(hdr[24:28]))
+	if metaLen > pageSize-fileHeaderSize {
+		return nil, fmt.Errorf("pagestore: meta record length %d exceeds page: %w", metaLen, ErrCorrupt)
+	}
+	d.meta = append([]byte(nil), metaPage[fileHeaderSize:fileHeaderSize+metaLen]...)
+	if d.pageCount < 1 {
+		return nil, fmt.Errorf("pagestore: page count 0: %w", ErrCorrupt)
+	}
+	if size, err := main.Size(); err != nil {
+		return nil, err
+	} else if size < int64(d.pageCount)*d.slotSize() {
+		return nil, fmt.Errorf("pagestore: file holds %d bytes, header claims %d pages: %w", size, d.pageCount, ErrCorrupt)
+	}
+	if wal == nil {
+		if wal, err = CreateWAL(walFile, pageSize); err != nil {
+			return nil, err
+		}
+	} else if wal.PageSize() != pageSize {
+		return nil, fmt.Errorf("pagestore: WAL page size %d, store page size %d: %w", wal.PageSize(), pageSize, ErrCorrupt)
+	}
+	d.wal = wal
+
+	// Phase 3: rebuild the kind table from the slot trailers.
+	d.kinds = make([]Kind, d.pageCount)
+	d.kinds[0] = KindMeta
+	tr := make([]byte, pageTrailerSize)
+	for id := PageID(1); uint32(id) < d.pageCount; id++ {
+		if _, err := main.ReadAt(tr, int64(id)*d.slotSize()+int64(d.pageSize)); err != nil {
+			return nil, fmt.Errorf("pagestore: reading trailer of page %d: %w", id, ErrCorrupt)
+		}
+		k := Kind(tr[4])
+		if k > KindDirectory {
+			return nil, fmt.Errorf("pagestore: page %d has invalid kind %d: %w", id, tr[4], ErrCorrupt)
+		}
+		d.kinds[id] = k
+	}
+
+	// Phase 4: walk the free list, bounded by pageCount with cycle
+	// detection, verifying each free page's checksum as it is read. A
+	// damaged file can therefore never hang the walk or index out of
+	// bounds — it reports ErrCorrupt.
+	seen := make(map[PageID]bool, 8)
+	for id := d.freeHead; id != NilPage; {
+		if uint32(id) >= d.pageCount {
+			return nil, fmt.Errorf("pagestore: free list points at page %d of %d: %w", id, d.pageCount, ErrCorrupt)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("pagestore: free list cycle at page %d: %w", id, ErrCorrupt)
+		}
+		if len(seen) >= int(d.pageCount) {
+			return nil, fmt.Errorf("pagestore: free list longer than the file: %w", ErrCorrupt)
+		}
+		if d.kinds[id] != KindFree {
+			return nil, fmt.Errorf("pagestore: free list includes %v page %d: %w", d.kinds[id], id, ErrCorrupt)
+		}
+		seen[id] = true
+		page, err := d.readSlot(id, KindFree)
+		if err != nil {
+			return nil, err
+		}
+		id = PageID(binary.BigEndian.Uint32(page[:4]))
+	}
+	return d, nil
+}
+
+func (d *FileDisk) slotSize() int64 { return int64(d.pageSize + pageTrailerSize) }
+
+// slotChecksum covers the page image and the trailer's kind + reserved
+// bytes — everything in the slot except the checksum field itself, so any
+// flipped bit in a slot is detectable.
+func slotChecksum(data, tail []byte) uint32 {
+	c := crc32.Update(0, crcTable, data)
+	return crc32.Update(c, crcTable, tail)
+}
+
+// encodeSlot lays out a page image plus its checksum trailer.
+func encodeSlot(data []byte, kind Kind) []byte {
+	buf := make([]byte, len(data)+pageTrailerSize)
+	copy(buf, data)
+	buf[len(data)+4] = byte(kind)
+	binary.BigEndian.PutUint32(buf[len(data):], slotChecksum(data, buf[len(data)+4:]))
+	return buf
+}
+
+// readSlot reads and verifies one slot, returning the page image. It does
+// not count toward Stats (open-time and internal reads are free, like the
+// paper's pinned root).
+func (d *FileDisk) readSlot(id PageID, want Kind) ([]byte, error) {
+	buf := make([]byte, d.slotSize())
+	if _, err := d.f.ReadAt(buf, int64(id)*d.slotSize()); err != nil {
+		return nil, fmt.Errorf("pagestore: page %d unreadable: %w", id, ErrCorrupt)
+	}
+	crc := binary.BigEndian.Uint32(buf[d.pageSize:])
+	k := Kind(buf[d.pageSize+4])
+	if slotChecksum(buf[:d.pageSize], buf[d.pageSize+4:]) != crc {
+		return nil, fmt.Errorf("pagestore: page %d checksum mismatch: %w", id, ErrCorrupt)
+	}
+	if k != want {
+		return nil, fmt.Errorf("pagestore: page %d is %v, expected %v: %w", id, k, want, ErrCorrupt)
+	}
+	return buf[:d.pageSize], nil
+}
+
+// composeMetaPage builds the meta page image: store header, then the
+// client meta record, zero-padded to pageSize.
+func (d *FileDisk) composeMetaPage() []byte {
+	page := make([]byte, d.pageSize)
+	binary.BigEndian.PutUint64(page[0:8], fileMagic)
+	binary.BigEndian.PutUint32(page[8:12], fileVersion)
+	binary.BigEndian.PutUint32(page[12:16], uint32(d.pageSize))
+	binary.BigEndian.PutUint32(page[16:20], d.pageCount)
+	binary.BigEndian.PutUint32(page[20:24], uint32(d.freeHead))
+	binary.BigEndian.PutUint32(page[24:28], uint32(len(d.meta)))
+	copy(page[fileHeaderSize:], d.meta)
+	return page
 }
 
 // PageSize implements Store.
 func (d *FileDisk) PageSize() int { return d.pageSize }
+
+// stagedOrDisk returns the current image of an allocated page.
+func (d *FileDisk) stagedOrDisk(id PageID) ([]byte, error) {
+	if p, ok := d.dirty[id]; ok {
+		return p, nil
+	}
+	return d.readSlot(id, d.kinds[id])
+}
 
 // Alloc implements Store.
 func (d *FileDisk) Alloc(kind Kind) (PageID, error) {
@@ -127,32 +357,23 @@ func (d *FileDisk) Alloc(kind Kind) (PageID, error) {
 		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
 	}
 	d.stats.Allocs++
+	var id PageID
 	if d.freeHead != NilPage {
-		id := d.freeHead
-		buf := make([]byte, 4)
-		if _, err := d.f.ReadAt(buf, int64(id)*int64(d.pageSize)); err != nil {
+		id = d.freeHead
+		page, err := d.stagedOrDisk(id)
+		if err != nil {
 			return NilPage, err
 		}
-		d.freeHead = PageID(binary.BigEndian.Uint32(buf))
-		d.kinds[id] = kind
-		if err := d.zeroPageLocked(id); err != nil {
-			return NilPage, err
-		}
-		return id, d.syncHeaderLocked()
+		d.freeHead = PageID(binary.BigEndian.Uint32(page[:4]))
+	} else {
+		id = PageID(d.pageCount)
+		d.pageCount++
+		d.kinds = append(d.kinds, KindFree)
 	}
-	id := PageID(d.pageCount)
-	d.pageCount++
-	d.kinds = append(d.kinds, kind)
-	if err := d.zeroPageLocked(id); err != nil {
-		return NilPage, err
-	}
-	return id, d.syncHeaderLocked()
-}
-
-func (d *FileDisk) zeroPageLocked(id PageID) error {
-	zero := make([]byte, d.pageSize)
-	_, err := d.f.WriteAt(zero, int64(id)*int64(d.pageSize))
-	return err
+	d.kinds[id] = kind
+	d.dirty[id] = make([]byte, d.pageSize)
+	d.metaDirty = true
+	return id, nil
 }
 
 // Free implements Store.
@@ -165,18 +386,18 @@ func (d *FileDisk) Free(id PageID) error {
 	if err := d.checkLocked(id); err != nil {
 		return err
 	}
-	buf := make([]byte, 4)
-	binary.BigEndian.PutUint32(buf, uint32(d.freeHead))
-	if _, err := d.f.WriteAt(buf, int64(id)*int64(d.pageSize)); err != nil {
-		return err
-	}
+	page := make([]byte, d.pageSize)
+	binary.BigEndian.PutUint32(page[:4], uint32(d.freeHead))
+	d.dirty[id] = page
 	d.freeHead = id
 	d.kinds[id] = KindFree
+	d.metaDirty = true
 	d.stats.Frees++
-	return d.syncHeaderLocked()
+	return nil
 }
 
-// Read implements Store.
+// Read implements Store. A checksum mismatch on the on-disk page returns
+// an error wrapping ErrCorrupt.
 func (d *FileDisk) Read(id PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -189,14 +410,17 @@ func (d *FileDisk) Read(id PageID, buf []byte) error {
 	if len(buf) < d.pageSize {
 		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
 	}
-	if _, err := d.f.ReadAt(buf[:d.pageSize], int64(id)*int64(d.pageSize)); err != nil {
+	page, err := d.stagedOrDisk(id)
+	if err != nil {
 		return err
 	}
+	copy(buf[:d.pageSize], page)
 	d.stats.Reads++
 	return nil
 }
 
-// Write implements Store.
+// Write implements Store. The page image is staged in memory; it reaches
+// the file — through the write-ahead log — at the next Sync.
 func (d *FileDisk) Write(id PageID, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -211,35 +435,26 @@ func (d *FileDisk) Write(id PageID, data []byte) error {
 	}
 	page := make([]byte, d.pageSize)
 	copy(page, data)
-	if _, err := d.f.WriteAt(page, int64(id)*int64(d.pageSize)); err != nil {
-		return err
-	}
+	d.dirty[id] = page
 	d.stats.Writes++
 	return nil
 }
 
-// ReadMeta copies the client portion of the meta page (everything after the
-// store header) into buf and returns the number of bytes copied. Not
-// counted as a disk read (the superblock is assumed resident, like the
-// paper's pinned root).
+// ReadMeta copies the client meta record (everything after the store
+// header on the meta page) into buf and returns the number of bytes
+// copied, at most the record's stored length. Not counted as a disk read
+// (the superblock is assumed resident, like the paper's pinned root).
 func (d *FileDisk) ReadMeta(buf []byte) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return 0, ErrClosed
 	}
-	avail := d.pageSize - fileHeaderSize
-	n := len(buf)
-	if n > avail {
-		n = avail
-	}
-	if _, err := d.f.ReadAt(buf[:n], fileHeaderSize); err != nil {
-		return 0, err
-	}
-	return n, nil
+	return copy(buf, d.meta), nil
 }
 
-// WriteMeta stores client metadata in the meta page after the store header.
+// WriteMeta stages client metadata for the meta page; it is committed,
+// checksummed with the header, at the next Sync.
 func (d *FileDisk) WriteMeta(data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -249,8 +464,9 @@ func (d *FileDisk) WriteMeta(data []byte) error {
 	if len(data) > d.pageSize-fileHeaderSize {
 		return ErrPageSize
 	}
-	_, err := d.f.WriteAt(data, fileHeaderSize)
-	return err
+	d.meta = append(d.meta[:0], data...)
+	d.metaDirty = true
+	return nil
 }
 
 // KindOf implements Store.
@@ -290,17 +506,87 @@ func (d *FileDisk) Allocated() map[Kind]int {
 	return out
 }
 
-// Sync flushes the file to stable storage.
+// CheckPages re-reads every slot in the file — the meta page, allocated
+// pages, and free pages alike — and verifies each checksum trailer. It
+// returns the number of slots scanned, how many of them are free, and one
+// error per damaged slot (each wrapping ErrCorrupt). Staged writes are not
+// consulted: the scan judges what is durable on disk, so run it on a
+// freshly opened or synced store.
+func (d *FileDisk) CheckPages() (pages, free int, problems []error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, 0, []error{ErrClosed}
+	}
+	for id := PageID(0); uint32(id) < d.pageCount; id++ {
+		if _, err := d.readSlot(id, d.kinds[id]); err != nil {
+			problems = append(problems, err)
+		}
+		pages++
+		if d.kinds[id] == KindFree {
+			free++
+		}
+	}
+	return pages, free, problems
+}
+
+// Dirty returns the number of staged pages awaiting Sync (observability
+// aid; large batches cost memory until committed).
+func (d *FileDisk) Dirty() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dirty)
+}
+
+// Sync atomically commits all staged writes: it journals every dirty page
+// and the meta page to the WAL, fsyncs, applies them to their home slots,
+// fsyncs the main file, and resets the WAL. After Sync returns, the commit
+// survives any crash; if Sync fails, the previous commit survives instead.
 func (d *FileDisk) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
-	return d.f.Sync()
+	return d.syncLocked()
 }
 
-// Close implements Store.
+func (d *FileDisk) syncLocked() error {
+	if len(d.dirty) == 0 && !d.metaDirty {
+		return d.f.Sync()
+	}
+	ids := make([]PageID, 0, len(d.dirty))
+	for id := range d.dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	frames := make([]Frame, 0, len(ids)+1)
+	for _, id := range ids {
+		frames = append(frames, Frame{ID: id, Kind: d.kinds[id], Data: d.dirty[id]})
+	}
+	// The meta page rides in every batch: pageCount and freeHead must
+	// commit atomically with the pages that made them change.
+	frames = append(frames, Frame{ID: 0, Kind: KindMeta, Data: d.composeMetaPage()})
+	if err := d.wal.Commit(frames); err != nil {
+		return err
+	}
+	for _, fr := range frames {
+		if _, err := d.f.WriteAt(encodeSlot(fr.Data, fr.Kind), int64(fr.ID)*d.slotSize()); err != nil {
+			return err
+		}
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	if err := d.wal.Reset(); err != nil {
+		return err
+	}
+	d.dirty = make(map[PageID][]byte)
+	d.metaDirty = false
+	return nil
+}
+
+// Close commits staged writes and releases both files.
 func (d *FileDisk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -308,11 +594,14 @@ func (d *FileDisk) Close() error {
 		return nil
 	}
 	d.closed = true
-	if err := d.syncHeaderLocked(); err != nil {
-		d.f.Close()
-		return err
+	err := d.syncLocked()
+	if werr := d.wal.Close(); err == nil {
+		err = werr
 	}
-	return d.f.Close()
+	if ferr := d.f.Close(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 func (d *FileDisk) checkLocked(id PageID) error {

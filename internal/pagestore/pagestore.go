@@ -14,6 +14,7 @@ package pagestore
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 )
 
@@ -84,7 +85,19 @@ var (
 	ErrPageSize    = errors.New("pagestore: payload exceeds page size")
 	ErrClosed      = errors.New("pagestore: store is closed")
 	ErrDoubleAlloc = errors.New("pagestore: free list corruption")
+	// ErrCorrupt reports on-disk damage detected by a checksum or a
+	// structural bound (free-list cycle, out-of-range id, bad header).
+	// Errors wrapping it are returned instead of panics or silent wrong
+	// answers; match with errors.Is.
+	ErrCorrupt = errors.New("pagestore: corrupt data")
 )
+
+// crcTable is the Castagnoli polynomial table used for every on-disk
+// checksum (page trailers, the meta page, and WAL records).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the CRC-32C of data.
+func checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
 
 // Store is the page-granular storage interface shared by the in-memory and
 // file-backed disks.
