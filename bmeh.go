@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bmeh/internal/bitkey"
 	"bmeh/internal/core"
@@ -92,9 +94,52 @@ type Options struct {
 	// Width is the significant bits per key component (default 32, max 64).
 	Width int
 	// CacheFrames enables a write-back page cache of that many frames
-	// between the index and its store (0 disables caching). With a cache,
-	// Stats reports physical I/O only; call Sync to force dirty pages out.
+	// between the index and its store (0 disables caching). The cache is
+	// lock-striped with CLOCK eviction, so concurrent lookups on a warm
+	// cache do not serialize. With a cache, Stats reports physical I/O
+	// only; call Sync to force dirty pages out.
 	CacheFrames int
+	// SyncPolicy enables commit coalescing (group commit) for Sync: the
+	// zero value commits each Sync individually; a non-zero policy batches
+	// concurrent and back-to-back Sync calls into one WAL commit + fsync
+	// pair. See SyncPolicy.
+	SyncPolicy SyncPolicy
+}
+
+// SyncPolicy configures group commit for Index.Sync. Durability semantics
+// are unchanged — when Sync returns, everything the index acknowledged
+// before the call is durable — but coalesced Sync calls share one
+// write-ahead-log commit and fsync pair instead of paying one each.
+type SyncPolicy struct {
+	// Interval is how long the first Sync caller (the commit leader)
+	// holds the batch open for more callers to join. Zero adds no
+	// latency: only callers arriving while a commit is already in flight
+	// coalesce.
+	Interval time.Duration
+	// MaxBatch closes a batch early once this many Sync callers have
+	// joined. Zero means unbounded.
+	MaxBatch int
+}
+
+// Enabled reports whether the policy asks for any coalescing.
+func (p SyncPolicy) Enabled() bool { return p.Interval > 0 || p.MaxBatch > 0 }
+
+// PoolStats is a snapshot of the page cache's counters (CacheFrames > 0).
+type PoolStats struct {
+	Hits       uint64 // lookups served from a resident frame
+	Misses     uint64 // lookups that faulted a page in from the store
+	Evictions  uint64 // frames reclaimed by the CLOCK sweep
+	Writebacks uint64 // dirty frames written back on eviction or flush
+	Shards     int    // lock stripes in the pool
+	Capacity   int    // total frame slots
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any access.
+func (s PoolStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 func (o Options) params() (params.Params, error) {
@@ -141,6 +186,9 @@ type Index struct {
 	cached *pagestore.CachedStore
 	file   *pagestore.FileDisk
 	closed bool
+	// gc, when non-nil, coalesces Sync calls (group commit). Read without
+	// ix.mu — the leader's commit acquires ix.mu itself.
+	gc atomic.Pointer[pagestore.GroupCommitter]
 }
 
 // requiredPageBytes returns the page size for the scheme and parameters.
@@ -185,6 +233,7 @@ func New(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	ix.SetSyncPolicy(opts.SyncPolicy)
 	return ix, nil
 }
 
@@ -216,6 +265,7 @@ func Create(path string, opts Options) (*Index, error) {
 		file.Close()
 		return nil, err
 	}
+	ix.SetSyncPolicy(opts.SyncPolicy)
 	return ix, nil
 }
 
@@ -472,9 +522,51 @@ func (ix *Index) Dump(w io.Writer) error {
 	return fmt.Errorf("bmeh: scheme %v does not support Dump", ix.scheme)
 }
 
+// SetSyncPolicy enables (non-zero policy) or disables (zero policy) group
+// commit for this index's Sync. It may be called at any time, including on
+// an index opened with Open.
+func (ix *Index) SetSyncPolicy(p SyncPolicy) {
+	if !p.Enabled() {
+		ix.gc.Store(nil)
+		return
+	}
+	pol := pagestore.SyncPolicy{Interval: p.Interval, MaxBatch: p.MaxBatch}
+	ix.gc.Store(pagestore.NewGroupCommitter(pol, func() error {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		if ix.closed {
+			return pagestore.ErrClosed
+		}
+		return ix.syncLocked()
+	}))
+}
+
+// PoolStats reports the page cache's counters; ok is false when the index
+// was built without a cache (CacheFrames 0).
+func (ix *Index) PoolStats() (stats PoolStats, ok bool) {
+	if ix.cached == nil {
+		return PoolStats{}, false
+	}
+	s := ix.cached.PoolStats()
+	return PoolStats{
+		Hits:       s.Hits,
+		Misses:     s.Misses,
+		Evictions:  s.Evictions,
+		Writebacks: s.Writebacks,
+		Shards:     s.Shards,
+		Capacity:   s.Capacity,
+	}, true
+}
+
 // Sync flushes cached pages and persists the index header (file-backed
-// indexes). In-memory indexes treat Sync as a cache flush.
+// indexes). In-memory indexes treat Sync as a cache flush. With a
+// SyncPolicy set, concurrent and back-to-back Sync calls coalesce into one
+// commit; each caller still returns only once everything it staged is
+// durable.
 func (ix *Index) Sync() error {
+	if gc := ix.gc.Load(); gc != nil {
+		return gc.Sync()
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	return ix.syncLocked()

@@ -11,6 +11,8 @@
 //	bmehbench -rangecost           # Theorem 4 experiment
 //	bmehbench -ablation            # BMEH node-size (φ) sweep
 //	bmehbench -table 2 -n 8000     # scaled-down run
+//	bmehbench -concurrent -json BENCH_concurrent.json
+//	                               # parallel get/insert/mixed sweep
 package main
 
 import (
@@ -30,6 +32,9 @@ func main() {
 		ablation  = flag.Bool("ablation", false, "run the BMEH-tree node-size (φ) sweep")
 		noise     = flag.Bool("noise", false, "run the §3 degeneration experiment (noise-burst keys)")
 		cache     = flag.Bool("cache", false, "run the buffer-pool (physical I/O) ablation")
+		conc      = flag.Bool("concurrent", false, "run the parallel get/insert/mixed sweep (1/4/16 goroutines)")
+		jsonPath  = flag.String("json", "", "with -concurrent: also write the sweep report to this JSON file")
+		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
 		all       = flag.Bool("all", false, "run every table, figure and extra experiment")
 		n         = flag.Int("n", 40000, "keys to insert per run (paper: 40000)")
@@ -101,6 +106,20 @@ func main() {
 		sim.FormatCache(os.Stdout, rows, *n)
 		fmt.Println()
 	}
+	runConc := func() {
+		ran = true
+		nn := *n
+		if nn > 20000 {
+			nn = 20000 // warm working set; larger N only lengthens warmup
+		}
+		rep, err := runConcurrent(os.Stdout, nn, *window, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeConcurrentJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -126,6 +145,7 @@ func main() {
 		runAblation()
 		runCache()
 		runNoise()
+		runConc()
 	default:
 		if *table != 0 {
 			runTable(*table)
@@ -144,6 +164,9 @@ func main() {
 		}
 		if *cache {
 			runCache()
+		}
+		if *conc {
+			runConc()
 		}
 	}
 	if !ran {

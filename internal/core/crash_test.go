@@ -22,6 +22,18 @@ type crashOp struct {
 // Validate and every record acknowledged (synced) before the crash must
 // be retrievable, with acknowledged deletes staying deleted.
 func TestCrashMatrix(t *testing.T) {
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240)
+}
+
+// TestCrashMatrixGroupCommit re-runs the sweep with WAL group commit
+// enabled: the coalesced Sync path must provide the same commit-boundary
+// atomicity as the direct one. (Fewer points than the direct sweep; the
+// commit machinery under test is identical at every point.)
+func TestCrashMatrixGroupCommit(t *testing.T) {
+	testCrashMatrix(t, pagestore.SyncPolicy{MaxBatch: 4}, 60)
+}
+
+func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 	if testing.Short() {
 		t.Skip("crash matrix is a sweep; skipped in -short")
 	}
@@ -45,6 +57,7 @@ func TestCrashMatrix(t *testing.T) {
 		if err != nil {
 			return nil, nil, err
 		}
+		fd.SetSyncPolicy(policy)
 		tr, err := New(fd, prm)
 		if err != nil {
 			return nil, nil, err
@@ -107,14 +120,13 @@ func TestCrashMatrix(t *testing.T) {
 		base = cd.Writes()
 	}
 	total := clean.Writes() - base // crash points within the workload proper
-	const points = 240
 	if total < 50 {
 		t.Fatalf("workload exposes only %d crash points; harness too small", total)
 	}
 	t.Logf("workload exposes %d crash points; sweeping %d (drop+torn interleaved)", total, points)
 
-	for p := 0; p < points; p++ {
-		armAt := int64(p) * (total - 1) / (points - 1)
+	for p := int64(0); p < points; p++ {
+		armAt := p * (total - 1) / (points - 1)
 		mode := pagestore.CrashDrop
 		if p%2 == 1 {
 			mode = pagestore.CrashTorn

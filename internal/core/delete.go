@@ -31,7 +31,7 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 	vec := k.Clone()
 	strip := make([]int, d)
 	var stack []frame
-	id := t.rootID
+	id := t.rc.pageID
 	node, err := t.readNodeMut(id)
 	if err != nil {
 		return false, err
@@ -144,7 +144,7 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 // revisited.
 func (t *Tree) gcEmptyNodes() error {
 	for {
-		nodes := map[pagestore.PageID]*dirnode.Node{t.rootID: t.root}
+		nodes := map[pagestore.PageID]*dirnode.Node{t.rc.pageID: t.rc.node}
 		var collect func(n *dirnode.Node) error
 		collect = func(n *dirnode.Node) error {
 			for i := range n.Entries {
@@ -166,7 +166,7 @@ func (t *Tree) gcEmptyNodes() error {
 			}
 			return nil
 		}
-		if err := collect(t.root); err != nil {
+		if err := collect(t.rc.node); err != nil {
 			return err
 		}
 		// Sweep empty data pages first (left behind when a shared page's
@@ -216,7 +216,7 @@ func (t *Tree) gcEmptyNodes() error {
 		}
 		var empty []pagestore.PageID
 		for id, n := range nodes {
-			if id != t.rootID && allNil(n) {
+			if id != t.rc.pageID && allNil(n) {
 				empty = append(empty, id)
 			}
 		}
@@ -696,7 +696,7 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 	}
 	// Data pages hang off level-1 nodes, which the walk always reaches;
 	// node references can occur at any level ≥ 2.
-	if err := walk(t.rootID, t.root); err != nil {
+	if err := walk(t.rc.pageID, t.rc.node); err != nil {
 		return false, err
 	}
 	return shared, nil
@@ -707,17 +707,21 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 // height shrinks by one; an entirely empty root above leaf level resets to
 // a fresh single-level directory (the final reversal steps of §4.2).
 func (t *Tree) collapseRoot() error {
-	if t.root.Level > 1 && allNil(t.root) {
-		t.root = dirnode.New(t.prm.Dims, 1)
-		return t.nodes.Write(t.rootID, t.root)
+	if t.rc.node.Level > 1 && allNil(t.rc.node) {
+		fresh := dirnode.New(t.prm.Dims, 1)
+		if err := t.nodes.Write(t.rc.pageID, fresh); err != nil {
+			return err
+		}
+		t.rc.install(t.rc.pageID, fresh)
+		return nil
 	}
-	for t.root.Level > 1 {
-		first := t.root.Entries[0]
+	for t.rc.node.Level > 1 {
+		first := t.rc.node.Entries[0]
 		if !first.IsNode || first.Ptr == pagestore.NilPage {
 			return nil
 		}
-		for i := range t.root.Entries {
-			e := &t.root.Entries[i]
+		for i := range t.rc.node.Entries {
+			e := &t.rc.node.Entries[i]
 			if !e.IsNode || e.Ptr != first.Ptr {
 				return nil
 			}
@@ -726,9 +730,8 @@ func (t *Tree) collapseRoot() error {
 		if err != nil {
 			return err
 		}
-		oldID := t.rootID
-		t.rootID = first.Ptr
-		t.root = child
+		oldID := t.rc.pageID
+		t.rc.install(first.Ptr, child)
 		if err := t.nodes.Free(oldID); err != nil {
 			return err
 		}

@@ -55,5 +55,5 @@ func (t *Tree) Dump(w io.Writer) error {
 		}
 		return nil
 	}
-	return walk(t.rootID, t.root, "")
+	return walk(t.rc.pageID, t.rc.node, "")
 }

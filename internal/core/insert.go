@@ -46,7 +46,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 	vec := k.Clone()
 	strip := make([]int, d) // bits stripped per dimension before current node
 	var stack []frame
-	id := t.rootID
+	id := t.rc.pageID
 	node, err := t.readNodeMut(id)
 	if err != nil {
 		return false, err
@@ -329,8 +329,7 @@ func (t *Tree) newRoot(m int, a, b pagestore.PageID, level int) error {
 		return err
 	}
 	t.nNodes++
-	t.rootID = rid
-	t.root = root
+	t.rc.install(rid, root)
 	return nil
 }
 

@@ -40,7 +40,7 @@ func (t *Tree) MarshalMeta() []byte {
 		buf = append(buf, byte(xi))
 	}
 	var u32 [4]byte
-	binary.BigEndian.PutUint32(u32[:], uint32(t.rootID))
+	binary.BigEndian.PutUint32(u32[:], uint32(t.rc.pageID))
 	buf = append(buf, u32[:]...)
 	binary.BigEndian.PutUint32(u32[:], uint32(t.nNodes))
 	buf = append(buf, u32[:]...)
@@ -95,17 +95,17 @@ func Load(st pagestore.Store, meta []byte) (*Tree, error) {
 		prm:    prm,
 		pages:  datapage.NewIO(st, d),
 		nodes:  dirnode.NewIO(st, d),
-		rootID: pagestore.PageID(binary.BigEndian.Uint32(meta[off:])),
 		nNodes: int(binary.BigEndian.Uint32(meta[off+4:])),
 		n:      int(binary.BigEndian.Uint64(meta[off+8:])),
 	}
 	if st.PageSize() < PageBytes(prm) {
 		return nil, fmt.Errorf("bmeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
 	}
-	root, err := t.nodes.Read(t.rootID)
+	rootID := pagestore.PageID(binary.BigEndian.Uint32(meta[off:]))
+	root, err := t.nodes.Read(rootID)
 	if err != nil {
 		return nil, fmt.Errorf("bmeh: reading root node: %w", err)
 	}
-	t.root = root
+	t.rc.install(rootID, root)
 	return t, nil
 }

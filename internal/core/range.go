@@ -37,7 +37,7 @@ func (t *Tree) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v uint64) bo
 		seenNodes: make(map[nodeVisit]bool),
 		width:     t.prm.Width,
 	}
-	return r.node(t.root, lo.Clone(), hi.Clone())
+	return r.node(t.rc.node, lo.Clone(), hi.Clone())
 }
 
 // nodeVisit identifies one (node, clamped bounds) descent. A node shared by

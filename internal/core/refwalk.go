@@ -29,5 +29,5 @@ func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
 		}
 		return nil
 	}
-	return rec(t.rootID)
+	return rec(t.rc.pageID)
 }

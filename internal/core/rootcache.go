@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bmeh/internal/pagestore"
+
+	"bmeh/internal/dirnode"
+)
+
+// rootCache is the pinned-root cache of the paper's accounting model
+// (§3.1, §4): the root directory node stays decoded in memory across
+// operations, so an exact-match probe costs (levels−1) node reads plus one
+// data-page read — the root contributes zero disk accesses and zero decode
+// work. The cache is valid for as long as the page named by pageID holds
+// the image of node; the three events that change which page (or which
+// decoded image) is the root each funnel through install/update:
+//
+//   - a root split adds a level: newRoot writes the new root page, then
+//     installs it (insert.go);
+//   - a root collapse removes a level or resets an empty directory
+//     (delete.go);
+//   - Load decodes the root named by a persisted meta record (persist.go).
+//
+// Write-through commits to the existing root page (writeNode) call update,
+// which keeps the same pageID and replaces only the decoded image.
+//
+// Concurrency: the read path (Search, Range) only reads pageID and node,
+// and every mutation happens under the owning index's writer lock, so
+// concurrent readers never observe a half-installed root.
+type rootCache struct {
+	pageID   pagestore.PageID
+	node     *dirnode.Node
+	installs uint64 // install calls: root splits, collapses, resets, loads
+}
+
+// holds reports whether id names the pinned root page.
+func (c *rootCache) holds(id pagestore.PageID) bool { return id == c.pageID }
+
+// install pins a (new) root: the previous cached node, if any, is
+// invalidated. Callers write the node's page before installing, so the
+// cache never gets ahead of durable storage.
+func (c *rootCache) install(id pagestore.PageID, n *dirnode.Node) {
+	c.pageID = id
+	c.node = n
+	c.installs++
+}
+
+// update replaces the decoded image of the current root page after its
+// page write committed (write-through; the pageID is unchanged).
+func (c *rootCache) update(n *dirnode.Node) { c.node = n }
+
+// RootInstalls returns how many times the pinned root was replaced (root
+// splits, collapses, resets and loads) — a white-box statistic for tests
+// asserting the cache is invalidated exactly when the paper says the tree
+// height changes.
+func (t *Tree) RootInstalls() uint64 { return t.rc.installs }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/params"
+	"bmeh/internal/workload"
+)
+
+// TestRootCacheAccounting verifies the paper's §4 access model end to end:
+// with the root pinned, an exact-match probe costs exactly (levels−1) node
+// reads plus one data-page read — the root page is never re-read.
+func TestRootCacheAccounting(t *testing.T) {
+	prm := params.Default(2, 4)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Uniform(2, 7).Take(600)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Levels() < 2 {
+		t.Fatalf("workload too small: tree stayed at %d level(s)", tr.Levels())
+	}
+	rootPage := tr.rc.pageID
+	st.ResetStats()
+	const probes = 50
+	for i := 0; i < probes; i++ {
+		v, ok, err := tr.Search(keys[i])
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("probe %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	want := uint64(probes * tr.Levels()) // (levels−1) node reads + 1 data read
+	got := st.Stats()
+	if got.Accesses() != want {
+		t.Fatalf("%d probes at %d levels cost %d accesses, want %d (reads=%d writes=%d)",
+			probes, tr.Levels(), got.Accesses(), want, got.Reads, got.Writes)
+	}
+	_ = rootPage
+}
+
+// TestRootCacheInstallOnSplitAndCollapse checks the pinned root is
+// replaced exactly when the tree's height changes: on the initial
+// install, on every root split, and on the delete-path collapse/reset.
+func TestRootCacheInstallOnSplitAndCollapse(t *testing.T) {
+	prm := params.Default(2, 4)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RootInstalls() != 1 {
+		t.Fatalf("fresh tree has %d installs, want 1", tr.RootInstalls())
+	}
+	keys := workload.Uniform(2, 11).Take(600)
+	grew := tr.RootInstalls()
+	level := tr.Levels()
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if l := tr.Levels(); l != level {
+			if tr.RootInstalls() <= grew {
+				t.Fatalf("height %d→%d without a root install", level, l)
+			}
+			level, grew = l, tr.RootInstalls()
+		}
+	}
+	if level < 2 {
+		t.Fatalf("tree never split its root (level %d)", level)
+	}
+	// Root page identity changed across the split; searches still resolve
+	// through the newly pinned root without touching the old page.
+	before := tr.RootInstalls()
+	for i, k := range keys {
+		v, ok, err := tr.Search(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("post-split search %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if tr.RootInstalls() != before {
+		t.Fatal("searches replaced the pinned root")
+	}
+	// Deleting everything must collapse/reset the root — another install.
+	for _, k := range keys {
+		if _, err := tr.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Levels() != 1 {
+		t.Fatalf("emptied tree kept %d levels", tr.Levels())
+	}
+	if tr.RootInstalls() <= before {
+		t.Fatal("root collapse did not install a fresh pinned root")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRootCacheAcrossReload checks Load re-pins the persisted root: the
+// reopened tree answers probes with the same access accounting.
+func TestRootCacheAcrossReload(t *testing.T) {
+	prm := params.Default(2, 4)
+	st := pagestore.NewMemDisk(PageBytes(prm))
+	tr, err := New(st, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Uniform(2, 13).Take(400)
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := tr.MarshalMeta()
+	tr2, err := Load(st, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.RootInstalls() != 1 {
+		t.Fatalf("loaded tree has %d installs, want 1", tr2.RootInstalls())
+	}
+	st.ResetStats()
+	if _, ok, err := tr2.Search(keys[0]); err != nil || !ok {
+		t.Fatalf("reloaded search: ok=%v err=%v", ok, err)
+	}
+	if got, want := st.Stats().Accesses(), uint64(tr2.Levels()); got != want {
+		t.Fatalf("reloaded probe cost %d accesses, want %d", got, want)
+	}
+}

@@ -49,9 +49,8 @@ type Tree struct {
 	prm    params.Params
 	pages  *datapage.IO
 	nodes  *dirnode.IO
-	rootID pagestore.PageID
-	root   *dirnode.Node // pinned in memory (paper §3.1); written through
-	nNodes int           // directory nodes, root included
+	rc     rootCache // pinned-root cache (paper §3.1); see rootcache.go
+	nNodes int       // directory nodes, root included
 	n      int           // stored records
 	// nCascades counts downward K-D-B splits of plane-crossing referents
 	// during node splits (white-box statistic for tests and ablations).
@@ -76,10 +75,9 @@ func New(st pagestore.Store, prm params.Params) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.rootID = id
-	t.root = dirnode.New(prm.Dims, 1)
+	t.rc.install(id, dirnode.New(prm.Dims, 1))
 	t.nNodes = 1
-	if err := t.nodes.Write(id, t.root); err != nil {
+	if err := t.nodes.Write(id, t.rc.node); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -89,7 +87,7 @@ func New(st pagestore.Store, prm params.Params) (*Tree, error) {
 func (t *Tree) Len() int { return t.n }
 
 // Levels returns the number of directory levels ℓ (root level).
-func (t *Tree) Levels() int { return t.root.Level }
+func (t *Tree) Levels() int { return t.rc.node.Level }
 
 // Nodes returns the number of directory nodes.
 func (t *Tree) Nodes() int { return t.nNodes }
@@ -109,12 +107,12 @@ func (t *Tree) Params() params.Params { return t.prm }
 // split downward (K-D-B style) over the tree's lifetime.
 func (t *Tree) Cascades() int { return t.nCascades }
 
-// readNode fetches a non-root node (one counted read); the root is pinned.
-// The returned node must not be mutated when it is the root — mutating
-// descents use readNodeMut.
+// readNode fetches a non-root node (one counted read); the root comes
+// from the pinned-root cache for free. The returned node must not be
+// mutated when it is the root — mutating descents use readNodeMut.
 func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
-	if id == t.rootID {
-		return t.root, nil
+	if t.rc.holds(id) {
+		return t.rc.node, nil
 	}
 	return t.nodes.Read(id)
 }
@@ -123,8 +121,8 @@ func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
 // pinned root is deep-copied so that in-memory state only changes at the
 // writeNode commit point even when the page write fails.
 func (t *Tree) readNodeMut(id pagestore.PageID) (*dirnode.Node, error) {
-	if id == t.rootID {
-		return cloneNode(t.root), nil
+	if t.rc.holds(id) {
+		return cloneNode(t.rc.node), nil
 	}
 	return t.nodes.Read(id)
 }
@@ -147,8 +145,8 @@ func (t *Tree) writeNode(id pagestore.PageID, n *dirnode.Node) error {
 	if err := t.nodes.Write(id, n); err != nil {
 		return err
 	}
-	if id == t.rootID {
-		t.root = n
+	if t.rc.holds(id) {
+		t.rc.update(n)
 	}
 	return nil
 }
@@ -170,7 +168,7 @@ func (t *Tree) Search(k bitkey.Vector) (uint64, bool, error) {
 		return 0, false, err
 	}
 	v := k.Clone()
-	node := t.root
+	node := t.rc.node
 	for {
 		q := t.nodeIndex(node, v)
 		e := &node.Entries[q]

@@ -116,7 +116,7 @@ func (t *Tree) Validate() error {
 	}
 	strip := make([]int, t.prm.Dims)
 	prefix := make(bitkey.Vector, t.prm.Dims)
-	if err := walk(t.rootID, t.root, strip, prefix); err != nil {
+	if err := walk(t.rc.pageID, t.rc.node, strip, prefix); err != nil {
 		return err
 	}
 	total := 0

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool is a write-back page cache layered over a Store. It exists for
@@ -19,8 +20,10 @@ type BufferPool struct {
 	cap    int
 	frames map[PageID]*frame
 	lru    *list.List // of *frame, front = most recent
-	hits   uint64
-	misses uint64
+	// hits/misses are atomics so HitRate can be sampled without taking mu
+	// (parallel benchmarks poll it while readers hold the lock).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type frame struct {
@@ -55,12 +58,12 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if ok {
-		bp.hits++
+		bp.hits.Add(1)
 		f.pins++
 		bp.lru.MoveToFront(f.elem)
 		return f.data, nil
 	}
-	bp.misses++
+	bp.misses.Add(1)
 	if err := bp.evictIfFullLocked(); err != nil {
 		return nil, err
 	}
@@ -137,11 +140,10 @@ func (bp *BufferPool) Flush() error {
 	return nil
 }
 
-// HitRate returns cache hits, misses since creation.
+// HitRate returns cache hits, misses since creation. Lock-free: safe to
+// sample concurrently with Gets.
 func (bp *BufferPool) HitRate() (hits, misses uint64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	return bp.hits.Load(), bp.misses.Load()
 }
 
 func (bp *BufferPool) evictIfFullLocked() error {

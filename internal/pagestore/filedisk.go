@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // fileMagic identifies a pagestore file. Stored in the first 8 bytes of the
@@ -63,6 +64,9 @@ type FileDisk struct {
 	metaDirty bool
 	stats     Stats
 	closed    bool
+	// gc, when non-nil, coalesces Sync calls (group commit). Stored
+	// atomically so Sync can consult it without taking mu.
+	gc atomic.Pointer[GroupCommitter]
 }
 
 // CreateFileDisk creates (truncating) a file-backed disk at path, together
@@ -538,17 +542,48 @@ func (d *FileDisk) Dirty() int {
 	return len(d.dirty)
 }
 
-// Sync atomically commits all staged writes: it journals every dirty page
-// and the meta page to the WAL, fsyncs, applies them to their home slots,
-// fsyncs the main file, and resets the WAL. After Sync returns, the commit
-// survives any crash; if Sync fails, the previous commit survives instead.
-func (d *FileDisk) Sync() error {
+// SetSyncPolicy enables (or, with the zero policy, disables) group
+// commit: concurrent and back-to-back Sync calls coalesce into one WAL
+// commit and fsync pair. Durability semantics are unchanged — when Sync
+// returns, everything staged before the call is durable — only the fsync
+// traffic shrinks.
+func (d *FileDisk) SetSyncPolicy(p SyncPolicy) {
+	if !p.Enabled() {
+		d.gc.Store(nil)
+		return
+	}
+	d.gc.Store(NewGroupCommitter(p, d.syncNow))
+}
+
+// GroupCommitCounts reports Sync calls served and commits executed since
+// group commit was enabled (both zero when it is off).
+func (d *FileDisk) GroupCommitCounts() (syncs, commits uint64) {
+	if gc := d.gc.Load(); gc != nil {
+		return gc.Counts()
+	}
+	return 0, 0
+}
+
+// syncNow is the direct commit path (and the group-commit leader's work).
+func (d *FileDisk) syncNow() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
 	return d.syncLocked()
+}
+
+// Sync atomically commits all staged writes: it journals every dirty page
+// and the meta page to the WAL, fsyncs, applies them to their home slots,
+// fsyncs the main file, and resets the WAL. After Sync returns, the commit
+// survives any crash; if Sync fails, the previous commit survives instead.
+// With a SyncPolicy set, concurrent Sync calls share one commit.
+func (d *FileDisk) Sync() error {
+	if gc := d.gc.Load(); gc != nil {
+		return gc.Sync()
+	}
+	return d.syncNow()
 }
 
 func (d *FileDisk) syncLocked() error {
