@@ -65,6 +65,7 @@ func runAtGoroutines(b *testing.B, g int, body func(pb *testing.PB, worker uint6
 	prev := runtime.GOMAXPROCS(g)
 	defer runtime.GOMAXPROCS(prev)
 	var workers atomic.Uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		body(pb, workers.Add(1)-1)

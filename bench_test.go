@@ -35,6 +35,7 @@ func benchN() (n, measure int) {
 // benchTable reproduces one paper table per iteration and reports the b=8
 // column (the paper's most contended configuration) as metrics.
 func benchTable(b *testing.B, num int) {
+	b.ReportAllocs()
 	spec, err := sim.TableSpecFor(num)
 	if err != nil {
 		b.Fatal(err)
@@ -69,6 +70,7 @@ func BenchmarkTable4(b *testing.B) { benchTable(b, 4) }
 // final directory sizes plus a linearity ratio (σ(N) / σ(N/2); ≈2 means
 // linear growth, the paper's claim for the BMEH-tree).
 func benchFigure(b *testing.B, num int) {
+	b.ReportAllocs()
 	spec, err := sim.FigureSpecFor(num)
 	if err != nil {
 		b.Fatal(err)
@@ -103,6 +105,7 @@ func BenchmarkFigure7(b *testing.B) { benchFigure(b, 7) }
 // cost across selectivities; reports reads-per-covered-page for the
 // BMEH-tree (the ℓ factor of the O(ℓ·n_R) bound).
 func BenchmarkRangeCost(b *testing.B) {
+	b.ReportAllocs()
 	n, _ := benchN()
 	var pts []sim.RangePoint
 	var err error
@@ -145,6 +148,7 @@ func BenchmarkInsert(b *testing.B) {
 			ix, _ := buildIndex(b, s, 10000)
 			defer ix.Close()
 			gen := workload.Uniform(2, 123)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := gen.Next()
@@ -161,6 +165,7 @@ func BenchmarkSearch(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			ix, keys := buildIndex(b, s, 10000)
 			defer ix.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, ok, err := ix.Get(keys[i%len(keys)]); err != nil || !ok {
@@ -186,6 +191,7 @@ func BenchmarkSearchCached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok, err := ix.Get(keys[i%len(keys)]); err != nil || !ok {
@@ -197,6 +203,7 @@ func BenchmarkSearchCached(b *testing.B) {
 func BenchmarkSearchParallel(b *testing.B) {
 	ix, keys := buildIndex(b, SchemeBMEH, 10000)
 	defer ix.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -215,6 +222,7 @@ func BenchmarkRangeQuery(b *testing.B) {
 	defer ix.Close()
 	rng := rand.New(rand.NewSource(7))
 	span := uint64(1) << 27 // ~1/16 of each axis
+	b.ReportAllocs()
 	b.ResetTimer()
 	hits := 0
 	for i := 0; i < b.N; i++ {
@@ -237,6 +245,7 @@ func BenchmarkDelete(b *testing.B) {
 	// Rebuild periodically so deletes always find keys.
 	ix, keys := buildIndex(b, SchemeBMEH, 20000)
 	defer ix.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := keys[i%len(keys)]
@@ -268,6 +277,7 @@ func BenchmarkMappingG(b *testing.B) {
 	for i := range idx {
 		idx[i] = []uint64{uint64(rng.Intn(1 << 10)), uint64(rng.Intn(1 << 10)), uint64(rng.Intn(1 << 10))}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -288,6 +298,7 @@ func BenchmarkNodeCodec(b *testing.B) {
 		n.Entries[q] = dirnode.Entry{Ptr: pagestore.PageID(q + 1), H: []int{3, 3}, M: q % 2}
 	}
 	buf := make([]byte, dirnode.PageBytes(2, 6))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.Encode(buf); err != nil {
@@ -310,6 +321,7 @@ func BenchmarkPageCodec(b *testing.B) {
 		})
 	}
 	buf := make([]byte, datapage.Size(2, 32))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Encode(buf); err != nil {
@@ -319,4 +331,26 @@ func BenchmarkPageCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBitkeyG measures the multidimensional hash G(k, h) — the
+// per-dimension digit extraction performed d times per directory probe.
+func BenchmarkBitkeyG(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += bitkey.G(bitkey.Component(uint64(i)*0x9e3779b97f4a7c15), i%8+1, 32)
+	}
+	_ = sink
+}
+
+// BenchmarkBitkeyLeftShift measures the descent rotation that strips the
+// consumed h high-order bits from a key component between tree levels.
+func BenchmarkBitkeyLeftShift(b *testing.B) {
+	b.ReportAllocs()
+	var sink bitkey.Component
+	for i := 0; i < b.N; i++ {
+		sink += bitkey.LeftShift(bitkey.Component(uint64(i)*0x9e3779b97f4a7c15), i%8+1, 32)
+	}
+	_ = sink
 }

@@ -74,6 +74,12 @@ func (s Scheme) String() string {
 // the encoding helpers to map other attribute types order-preservingly.
 type Key []uint64
 
+// KV is one key/value pair, the unit of batched insertion.
+type KV struct {
+	Key   Key
+	Value uint64
+}
+
 // ErrDuplicate is returned by Insert when the key is already present.
 var ErrDuplicate = errors.New("bmeh: duplicate key")
 
@@ -189,6 +195,10 @@ type Index struct {
 	// gc, when non-nil, coalesces Sync calls (group commit). Read without
 	// ix.mu — the leader's commit acquires ix.mu itself.
 	gc atomic.Pointer[pagestore.GroupCommitter]
+	// keyPool recycles converted key vectors for Get/Insert/Delete; the
+	// scheme implementations never retain the vector (stored records clone
+	// it), so the buffer can be reused as soon as the call returns.
+	keyPool sync.Pool
 }
 
 // requiredPageBytes returns the page size for the scheme and parameters.
@@ -330,20 +340,49 @@ func Open(path string, cacheFrames int) (*Index, error) {
 	return ix, nil
 }
 
-// key converts and validates a public key.
+// key converts and validates a public key into a fresh vector (callers
+// that may retain the vector use this; the per-operation paths use
+// keyPooled).
 func (ix *Index) key(k Key) (bitkey.Vector, error) {
 	if len(k) != ix.prm.Dims {
 		return nil, fmt.Errorf("bmeh: key has %d components, index expects %d", len(k), ix.prm.Dims)
 	}
 	v := make(bitkey.Vector, len(k))
-	for j, c := range k {
-		if ix.prm.Width < 64 && c >= 1<<uint(ix.prm.Width) {
-			return nil, fmt.Errorf("bmeh: component %d (%d) exceeds the index's %d-bit width", j+1, c, ix.prm.Width)
-		}
-		v[j] = bitkey.Component(c)
+	if err := ix.fillKey(v, k); err != nil {
+		return nil, err
 	}
 	return v, nil
 }
+
+func (ix *Index) fillKey(v bitkey.Vector, k Key) error {
+	for j, c := range k {
+		if ix.prm.Width < 64 && c >= 1<<uint(ix.prm.Width) {
+			return fmt.Errorf("bmeh: component %d (%d) exceeds the index's %d-bit width", j+1, c, ix.prm.Width)
+		}
+		v[j] = bitkey.Component(c)
+	}
+	return nil
+}
+
+// keyPooled is key backed by the index's buffer pool; return the buffer
+// with putKey once the operation no longer reads it.
+func (ix *Index) keyPooled(k Key) (*bitkey.Vector, error) {
+	if len(k) != ix.prm.Dims {
+		return nil, fmt.Errorf("bmeh: key has %d components, index expects %d", len(k), ix.prm.Dims)
+	}
+	vp, _ := ix.keyPool.Get().(*bitkey.Vector)
+	if vp == nil {
+		v := make(bitkey.Vector, ix.prm.Dims)
+		vp = &v
+	}
+	if err := ix.fillKey(*vp, k); err != nil {
+		ix.keyPool.Put(vp)
+		return nil, err
+	}
+	return vp, nil
+}
+
+func (ix *Index) putKey(vp *bitkey.Vector) { ix.keyPool.Put(vp) }
 
 func translateErr(err error) error {
 	switch {
@@ -361,44 +400,95 @@ func translateErr(err error) error {
 // Insert stores value under key. It returns ErrDuplicate if the key is
 // already present.
 func (ix *Index) Insert(k Key, value uint64) error {
-	v, err := ix.key(k)
+	vp, err := ix.keyPooled(k)
 	if err != nil {
 		return err
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
+		ix.putKey(vp)
 		return pagestore.ErrClosed
 	}
-	return translateErr(ix.idx.Insert(v, value))
+	err = translateErr(ix.idx.Insert(*vp, value))
+	ix.mu.Unlock()
+	ix.putKey(vp)
+	return err
+}
+
+// InsertBatch stores the given pairs under one write lock, then issues a
+// single Sync, amortizing lock traffic and (with a SyncPolicy set) the WAL
+// commit and fsync across the whole batch. Pairs whose key is already
+// present are skipped — the returned count is the number actually
+// inserted, so duplicates are len(kvs) minus that count. Any other error
+// stops the batch: pairs applied before it remain applied and are made
+// durable by the next Sync.
+func (ix *Index) InsertBatch(kvs []KV) (int, error) {
+	vecs := make([]bitkey.Vector, len(kvs))
+	for i := range kvs {
+		v, err := ix.key(kvs[i].Key)
+		if err != nil {
+			return 0, fmt.Errorf("bmeh: batch entry %d: %w", i, err)
+		}
+		vecs[i] = v
+	}
+	inserted := 0
+	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return 0, pagestore.ErrClosed
+	}
+	for i, v := range vecs {
+		switch err := translateErr(ix.idx.Insert(v, kvs[i].Value)); {
+		case err == nil:
+			inserted++
+		case errors.Is(err, ErrDuplicate):
+			// Skipped; reflected in the count only.
+		default:
+			ix.mu.Unlock()
+			return inserted, fmt.Errorf("bmeh: batch entry %d: %w", i, err)
+		}
+	}
+	ix.mu.Unlock()
+	// Sync outside the lock: with group commit enabled, the commit leader
+	// acquires the write lock itself.
+	return inserted, ix.Sync()
 }
 
 // Get returns the value stored under key.
 func (ix *Index) Get(k Key) (uint64, bool, error) {
-	v, err := ix.key(k)
+	vp, err := ix.keyPooled(k)
 	if err != nil {
 		return 0, false, err
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if ix.closed {
+		ix.mu.RUnlock()
+		ix.putKey(vp)
 		return 0, false, pagestore.ErrClosed
 	}
-	return ix.idx.Search(v)
+	val, ok, err := ix.idx.Search(*vp)
+	ix.mu.RUnlock()
+	ix.putKey(vp)
+	return val, ok, err
 }
 
 // Delete removes key, reporting whether it was present.
 func (ix *Index) Delete(k Key) (bool, error) {
-	v, err := ix.key(k)
+	vp, err := ix.keyPooled(k)
 	if err != nil {
 		return false, err
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
+		ix.putKey(vp)
 		return false, pagestore.ErrClosed
 	}
-	return ix.idx.Delete(v)
+	ok, err := ix.idx.Delete(*vp)
+	ix.mu.Unlock()
+	ix.putKey(vp)
+	return ok, err
 }
 
 // Range calls fn for every record whose key lies in the axis-aligned box

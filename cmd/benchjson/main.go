@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark line, so CI can archive benchmark runs
+// as machine-readable artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson -out bench.json
+//	benchjson -in bench.txt -out bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line. Metrics holds every "value unit"
+// pair after the iteration count (ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units).
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one "BenchmarkX-8  N  v1 u1  v2 u2 ..." line; ok is
+// false for non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+func run(in io.Reader, out io.Writer) error {
+	var results []result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(buf, '\n'))
+	return err
+}
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input file (default stdin)")
+		outPath = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(in, out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkGetHot-8   3655969   334.2 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkGetHot-8" || r.Iterations != 3655969 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 334.2 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tbmeh\t1.2s",
+		"BenchmarkX-8 notanumber 1 ns/op",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := `goos: linux
+BenchmarkSearch/BMEH-tree-8   3476692   428.7 ns/op   0 B/op   0 allocs/op
+BenchmarkParallelGet/goroutines=1-8   3485044   358.5 ns/op   0 hit%   0 B/op   0 allocs/op
+PASS
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[1].Metrics["hit%"] != 0 {
+		t.Fatalf("custom metric lost: %v", results[1].Metrics)
+	}
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -51,9 +51,13 @@ type ConcurrentResult struct {
 
 // ConcurrentReport is the full sweep as written by -json.
 type ConcurrentReport struct {
-	Keys        int                `json:"keys"`
-	WindowMS    int64              `json:"window_ms_per_run"`
-	NumCPU      int                `json:"num_cpu"`
+	Keys     int   `json:"keys"`
+	WindowMS int64 `json:"window_ms_per_run"`
+	NumCPU   int   `json:"num_cpu"`
+	// SingleCPU flags sweeps run on a one-core machine, where goroutine
+	// counts above 1 only time-slice a single core and speedup_vs_1 says
+	// nothing about scalability.
+	SingleCPU   bool               `json:"single_cpu"`
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	GoVersion   string             `json:"go_version"`
 	CacheFrames int                `json:"cache_frames"`
@@ -135,12 +139,19 @@ func runConcurrent(w io.Writer, n int, window time.Duration, progress func(strin
 		Keys:        n,
 		WindowMS:    window.Milliseconds(),
 		NumCPU:      runtime.NumCPU(),
+		SingleCPU:   runtime.NumCPU() == 1,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		GoVersion:   runtime.Version(),
 		CacheFrames: 8192,
 	}
 	fmt.Fprintf(w, "concurrent sweep (N=%d, window=%v, NumCPU=%d)\n", n, window, rep.NumCPU)
-	fmt.Fprintf(w, "%-8s %12s %12s %12s %8s %10s\n", "workload", "goroutines", "ops/sec", "ns/op", "hit%", "speedup")
+	if rep.SingleCPU {
+		fmt.Fprintf(w, "NOTE: single-core machine — goroutine counts > 1 time-slice one core,\n")
+		fmt.Fprintf(w, "so the speedup column is omitted (it would not measure scalability).\n")
+		fmt.Fprintf(w, "%-8s %12s %12s %12s %8s\n", "workload", "goroutines", "ops/sec", "ns/op", "hit%")
+	} else {
+		fmt.Fprintf(w, "%-8s %12s %12s %12s %8s %10s\n", "workload", "goroutines", "ops/sec", "ns/op", "hit%", "speedup")
+	}
 
 	for _, workload := range []string{"get", "insert", "mixed"} {
 		var base float64
@@ -224,8 +235,13 @@ func runConcurrent(w io.Writer, n int, window time.Duration, progress func(strin
 				r.SpeedupVs1 = r.OpsPerSec / base
 			}
 			rep.Results = append(rep.Results, r)
-			fmt.Fprintf(w, "%-8s %12d %12.0f %12.0f %7.1f%% %9.2fx\n",
-				r.Workload, r.Goroutines, r.OpsPerSec, r.NsPerOp, r.HitRate*100, r.SpeedupVs1)
+			if rep.SingleCPU {
+				fmt.Fprintf(w, "%-8s %12d %12.0f %12.0f %7.1f%%\n",
+					r.Workload, r.Goroutines, r.OpsPerSec, r.NsPerOp, r.HitRate*100)
+			} else {
+				fmt.Fprintf(w, "%-8s %12d %12.0f %12.0f %7.1f%% %9.2fx\n",
+					r.Workload, r.Goroutines, r.OpsPerSec, r.NsPerOp, r.HitRate*100, r.SpeedupVs1)
+			}
 		}
 	}
 	return rep, nil

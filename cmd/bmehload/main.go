@@ -114,16 +114,32 @@ func (cs *colSpecs) Set(s string) error {
 	return nil
 }
 
-// loadCSV streams rows from r into ix; returns rows indexed, duplicates
-// skipped and malformed rows skipped.
-func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, errw io.Writer) (loaded, dups, bad int, err error) {
+// loadCSV streams rows from r into ix in batches of batchSize (1 falls
+// back to per-row Insert); returns rows indexed, duplicates skipped and
+// malformed rows skipped. Batches go through InsertBatch: one write lock
+// and one group-committed Sync per batch instead of per row.
+func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize int, errw io.Writer) (loaded, dups, bad int, err error) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	row := -1
+	batch := make([]bmeh.KV, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		n, err := ix.InsertBatch(batch)
+		loaded += n
+		dups += len(batch) - n
+		batch = batch[:0]
+		return err
+	}
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return loaded, dups, bad, nil
+			return loaded, dups, bad, flush()
 		}
 		if err != nil {
 			return loaded, dups, bad, err
@@ -152,13 +168,11 @@ func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, errw io.W
 			bad++
 			continue
 		}
-		switch err := ix.Insert(key, uint64(row)); err {
-		case nil:
-			loaded++
-		case bmeh.ErrDuplicate:
-			dups++
-		default:
-			return loaded, dups, bad, fmt.Errorf("row %d: %w", row, err)
+		batch = append(batch, bmeh.KV{Key: key, Value: uint64(row)})
+		if len(batch) >= batchSize {
+			if err := flush(); err != nil {
+				return loaded, dups, bad, fmt.Errorf("row %d: %w", row, err)
+			}
 		}
 	}
 }
@@ -170,6 +184,7 @@ func main() {
 		capacity = flag.Int("b", 32, "data page capacity")
 		header   = flag.Bool("header", true, "skip the first CSV row")
 		cacheN   = flag.Int("cache", 1024, "page cache frames")
+		batchN   = flag.Int("batch", 1024, "rows per InsertBatch (1 = per-row inserts)")
 	)
 	flag.Var(&cols, "col", "key column spec TYPE:INDEX[:LO:HI] (repeatable, in dimension order)")
 	flag.Parse()
@@ -197,7 +212,7 @@ func main() {
 		fail(err)
 	}
 	start := time.Now()
-	loaded, dups, bad, err := loadCSV(ix, in, cols, *header, os.Stderr)
+	loaded, dups, bad, err := loadCSV(ix, in, cols, *header, *batchN, os.Stderr)
 	if err != nil {
 		ix.Close()
 		fail(err)

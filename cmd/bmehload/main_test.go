@@ -77,7 +77,7 @@ short-row
 		{kind: "f64", index: 2, lo: -90, hi: 90},
 	}
 	var errlog bytes.Buffer
-	loaded, dups, bad, err := loadCSV(ix, strings.NewReader(csvData), cols, true, &errlog)
+	loaded, dups, bad, err := loadCSV(ix, strings.NewReader(csvData), cols, true, 3, &errlog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -176,6 +176,10 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 				t.Fatalf("point %d (+%d, %v): acknowledged delete of key %d resurrected", p, armAt, mode, idx)
 			}
 		}
+		// The probes above ran with the decoded caches enabled (the default
+		// since the zero-decode hot path); whatever they cached must agree
+		// with the recovered bytes.
+		checkCacheCoherence(t, tr)
 		fd.Close()
 	}
 

@@ -28,8 +28,10 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 		return false, err
 	}
 	d := t.prm.Dims
-	vec := k.Clone()
-	strip := make([]int, d)
+	dc := t.getDescent(k)
+	defer t.putDescent(dc)
+	vec := dc.v
+	strip := dc.strip
 	var stack []frame
 	id := t.rc.pageID
 	node, err := t.readNodeMut(id)
@@ -37,7 +39,7 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 		return false, err
 	}
 	for {
-		q := t.nodeIndex(node, vec)
+		q := t.nodeIndexInto(node, vec, dc.idx)
 		e := &node.Entries[q]
 		if e.Ptr == pagestore.NilPage {
 			return false, nil
@@ -50,13 +52,15 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 			}
 			id = e.Ptr
 			var err error
-			node, err = t.readNode(id)
+			// Mutating descent: merges and prunes modify nodes in place,
+			// so never share the cached object.
+			node, err = t.readNodeMut(id)
 			if err != nil {
 				return false, err
 			}
 			continue
 		}
-		p, err := t.pages.Read(e.Ptr)
+		p, err := t.readPageMut(e.Ptr)
 		if err != nil {
 			return false, err
 		}
@@ -90,7 +94,7 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 				frees = append(frees, pid)
 			}
 		} else {
-			if err := t.pages.Write(e.Ptr, p); err != nil {
+			if err := t.writePage(e.Ptr, p); err != nil {
 				return false, err
 			}
 			t.n-- // the page write committed the removal
@@ -155,7 +159,10 @@ func (t *Tree) gcEmptyNodes() error {
 				if _, ok := nodes[e.Ptr]; ok {
 					continue
 				}
-				c, err := t.readNode(e.Ptr)
+				// The sweep may shrink and rewrite any collected node, so
+				// take private copies (the pinned root stays in place, as
+				// before the decoded cache existed).
+				c, err := t.readNodeMut(e.Ptr)
 				if err != nil {
 					return err
 				}
@@ -184,7 +191,7 @@ func (t *Tree) gcEmptyNodes() error {
 					continue
 				}
 				checkedPages[e.Ptr] = true
-				p, err := t.pages.Read(e.Ptr)
+				p, err := t.readPage(e.Ptr)
 				if err != nil {
 					return err
 				}
@@ -210,7 +217,7 @@ func (t *Tree) gcEmptyNodes() error {
 			}
 		}
 		for pid := range deadPages {
-			if err := t.pages.Free(pid); err != nil {
+			if err := t.freePage(pid); err != nil {
 				return err
 			}
 		}
@@ -248,7 +255,7 @@ func (t *Tree) gcEmptyNodes() error {
 			}
 		}
 		for _, id := range empty {
-			if err := t.nodes.Free(id); err != nil {
+			if err := t.freeNode(id); err != nil {
 				return err
 			}
 			t.nNodes--
@@ -294,11 +301,13 @@ func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([
 			coarsenRegion(node, bq, mergedH, be.Ptr, false, prevM)
 			q = bq
 		default:
-			p, err := t.pages.Read(e.Ptr)
+			// Merge mutates both pages (the source's records are drained),
+			// so both sides need private copies.
+			p, err := t.readPageMut(e.Ptr)
 			if err != nil {
 				return frees, err
 			}
-			bp, err := t.pages.Read(be.Ptr)
+			bp, err := t.readPageMut(be.Ptr)
 			if err != nil {
 				return frees, err
 			}
@@ -321,7 +330,7 @@ func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([
 			if err != nil {
 				return frees, err
 			}
-			if err := t.pages.Write(nid, p); err != nil {
+			if err := t.writePage(nid, p); err != nil {
 				return frees, err
 			}
 			frees = append(frees, e.Ptr, be.Ptr)
@@ -572,7 +581,7 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 	if err != nil {
 		return nil, err
 	}
-	if err := t.nodes.Write(newID, merged); err != nil {
+	if err := t.writeNode(newID, merged); err != nil {
 		return nil, err
 	}
 	if sibID != pagestore.NilPage {
@@ -709,7 +718,7 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 func (t *Tree) collapseRoot() error {
 	if t.rc.node.Level > 1 && allNil(t.rc.node) {
 		fresh := dirnode.New(t.prm.Dims, 1)
-		if err := t.nodes.Write(t.rc.pageID, fresh); err != nil {
+		if err := t.writeNode(t.rc.pageID, fresh); err != nil {
 			return err
 		}
 		t.rc.install(t.rc.pageID, fresh)
@@ -732,7 +741,10 @@ func (t *Tree) collapseRoot() error {
 		}
 		oldID := t.rc.pageID
 		t.rc.install(first.Ptr, child)
-		if err := t.nodes.Free(oldID); err != nil {
+		// The pinned root shadows (and may later mutate) this object; drop
+		// the aliased cache entry.
+		t.nc.invalidate(first.Ptr)
+		if err := t.freeNode(oldID); err != nil {
 			return err
 		}
 		t.nNodes--

@@ -43,16 +43,22 @@ func (t *Tree) Insert(k bitkey.Vector, v uint64) error {
 // performs one restructuring step and asks to be re-run (false).
 func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 	d := t.prm.Dims
-	vec := k.Clone()
-	strip := make([]int, d) // bits stripped per dimension before current node
+	dc := t.getDescent(k)
+	defer t.putDescent(dc)
+	vec := dc.v
+	strip := dc.strip // bits stripped per dimension before current node
 	var stack []frame
 	id := t.rc.pageID
-	node, err := t.readNodeMut(id)
+	// The descent shares cached node objects: the common insertion only
+	// mutates a data page. The rare branches that do modify a node clone it
+	// first (clone-before-mutate keeps failure atomicity — a shared object
+	// is never dirtied before its commit write succeeds).
+	node, err := t.readNode(id)
 	if err != nil {
 		return false, err
 	}
 	for {
-		q := t.nodeIndex(node, vec)
+		q := t.nodeIndexInto(node, vec, dc.idx)
 		e := &node.Entries[q]
 		if e.Ptr != pagestore.NilPage && e.IsNode {
 			stack = append(stack, frame{id: id, node: node, strip: append([]int(nil), strip...)})
@@ -77,10 +83,11 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 				return false, err
 			}
 			child := dirnode.New(d, node.Level-1)
-			if err := t.nodes.Write(cid, child); err != nil {
+			if err := t.writeNode(cid, child); err != nil {
 				return false, err
 			}
 			h, em := append([]int(nil), e.H...), e.M
+			node = cloneNode(node)
 			for _, bq := range node.Buddies(q) {
 				en := &node.Entries[bq]
 				if en.Ptr != pagestore.NilPage {
@@ -107,10 +114,11 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 			}
 			p := datapage.New(d)
 			p.Insert(datapage.Record{Key: k.Clone(), Value: v})
-			if err := t.pages.Write(pid, p); err != nil {
+			if err := t.writePage(pid, p); err != nil {
 				return false, err
 			}
 			h, em := append([]int(nil), e.H...), e.M
+			node = cloneNode(node)
 			for _, b := range node.Buddies(q) {
 				en := &node.Entries[b]
 				if en.Ptr != pagestore.NilPage {
@@ -127,7 +135,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 			t.n++
 			return true, nil
 		}
-		p, err := t.pages.Read(e.Ptr)
+		p, err := t.readPageMut(e.Ptr)
 		if err != nil {
 			return false, err
 		}
@@ -136,7 +144,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 		}
 		if p.Len() < t.prm.Capacity {
 			p.Insert(datapage.Record{Key: k.Clone(), Value: v})
-			if err := t.pages.Write(e.Ptr, p); err != nil {
+			if err := t.writePage(e.Ptr, p); err != nil {
 				return false, err
 			}
 			t.n++
@@ -166,8 +174,10 @@ func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Nod
 	}
 	newh := e.H[m] + 1
 	if newh > node.Depths[m] && node.Depths[m] < t.prm.Xi[m] {
-		// Expand_Dir: double the node in place along m; the page split
-		// happens on the next attempt. A single page write: atomic.
+		// Expand_Dir: double the node along m (on a private copy — the
+		// descent shares cached objects); the page split happens on the
+		// next attempt. A single page write: atomic.
+		node = cloneNode(node)
 		node.Double(m)
 		return t.writeNode(id, node)
 	}
@@ -185,7 +195,7 @@ func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Nod
 		if err != nil {
 			return pagestore.NilPage, err
 		}
-		return nid, t.pages.Write(nid, half)
+		return nid, t.writePage(nid, half)
 	}
 	pz, err := writeHalf(p)
 	if err != nil {
@@ -199,11 +209,12 @@ func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Nod
 		// Plain page split within the node: deepen the region's elements
 		// and distribute the two pages across its halves. The node write
 		// commits.
+		node = cloneNode(node)
 		t.assignSplit(node, oldPtr, oldH, m, newh, pz, po, false)
 		if err := t.writeNode(id, node); err != nil {
 			return err
 		}
-		return t.pages.Free(oldPtr)
+		return t.freePage(oldPtr)
 	}
 	// Node split chain (Split_Node): dimension m is exhausted in this node.
 	return t.splitChain(stack, id, node, m, strip[m], oldPtr, pz, po, false, []pagestore.PageID{oldPtr})
@@ -253,10 +264,10 @@ func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node
 		if err != nil {
 			return err
 		}
-		if err := t.nodes.Write(aID, a); err != nil {
+		if err := t.writeNode(aID, a); err != nil {
 			return err
 		}
-		if err := t.nodes.Write(bID, b); err != nil {
+		if err := t.writeNode(bID, b); err != nil {
 			return err
 		}
 		t.nNodes++ // two new nodes replace one (freed after the commit below)
@@ -279,12 +290,16 @@ func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node
 		newh := h[m] + 1
 		if newh > parent.Depths[m] {
 			if parent.Depths[m] >= t.prm.Xi[m] {
-				// The parent must split as well.
+				// The parent must split as well (splitNode only reads it,
+				// so the shared object is fine).
 				curID, curNode = pid, parent
 				stripM = pf.strip[m]
 				continue
 			}
+			parent = cloneNode(parent)
 			parent.Double(m)
+		} else {
+			parent = cloneNode(parent)
 		}
 		t.assignSplit(parent, trigPtr, h, m, newh, pz, po, true)
 		if err := t.writeNode(pid, parent); err != nil {
@@ -294,9 +309,13 @@ func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node
 	}
 }
 
-// freeAll releases committed-away pages; failures here only leak pages.
+// freeAll releases committed-away pages (data pages and directory nodes
+// alike); failures here only leak pages. Decoded-cache entries are dropped
+// before the store free, so a recycled id never decodes stale.
 func (t *Tree) freeAll(ids []pagestore.PageID) error {
 	for _, id := range ids {
+		t.nc.invalidate(id)
+		t.pc.invalidate(id)
 		if err := t.st.Free(id); err != nil {
 			return err
 		}
@@ -447,7 +466,7 @@ func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore
 	var out struct{ lo, hi pagestore.PageID }
 	t.nCascades++
 	if !e.IsNode {
-		p, err := t.pages.Read(e.Ptr)
+		p, err := t.readPageMut(e.Ptr)
 		if err != nil {
 			return out, err
 		}
@@ -460,7 +479,7 @@ func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore
 			if err != nil {
 				return pagestore.NilPage, err
 			}
-			return nid, t.pages.Write(nid, half)
+			return nid, t.writePage(nid, half)
 		}
 		if out.lo, err = write(p); err != nil {
 			return out, err
@@ -487,10 +506,10 @@ func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore
 	if err != nil {
 		return out, err
 	}
-	if err := t.nodes.Write(caID, ca); err != nil {
+	if err := t.writeNode(caID, ca); err != nil {
 		return out, err
 	}
-	if err := t.nodes.Write(cbID, cb); err != nil {
+	if err := t.writeNode(cbID, cb); err != nil {
 		return out, err
 	}
 	t.nNodes++ // two nodes replace one (freed after commit)

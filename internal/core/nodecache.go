@@ -1,0 +1,229 @@
+package core
+
+// The decoded-object cache generalizes the pinned-root discipline of
+// rootcache.go to the rest of the tree: decoded directory nodes and data
+// pages are kept in their operable in-memory form, keyed by PageID, so a
+// steady-state descent touches serialized page bytes only at the storage
+// boundary. Coherence follows the same commit-point rules as the root:
+//
+//   - read-only descents (Search, Range, Validate, walks) may share the
+//     cached object and must not mutate it;
+//   - mutating descents work on a private copy (readNodeMut, readPageMut)
+//     and the cache is updated write-through only after the page write
+//     committed (writeNode, writePage), so a storage fault leaves cache,
+//     memory and disk agreeing on the previous state;
+//   - freeing a page invalidates its entry before the store free, so a
+//     recycled PageID can never resurrect a stale decoded image.
+//
+// Accounting: a cache hit still counts one logical read at the store
+// layer via pagestore.ReadAccounter, keeping the paper's §4 access model
+// (levels−1 node reads + 1 data read per probe) exact on counting stores
+// while skipping the byte copy and the decode entirely.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bmeh/internal/datapage"
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+)
+
+const (
+	// objCacheShards stripes the cache locks; reads under the index's
+	// RLock run concurrently, so shard contention matters.
+	objCacheShards = 16
+	// defaultNodeCacheCap bounds cached decoded directory nodes. Interior
+	// nodes are few (one per ~2^φ regions), so this covers directories far
+	// past the paper's 2^27-element scale.
+	defaultNodeCacheCap = 1024
+	// defaultPageCacheCap bounds cached decoded data pages.
+	defaultPageCacheCap = 4096
+)
+
+// objCacheStats are the cache's white-box counters.
+type objCacheStats struct {
+	Hits, Misses, Evictions, Invalidations uint64
+}
+
+// objShard is one lock stripe of an objCache.
+type objShard[V any] struct {
+	mu sync.RWMutex
+	m  map[pagestore.PageID]*objEntry[V]
+}
+
+// objEntry wraps a cached object with its second-chance reference bit.
+type objEntry[V any] struct {
+	val V
+	ref atomic.Bool
+}
+
+// objCache is a sharded, capacity-bounded map from PageID to a decoded
+// object with second-chance (CLOCK-approximating) eviction. Gets run under
+// shard read locks; puts and invalidations take the shard write lock.
+// Capacity 0 disables the cache (every get misses, puts are dropped).
+type objCache[V any] struct {
+	shards   [objCacheShards]objShard[V]
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	evicts   atomic.Uint64
+	invals   atomic.Uint64
+}
+
+// newObjCache returns a cache bounded to roughly capacity entries.
+func newObjCache[V any](capacity int) *objCache[V] {
+	c := &objCache[V]{perShard: (capacity + objCacheShards - 1) / objCacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[pagestore.PageID]*objEntry[V])
+	}
+	return c
+}
+
+func (c *objCache[V]) shard(id pagestore.PageID) *objShard[V] {
+	return &c.shards[uint32(id)%objCacheShards]
+}
+
+// get returns the cached object for id, marking it recently used.
+func (c *objCache[V]) get(id pagestore.PageID) (V, bool) {
+	var zero V
+	if c.perShard == 0 {
+		c.misses.Add(1)
+		return zero, false
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	if ok {
+		e.ref.Store(true)
+	}
+	s.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return zero, false
+	}
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// put installs (or replaces) the object for id, evicting a
+// not-recently-used entry when the shard is full. Map iteration order is
+// randomized, so clearing reference bits along the probe acts as a
+// second-chance sweep without a ring.
+func (c *objCache[V]) put(id pagestore.PageID, v V) {
+	if c.perShard == 0 {
+		return
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	if e, ok := s.m[id]; ok {
+		e.val = v
+		e.ref.Store(true)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= c.perShard {
+		var fallback pagestore.PageID
+		evicted := false
+		for k, e := range s.m {
+			fallback = k
+			if e.ref.CompareAndSwap(true, false) {
+				continue // recently used: spend its second chance
+			}
+			delete(s.m, k)
+			evicted = true
+			break
+		}
+		if !evicted { // every probed entry was hot: evict the last seen
+			delete(s.m, fallback)
+		}
+		c.evicts.Add(1)
+	}
+	e := &objEntry[V]{val: v}
+	e.ref.Store(true)
+	s.m[id] = e
+	s.mu.Unlock()
+}
+
+// invalidate drops the entry for id, if any.
+func (c *objCache[V]) invalidate(id pagestore.PageID) {
+	if c.perShard == 0 {
+		return
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	if _, ok := s.m[id]; ok {
+		delete(s.m, id)
+		c.invals.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// forEach calls fn for every cached (id, object) pair; for tests and the
+// coherence checker. fn must not mutate the object.
+func (c *objCache[V]) forEach(fn func(id pagestore.PageID, v V)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for id, e := range s.m {
+			fn(id, e.val)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// len returns the number of cached entries.
+func (c *objCache[V]) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// stats snapshots the counters.
+func (c *objCache[V]) stats() objCacheStats {
+	return objCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evicts.Load(),
+		Invalidations: c.invals.Load(),
+	}
+}
+
+// CacheStats is a snapshot of one decoded cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations uint64
+	Entries                                int
+}
+
+// NodeCacheStats reports the decoded directory-node cache's counters.
+func (t *Tree) NodeCacheStats() CacheStats {
+	s := t.nc.stats()
+	return CacheStats{s.Hits, s.Misses, s.Evictions, s.Invalidations, t.nc.len()}
+}
+
+// PageCacheStats reports the decoded data-page cache's counters.
+func (t *Tree) PageCacheStats() CacheStats {
+	s := t.pc.stats()
+	return CacheStats{s.Hits, s.Misses, s.Evictions, s.Invalidations, t.pc.len()}
+}
+
+// SetDecodedCacheCapacity resizes the decoded caches (rebuilding them
+// empty): nodes bounds cached directory nodes, pages cached data pages.
+// Zero or negative disables the respective cache — every read then decodes
+// from page bytes, the pre-cache behavior. Not safe to call concurrently
+// with operations on the tree.
+func (t *Tree) SetDecodedCacheCapacity(nodes, pages int) {
+	if nodes < 0 {
+		nodes = 0
+	}
+	if pages < 0 {
+		pages = 0
+	}
+	t.nc = newObjCache[*dirnode.Node](nodes)
+	t.pc = newObjCache[*datapage.Page](pages)
+}

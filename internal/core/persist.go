@@ -101,6 +101,7 @@ func Load(st pagestore.Store, meta []byte) (*Tree, error) {
 	if st.PageSize() < PageBytes(prm) {
 		return nil, fmt.Errorf("bmeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
 	}
+	t.initRuntime()
 	rootID := pagestore.PageID(binary.BigEndian.Uint32(meta[off:]))
 	root, err := t.nodes.Read(rootID)
 	if err != nil {

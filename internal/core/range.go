@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"bmeh/internal/bitkey"
 	"bmeh/internal/dirnode"
 	"bmeh/internal/pagestore"
@@ -28,17 +30,26 @@ func (t *Tree) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v uint64) bo
 			return nil
 		}
 	}
-	r := &rangeScan{
-		t:         t,
-		lo:        lo,
-		hi:        hi,
-		fn:        fn,
+	r := rangeScanPool.Get().(*rangeScan)
+	r.t, r.lo, r.hi, r.fn = t, lo, hi, fn
+	r.width = t.prm.Width
+	r.stopped = false
+	err := r.node(t.rc.node, lo.Clone(), hi.Clone())
+	clear(r.seenPages)
+	clear(r.seenNodes)
+	*r = rangeScan{seenPages: r.seenPages, seenNodes: r.seenNodes}
+	rangeScanPool.Put(r)
+	return err
+}
+
+// rangeScanPool recycles scan state (chiefly the visited-set maps) across
+// Range calls.
+var rangeScanPool = sync.Pool{New: func() interface{} {
+	return &rangeScan{
 		seenPages: make(map[pagestore.PageID]bool),
 		seenNodes: make(map[nodeVisit]bool),
-		width:     t.prm.Width,
 	}
-	return r.node(t.rc.node, lo.Clone(), hi.Clone())
-}
+}}
 
 // nodeVisit identifies one (node, clamped bounds) descent. A node shared by
 // two parents (an h_m = 0 duplication) is legitimately visited once per
@@ -88,13 +99,15 @@ func visitKey(id pagestore.PageID, lo, hi bitkey.Vector) nodeVisit {
 func (r *rangeScan) node(n *dirnode.Node, vlo, vhi bitkey.Vector) error {
 	t := r.t
 	d := t.prm.Dims
-	L := make([]uint64, d)
-	U := make([]uint64, d)
+	// One allocation for the three per-visit index vectors (the scan is
+	// recursive, so they cannot live in pooled per-operation scratch).
+	lu := make([]uint64, 3*d)
+	L, U, idx := lu[:d], lu[d:2*d], lu[2*d:]
 	for j := 0; j < d; j++ {
 		L[j] = bitkey.G(vlo[j], n.Depths[j], r.width)
 		U[j] = bitkey.G(vhi[j], n.Depths[j], r.width)
 	}
-	idx := append([]uint64(nil), L...)
+	copy(idx, L)
 	for {
 		q := n.Index(idx)
 		e := &n.Entries[q]
@@ -170,9 +183,10 @@ func (r *rangeScan) descend(n *dirnode.Node, e *dirnode.Entry, idx []uint64, vlo
 	return r.node(child, clo, chi)
 }
 
-// page scans one data page, filtering by the original box.
+// page scans one data page, filtering by the original box. The page is the
+// shared cached object; record keys are handed to fn read-only.
 func (r *rangeScan) page(id pagestore.PageID) error {
-	p, err := r.t.pages.Read(id)
+	p, err := r.t.readPage(id)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"bmeh/internal/bitkey"
 	"bmeh/internal/datapage"
@@ -52,10 +53,60 @@ type Tree struct {
 	rc     rootCache // pinned-root cache (paper §3.1); see rootcache.go
 	nNodes int       // directory nodes, root included
 	n      int           // stored records
+	// nc and pc are the decoded-object caches above the byte store; see
+	// nodecache.go for the coherence discipline.
+	nc *objCache[*dirnode.Node]
+	pc *objCache[*datapage.Page]
+	// acct counts a logical read on a decoded-cache hit when the store
+	// supports it (nil otherwise; see pagestore.ReadAccounter).
+	acct func(pagestore.PageID) error
+	// descents pools per-operation scratch so steady-state descents
+	// allocate nothing.
+	descents sync.Pool
 	// nCascades counts downward K-D-B splits of plane-crossing referents
 	// during node splits (white-box statistic for tests and ablations).
 	nCascades int
 }
+
+// descentCtx is the reusable scratch of one descent: the shifted pseudo-key
+// vector, the per-dimension element index, and the stripped-bits counter of
+// mutating descents.
+type descentCtx struct {
+	v     bitkey.Vector
+	idx   []uint64
+	strip []int
+}
+
+// initRuntime wires the decoded caches, accounting hook and scratch pool;
+// called by New and Load once prm and st are set.
+func (t *Tree) initRuntime() {
+	t.nc = newObjCache[*dirnode.Node](defaultNodeCacheCap)
+	t.pc = newObjCache[*datapage.Page](defaultPageCacheCap)
+	if ra, ok := t.st.(pagestore.ReadAccounter); ok {
+		t.acct = ra.AccountRead
+	}
+	d := t.prm.Dims
+	t.descents.New = func() interface{} {
+		return &descentCtx{
+			v:     make(bitkey.Vector, d),
+			idx:   make([]uint64, d),
+			strip: make([]int, d),
+		}
+	}
+}
+
+// getDescent fetches descent scratch with strip zeroed and v loaded from k.
+func (t *Tree) getDescent(k bitkey.Vector) *descentCtx {
+	dc := t.descents.Get().(*descentCtx)
+	copy(dc.v, k)
+	for j := range dc.strip {
+		dc.strip[j] = 0
+	}
+	return dc
+}
+
+// putDescent returns scratch to the pool.
+func (t *Tree) putDescent(dc *descentCtx) { t.descents.Put(dc) }
 
 // New creates an empty tree over st.
 func New(st pagestore.Store, prm params.Params) (*Tree, error) {
@@ -71,6 +122,7 @@ func New(st pagestore.Store, prm params.Params) (*Tree, error) {
 		pages: datapage.NewIO(st, prm.Dims),
 		nodes: dirnode.NewIO(st, prm.Dims),
 	}
+	t.initRuntime()
 	id, err := t.nodes.Alloc()
 	if err != nil {
 		return nil, err
@@ -107,35 +159,54 @@ func (t *Tree) Params() params.Params { return t.prm }
 // split downward (K-D-B style) over the tree's lifetime.
 func (t *Tree) Cascades() int { return t.nCascades }
 
-// readNode fetches a non-root node (one counted read); the root comes
-// from the pinned-root cache for free. The returned node must not be
-// mutated when it is the root — mutating descents use readNodeMut.
+// readNode fetches a non-root node (one counted logical read); the root
+// comes from the pinned-root cache for free. A decoded-cache hit skips the
+// byte copy and the decode but still accounts one read at the store layer
+// (and can still fault there), keeping the §4 access model exact. The
+// returned node is shared and must not be mutated — mutating descents use
+// readNodeMut.
 func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
 	if t.rc.holds(id) {
 		return t.rc.node, nil
 	}
-	return t.nodes.Read(id)
+	if n, ok := t.nc.get(id); ok {
+		if t.acct != nil {
+			if err := t.acct(id); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	n, err := t.nodes.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	t.nc.put(id, n)
+	return n, nil
 }
 
 // readNodeMut is readNode for descents that may mutate the node: the
-// pinned root is deep-copied so that in-memory state only changes at the
-// writeNode commit point even when the page write fails.
+// pinned root and cached nodes are deep-copied so that shared in-memory
+// state only changes at the writeNode commit point even when the page
+// write fails. A cache-miss decode is private already and is not
+// installed — only committed writes enter the cache.
 func (t *Tree) readNodeMut(id pagestore.PageID) (*dirnode.Node, error) {
 	if t.rc.holds(id) {
 		return cloneNode(t.rc.node), nil
+	}
+	if n, ok := t.nc.get(id); ok {
+		if t.acct != nil {
+			if err := t.acct(id); err != nil {
+				return nil, err
+			}
+		}
+		return cloneNode(n), nil
 	}
 	return t.nodes.Read(id)
 }
 
 // cloneNode deep-copies a directory node.
-func cloneNode(n *dirnode.Node) *dirnode.Node {
-	c := &dirnode.Node{Level: n.Level, Depths: append([]int(nil), n.Depths...)}
-	*c = *cloneShape(n)
-	for i := range n.Entries {
-		c.Entries[i] = dirnode.CloneEntry(n.Entries[i])
-	}
-	return c
-}
+func cloneNode(n *dirnode.Node) *dirnode.Node { return n.Clone() }
 
 // writeNode stores a node (one counted write). The write is the commit
 // point: the pinned in-memory root is replaced only after the page write
@@ -147,36 +218,107 @@ func (t *Tree) writeNode(id pagestore.PageID, n *dirnode.Node) error {
 	}
 	if t.rc.holds(id) {
 		t.rc.update(n)
+		t.nc.invalidate(id) // the pinned root shadows any cached copy
+		return nil
 	}
+	t.nc.put(id, n) // write-through: the caller no longer mutates n
 	return nil
 }
 
-// nodeIndex computes the element position for the (already shifted) key v
-// within node n: index i_j = g(v_j, H_j) per dimension.
-func (t *Tree) nodeIndex(n *dirnode.Node, v bitkey.Vector) int {
-	idx := make([]uint64, t.prm.Dims)
-	for j := range idx {
+// readPage fetches a data page for read-only use (one counted logical
+// read); the decoded cache is consulted first, with the same accounting
+// discipline as readNode. The returned page is shared: do not mutate.
+func (t *Tree) readPage(id pagestore.PageID) (*datapage.Page, error) {
+	if p, ok := t.pc.get(id); ok {
+		if t.acct != nil {
+			if err := t.acct(id); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	p, err := t.pages.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	t.pc.put(id, p)
+	return p, nil
+}
+
+// readPageMut is readPage for callers that mutate the page: cache hits are
+// cloned, cache misses stay private (not installed), so shared state only
+// changes at the writePage commit point.
+func (t *Tree) readPageMut(id pagestore.PageID) (*datapage.Page, error) {
+	if p, ok := t.pc.get(id); ok {
+		if t.acct != nil {
+			if err := t.acct(id); err != nil {
+				return nil, err
+			}
+		}
+		return p.Clone(), nil
+	}
+	return t.pages.Read(id)
+}
+
+// writePage stores a data page (one counted write) and installs it in the
+// decoded cache once the write committed. The caller must not mutate p
+// afterwards.
+func (t *Tree) writePage(id pagestore.PageID, p *datapage.Page) error {
+	if err := t.pages.Write(id, p); err != nil {
+		return err
+	}
+	t.pc.put(id, p)
+	return nil
+}
+
+// freePage invalidates the decoded cache before releasing the page, so a
+// recycled PageID can never serve a stale decoded image.
+func (t *Tree) freePage(id pagestore.PageID) error {
+	t.pc.invalidate(id)
+	return t.pages.Free(id)
+}
+
+// freeNode is freePage for directory nodes.
+func (t *Tree) freeNode(id pagestore.PageID) error {
+	t.nc.invalidate(id)
+	return t.nodes.Free(id)
+}
+
+// nodeIndexInto computes the element position for the (already shifted)
+// key v within node n — index i_j = g(v_j, H_j) per dimension — using the
+// caller's scratch slice (len ≥ Dims) so the hot path allocates nothing.
+func (t *Tree) nodeIndexInto(n *dirnode.Node, v bitkey.Vector, idx []uint64) int {
+	for j := 0; j < t.prm.Dims; j++ {
 		idx[j] = bitkey.G(v[j], n.Depths[j], t.prm.Width)
 	}
 	return n.Index(idx)
 }
 
+// nodeIndex is nodeIndexInto with throwaway scratch, for cold paths.
+func (t *Tree) nodeIndex(n *dirnode.Node, v bitkey.Vector) int {
+	return t.nodeIndexInto(n, v, make([]uint64, t.prm.Dims))
+}
+
 // Search implements algorithm EXM_Search: descend from the pinned root,
 // stripping each followed entry's local depths, then search the data page.
+// All per-operation scratch comes from the descent pool, so at steady
+// state (decoded caches warm) a probe allocates nothing.
 func (t *Tree) Search(k bitkey.Vector) (uint64, bool, error) {
 	if err := t.checkKey(k); err != nil {
 		return 0, false, err
 	}
-	v := k.Clone()
+	dc := t.getDescent(k)
+	defer t.putDescent(dc)
+	v := dc.v
 	node := t.rc.node
 	for {
-		q := t.nodeIndex(node, v)
+		q := t.nodeIndexInto(node, v, dc.idx)
 		e := &node.Entries[q]
 		if e.Ptr == pagestore.NilPage {
 			return 0, false, nil
 		}
 		if !e.IsNode {
-			p, err := t.pages.Read(e.Ptr)
+			p, err := t.readPage(e.Ptr)
 			if err != nil {
 				return 0, false, err
 			}

@@ -86,6 +86,14 @@ func (p *Page) Encode(buf []byte) (int, error) {
 	return off, nil
 }
 
+// Clone returns a copy of p with its own record slice. Key vectors are
+// shared: no Page operation mutates a key in place (records are only
+// inserted, removed, or moved between pages), so a shallow copy is enough
+// for copy-on-write callers.
+func (p *Page) Clone() *Page {
+	return &Page{d: p.d, recs: append([]Record(nil), p.recs...)}
+}
+
 // Len returns the number of records in the page.
 func (p *Page) Len() int { return len(p.recs) }
 

@@ -54,6 +54,22 @@ func CloneEntry(e Entry) Entry {
 	return c
 }
 
+// Clone deep-copies the node: mutating the copy (its depths, entries, or
+// any entry's local-depth slice) never affects the original. Used by
+// mutating descents to take a private copy of a shared cached node.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Level:   n.Level,
+		Depths:  append([]int(nil), n.Depths...),
+		Entries: make([]Entry, len(n.Entries)),
+		d:       n.d,
+	}
+	for i := range n.Entries {
+		c.Entries[i] = CloneEntry(n.Entries[i])
+	}
+	return c
+}
+
 // EntrySize returns the encoded size of one element for dimensionality d.
 func EntrySize(d int) int { return 4 + d + 1 }
 

@@ -131,6 +131,19 @@ func (f *FaultStore) Read(id PageID, buf []byte) error {
 	return f.inner.Read(id, buf)
 }
 
+// AccountRead implements ReadAccounter: a logical read consumes the
+// countdown and can fault exactly like a physical one, so decoded-cache
+// hits stay inside the fault-injection envelope.
+func (f *FaultStore) AccountRead(id PageID) error {
+	if fire, _ := f.tick(f.kindOf(id)); fire {
+		return ErrInjected
+	}
+	if ra, ok := f.inner.(ReadAccounter); ok {
+		return ra.AccountRead(id)
+	}
+	return nil
+}
+
 // Write implements Store.
 func (f *FaultStore) Write(id PageID, data []byte) error {
 	fire, mode := f.tick(f.kindOf(id))

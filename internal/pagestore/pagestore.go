@@ -99,6 +99,21 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // checksum computes the CRC-32C of data.
 func checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
 
+// ReadAccounter is implemented by stores that can count a logical page
+// read served by a cache layered above them without moving the page
+// bytes. The decoded-node cache calls it on a hit, so the paper's §4
+// access accounting (one read per directory level) stays exact on stores
+// that count logical accesses (MemDisk), while physical stores simply
+// don't implement it — a decoded-cache hit costs them no I/O. Fault
+// injectors implement it too: a logical read is still an access that can
+// fail, so read-path fault coverage survives the cache.
+type ReadAccounter interface {
+	// AccountRead counts one logical read of the page without copying its
+	// bytes. It returns the error a real Read of the page would return for
+	// an invalid id or an injected fault.
+	AccountRead(id PageID) error
+}
+
 // Store is the page-granular storage interface shared by the in-memory and
 // file-backed disks.
 type Store interface {
@@ -210,6 +225,21 @@ func (d *MemDisk) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
 	}
 	copy(buf[:d.pageSize], d.pages[id])
+	d.stats.Reads++
+	return nil
+}
+
+// AccountRead implements ReadAccounter: it validates the id and counts
+// one logical read without touching page bytes.
+func (d *MemDisk) AccountRead(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkLocked(id); err != nil {
+		return err
+	}
 	d.stats.Reads++
 	return nil
 }
