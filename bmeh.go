@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -179,9 +180,13 @@ type impl interface {
 }
 
 // Index is a multidimensional extendible-hashing index. All methods are
-// safe for concurrent use: lookups, range scans and statistics run
-// concurrently under a read lock; insertions, deletions and lifecycle
-// operations are serialized by a write lock.
+// safe for concurrent use. Under the default BMEH scheme the core tree
+// synchronizes itself — searches run latch-free with optimistic
+// validation, and writers crab per-node latches so inserts into different
+// subtrees proceed in parallel; ix.mu then only fences lifecycle state
+// (Options, sync policy, Close) and is held shared by data operations.
+// The comparison schemes (MDEH, MEH) are single-writer: their mutations
+// serialize on ix.mu's write side, with lookups sharing the read side.
 type Index struct {
 	mu     sync.RWMutex
 	opts   Options
@@ -404,25 +409,35 @@ func (ix *Index) Insert(k Key, value uint64) error {
 	if err != nil {
 		return err
 	}
-	ix.mu.Lock()
+	// The BMEH core synchronizes its own write path (latch crabbing), so
+	// concurrent Inserts only share ix.mu; the flat comparison schemes are
+	// single-writer and need the exclusive side.
+	lock, unlock := ix.mu.Lock, ix.mu.Unlock
+	if ix.scheme == SchemeBMEH {
+		lock, unlock = ix.mu.RLock, ix.mu.RUnlock
+	}
+	lock()
 	if ix.closed {
-		ix.mu.Unlock()
+		unlock()
 		ix.putKey(vp)
 		return pagestore.ErrClosed
 	}
 	err = translateErr(ix.idx.Insert(*vp, value))
-	ix.mu.Unlock()
+	unlock()
 	ix.putKey(vp)
 	return err
 }
 
-// InsertBatch stores the given pairs under one write lock, then issues a
-// single Sync, amortizing lock traffic and (with a SyncPolicy set) the WAL
-// commit and fsync across the whole batch. Pairs whose key is already
+// InsertBatch stores the given pairs, then issues a single Sync,
+// amortizing lock traffic and (with a SyncPolicy set) the WAL commit and
+// fsync across the whole batch. Under the BMEH scheme the batch is
+// partitioned across worker goroutines that insert concurrently through
+// the core's latch-crabbing write path; the comparison schemes apply the
+// batch sequentially under one write lock. Pairs whose key is already
 // present are skipped — the returned count is the number actually
 // inserted, so duplicates are len(kvs) minus that count. Any other error
-// stops the batch: pairs applied before it remain applied and are made
-// durable by the next Sync.
+// stops the batch (concurrent workers finish their in-flight pair): pairs
+// applied before it remain applied and are made durable by the next Sync.
 func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 	vecs := make([]bitkey.Vector, len(kvs))
 	for i := range kvs {
@@ -431,6 +446,9 @@ func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 			return 0, fmt.Errorf("bmeh: batch entry %d: %w", i, err)
 		}
 		vecs[i] = v
+	}
+	if ix.scheme == SchemeBMEH {
+		return ix.insertBatchParallel(kvs, vecs)
 	}
 	inserted := 0
 	ix.mu.Lock()
@@ -453,6 +471,62 @@ func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 	// Sync outside the lock: with group commit enabled, the commit leader
 	// acquires the write lock itself.
 	return inserted, ix.Sync()
+}
+
+// insertBatchParallel fans a batch out over worker goroutines; the core
+// tree's own synchronization keeps concurrent inserts correct, so the
+// whole batch runs under one shared hold of ix.mu.
+func (ix *Index) insertBatchParallel(kvs []KV, vecs []bitkey.Vector) (int, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(kvs) {
+		workers = len(kvs)
+	}
+	ix.mu.RLock()
+	if ix.closed {
+		ix.mu.RUnlock()
+		return 0, pagestore.ErrClosed
+	}
+	var (
+		inserted atomic.Int64
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(kvs); i += workers {
+				if stop.Load() {
+					return
+				}
+				switch err := translateErr(ix.idx.Insert(vecs[i], kvs[i].Value)); {
+				case err == nil:
+					inserted.Add(1)
+				case errors.Is(err, ErrDuplicate):
+					// Skipped; reflected in the count only.
+				default:
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bmeh: batch entry %d: %w", i, err)
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ix.mu.RUnlock()
+	if firstErr != nil {
+		return int(inserted.Load()), firstErr
+	}
+	return int(inserted.Load()), ix.Sync()
 }
 
 // Get returns the value stored under key.
@@ -479,14 +553,20 @@ func (ix *Index) Delete(k Key) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	ix.mu.Lock()
+	// Like Insert: the BMEH core's delete path synchronizes itself (fast
+	// crabbing path, escalating internally for restructurings).
+	lock, unlock := ix.mu.Lock, ix.mu.Unlock
+	if ix.scheme == SchemeBMEH {
+		lock, unlock = ix.mu.RLock, ix.mu.RUnlock
+	}
+	lock()
 	if ix.closed {
-		ix.mu.Unlock()
+		unlock()
 		ix.putKey(vp)
 		return false, pagestore.ErrClosed
 	}
 	ok, err := ix.idx.Delete(*vp)
-	ix.mu.Unlock()
+	unlock()
 	ix.putKey(vp)
 	return ok, err
 }
@@ -663,6 +743,13 @@ func (ix *Index) Sync() error {
 }
 
 func (ix *Index) syncLocked() error {
+	// Deferred in-place page writes flush first: the pool flush below can
+	// only persist bytes that have left the decoded cache.
+	if tr, ok := ix.idx.(*core.Tree); ok {
+		if err := tr.FlushDirtyPages(); err != nil {
+			return err
+		}
+	}
 	var meta []byte
 	if ix.file != nil {
 		// Marshal first: the MDEH snapshot writes its page-table chain

@@ -68,6 +68,21 @@ func (v Vector) Less(u Vector) bool {
 	return false
 }
 
+// Compare three-way orders v against u lexicographically: -1 when v
+// precedes u, 0 when equal, 1 when it follows. Binary searches use it to
+// decide direction and detect a hit in one pass over the components.
+func (v Vector) Compare(u Vector) int {
+	for j := range v {
+		if v[j] != u[j] {
+			if v[j] < u[j] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // G is the address function g(K, H) of the paper: the integer value of the
 // first h prefix bits of component k under the given width.
 //

@@ -63,6 +63,9 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 			return nil, nil, err
 		}
 		commit := func() error {
+			if err := tr.FlushDirtyPages(); err != nil {
+				return err
+			}
 			if err := fd.WriteMeta(tr.MarshalMeta()); err != nil {
 				return err
 			}

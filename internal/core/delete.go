@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bmeh/internal/bitkey"
+	"bmeh/internal/datapage"
 	"bmeh/internal/dirnode"
 	"bmeh/internal/pagestore"
 )
@@ -16,6 +17,19 @@ import (
 // re-merged when the split has become fully reversible, and a redundant
 // root is removed, shrinking the tree's height.
 //
+// Concurrency: most deletes only shrink one data page. The fast path crabs
+// shared node latches down the tree, takes the page latch exclusively,
+// removes the record, and runs a read-only dry-run of every restructuring
+// trigger of the full algorithm; when none fires, the page write commits
+// under the writer gate's read side and other writers were never blocked.
+// The reversal steps (merges, prunes, collapses) walk the whole directory,
+// which per-node latches cannot cover, so a delete that needs them
+// escalates: it releases everything, stops all writers via the gate's
+// write side, and re-runs the full single-writer algorithm. The dry-run is
+// exact in isolation and conservative under concurrency — a stale snapshot
+// can only cause a spurious escalation or postpone a merge to a later
+// delete, never commit a wrong structure.
+//
 // Splits keep the structure strictly tree-shaped, so merges and prunes are
 // local; the foreign-reference scans below are defense in depth, not a
 // functional requirement. Deletions are not part of the paper's
@@ -27,20 +41,249 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 	if err := t.checkKey(k); err != nil {
 		return false, err
 	}
+	done, deleted, err := t.tryDeleteFast(k)
+	if err != nil || done {
+		return deleted, err
+	}
+	// Escalate: stop all writers, then run the full reversal algorithm as
+	// the sole writer. Optimistic searches keep running against committed
+	// snapshots and re-validate over our structVer bumps.
+	t.wgate.Lock()
+	defer t.wgate.Unlock()
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	return t.deleteLocked(k)
+}
+
+// tryDeleteFast is the crabbing fast path. It reports done=false when the
+// delete must escalate to the exclusive path (nothing was modified then).
+func (t *Tree) tryDeleteFast(k bitkey.Vector) (done, deleted bool, err error) {
+	t.wgate.RLock()
+	defer t.wgate.RUnlock()
+	d := t.prm.Dims
+	dc := t.getDescent(k)
+	defer t.putDescent(dc)
+	ls := &dc.ls
+	defer ls.releaseAll()
+	vec := dc.v
+	strip := dc.strip
+	var stack []frame
+	// Root handshake, shared mode (see tryInsert).
+	var id pagestore.PageID
+	var node *dirnode.Node
+	for {
+		r := t.rc.load()
+		ls.rlock(r.pageID, r.node.Level)
+		if t.rc.load() == r {
+			id, node = r.pageID, r.node
+			break
+		}
+		ls.releaseAll()
+	}
+	for {
+		q := t.nodeIndexInto(node, vec, dc.idx)
+		e := node.Entries[q]
+		if e.Ptr == pagestore.NilPage {
+			return true, false, nil
+		}
+		if e.IsNode {
+			stack = append(stack, frame{id: id, node: node, strip: append([]int(nil), strip...)})
+			for j := 0; j < d; j++ {
+				strip[j] += e.H[j]
+				vec[j] = bitkey.LeftShift(vec[j], e.H[j], t.prm.Width)
+			}
+			ls.rlock(e.Ptr, node.Level-1)
+			child, err := t.readNode(e.Ptr)
+			if err != nil {
+				return true, false, err
+			}
+			// The fast path never modifies a node, so ancestors can go as
+			// soon as the child is latched; the dry-run reads their
+			// snapshots, which stay immutable.
+			ls.releaseAllExcept(e.Ptr)
+			id, node = e.Ptr, child
+			continue
+		}
+		ls.lock(e.Ptr, 0) // page latch exclusive, same order as insert
+		p, err := t.readPageMut(e.Ptr)
+		if err != nil {
+			return true, false, err
+		}
+		if !p.Delete(k) {
+			return true, false, nil
+		}
+		escalate, err := t.wouldRestructure(stack, id, node, q, p)
+		if err != nil {
+			return true, false, err
+		}
+		if escalate {
+			return false, false, nil
+		}
+		if err := t.writePage(e.Ptr, p); err != nil {
+			return true, false, err
+		}
+		t.n.Add(-1)
+		return true, true, nil
+	}
+}
+
+// wouldRestructure is a read-only dry-run of every trigger the exclusive
+// delete path checks after removing a record, against the descent's
+// snapshots: page emptied, first-iteration page merge or region coarsening,
+// node shrink at any level, sibling-node merge at any level, root collapse.
+// The foreign-reference scans are skipped — they only ever veto an action,
+// and the exclusive path re-checks them. p is the already-shrunk private
+// page; leaf and the stack hold the descent's (immutable) node snapshots.
+func (t *Tree) wouldRestructure(stack []frame, leafID pagestore.PageID, leaf *dirnode.Node, q int, p *datapage.Page) (bool, error) {
+	if p.Len() == 0 {
+		return true, nil // frees the page and prunes its region
+	}
+	// Would mergePages act on its first iteration? (If the first iteration
+	// does nothing, the loop exits with no action.)
+	e := leaf.Entries[q]
+	m := e.M
+	if e.H[m] > 0 {
+		idx := leaf.Tuple(q)
+		bidx := append([]uint64(nil), idx...)
+		bidx[m] ^= uint64(1) << uint(leaf.Depths[m]-e.H[m])
+		bq := leaf.Index(bidx)
+		be := leaf.Entries[bq]
+		if !be.IsNode && sameInts(be.H, e.H) && be.Ptr != e.Ptr {
+			if be.Ptr == pagestore.NilPage {
+				return true, nil // the region would coarsen over the empty buddy
+			}
+			// The buddy page is off the latched path; decode a private
+			// snapshot straight from the store (store reads are internally
+			// consistent) instead of touching the shared cached object,
+			// which a concurrent in-place inserter may be mutating. The
+			// bytes may also lag the decoded object (deferred write-back),
+			// but the answer is advisory either way: the exclusive path
+			// re-checks through the decoded cache.
+			bp, err := t.pages.Read(be.Ptr)
+			if err != nil {
+				return false, err
+			}
+			if p.Len()+bp.Len() <= t.prm.Capacity {
+				return true, nil // the buddy pages would merge
+			}
+		}
+	}
+	if t.canShrink(leaf) {
+		return true, nil
+	}
+	// Would mergeUpward act at any level? With no structural change below,
+	// the triggers are a sibling-node merge or a parent shrink. (An all-nil
+	// child is impossible here: the leaf keeps a live page and every node
+	// on the path points at its child.)
+	childID, child := leafID, leaf
+	for lvl := len(stack) - 1; lvl >= 0; lvl-- {
+		pf := stack[lvl]
+		would, err := t.wouldMergeSiblings(pf.node, childID, child)
+		if err != nil {
+			return false, err
+		}
+		if would {
+			return true, nil
+		}
+		if t.canShrink(pf.node) {
+			return true, nil
+		}
+		childID, child = pf.id, pf.node
+	}
+	// Root collapse. Eager collapsing means a collapsible root cannot
+	// survive in isolation; under concurrency the snapshot may transiently
+	// look collapsible, which just escalates.
+	rootN := leaf
+	if len(stack) > 0 {
+		rootN = stack[0].node
+	}
+	if rootN.Level > 1 {
+		if allNil(rootN) {
+			return true, nil
+		}
+		first := rootN.Entries[0]
+		if first.IsNode && first.Ptr != pagestore.NilPage {
+			same := true
+			for i := range rootN.Entries {
+				re := &rootN.Entries[i]
+				if !re.IsNode || re.Ptr != first.Ptr {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// wouldMergeSiblings is the read-only feasibility half of
+// tryMergeSiblings: it reports whether the parent region holding childID
+// and its buddy region would merge, without the foreign-reference veto
+// (the exclusive path re-checks that before acting).
+func (t *Tree) wouldMergeSiblings(parent *dirnode.Node, childID pagestore.PageID, child *dirnode.Node) (bool, error) {
+	q := -1
+	for i := range parent.Entries {
+		if parent.Entries[i].IsNode && parent.Entries[i].Ptr == childID {
+			q = i
+			break
+		}
+	}
+	if q < 0 {
+		return true, nil // snapshot raced past us: escalate conservatively
+	}
+	e := parent.Entries[q]
+	m := e.M
+	if e.H[m] == 0 {
+		return false, nil
+	}
+	idx := parent.Tuple(q)
+	bidx := append([]uint64(nil), idx...)
+	bidx[m] ^= uint64(1) << uint(parent.Depths[m]-e.H[m])
+	bq := parent.Index(bidx)
+	be := parent.Entries[bq]
+	if be.Ptr == childID || !sameInts(be.H, e.H) {
+		return false, nil
+	}
+	var sib *dirnode.Node
+	switch {
+	case be.Ptr == pagestore.NilPage:
+		sib = cloneShape(child)
+	case be.IsNode:
+		var err error
+		sib, err = t.readNode(be.Ptr)
+		if err != nil {
+			return false, err
+		}
+	default:
+		return false, nil
+	}
+	a, b := child, sib
+	if (idx[m]>>uint(parent.Depths[m]-e.H[m]))&1 == 1 {
+		a, b = sib, child
+	}
+	_, ok := mergeNodes(a, b, m)
+	return ok, nil
+}
+
+// deleteLocked is the full reversal algorithm, run as the sole writer
+// (wgate and structMu held exclusively). The descent shares cached node
+// objects and clones each node lazily at its first actual mutation —
+// unchanged nodes are neither cloned nor rewritten.
+func (t *Tree) deleteLocked(k bitkey.Vector) (bool, error) {
 	d := t.prm.Dims
 	dc := t.getDescent(k)
 	defer t.putDescent(dc)
 	vec := dc.v
 	strip := dc.strip
 	var stack []frame
-	id := t.rc.pageID
-	node, err := t.readNodeMut(id)
-	if err != nil {
-		return false, err
-	}
+	r := t.rc.load()
+	id, node := r.pageID, r.node
 	for {
 		q := t.nodeIndexInto(node, vec, dc.idx)
-		e := &node.Entries[q]
+		e := node.Entries[q]
 		if e.Ptr == pagestore.NilPage {
 			return false, nil
 		}
@@ -52,9 +295,7 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 			}
 			id = e.Ptr
 			var err error
-			// Mutating descent: merges and prunes modify nodes in place,
-			// so never share the cached object.
-			node, err = t.readNodeMut(id)
+			node, err = t.readNode(id)
 			if err != nil {
 				return false, err
 			}
@@ -71,9 +312,12 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 		// (non-empty page) or the node write (page emptied), so a storage
 		// fault cannot leave the count out of step with the structure.
 		pageGC := false
+		dirty := false
 		var frees []pagestore.PageID
 		if p.Len() == 0 {
 			pid := e.Ptr
+			node = cloneNode(node)
+			dirty = true
 			for i := range node.Entries {
 				en := &node.Entries[i]
 				if !en.IsNode && en.Ptr == pid {
@@ -97,24 +341,35 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 			if err := t.writePage(e.Ptr, p); err != nil {
 				return false, err
 			}
-			t.n-- // the page write committed the removal
-			mergeFrees, err := t.mergePages(node, id, q)
+			t.n.Add(-1) // the page write committed the removal
+			var changed bool
+			var mergeFrees []pagestore.PageID
+			node, changed, mergeFrees, err = t.mergePages(node, id, q)
 			if err != nil {
 				return false, err
 			}
+			dirty = dirty || changed
 			frees = append(frees, mergeFrees...)
 		}
-		t.shrinkNode(node)
+		if t.canShrink(node) {
+			if !dirty {
+				node = cloneNode(node)
+				dirty = true
+			}
+			t.shrinkNode(node)
+		}
 		// The node write commits this delete's restructuring (and, when the
 		// page emptied, the removal itself); replaced pages are freed only
 		// afterwards, so a storage fault cannot leave the structure
-		// referencing freed pages.
+		// referencing freed pages. An untouched node is not rewritten.
 		emptied := p.Len() == 0
-		if err := t.writeNode(id, node); err != nil {
-			return false, err
+		if dirty {
+			if err := t.writeNode(id, node); err != nil {
+				return false, err
+			}
 		}
 		if emptied {
-			t.n--
+			t.n.Add(-1)
 		}
 		if err := t.freeAll(frees); err != nil {
 			return false, err
@@ -148,7 +403,12 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 // revisited.
 func (t *Tree) gcEmptyNodes() error {
 	for {
-		nodes := map[pagestore.PageID]*dirnode.Node{t.rc.pageID: t.rc.node}
+		r := t.rc.load()
+		// The sweep may shrink and rewrite any collected node — including
+		// the root, which optimistic searches read latch-free — so every
+		// collected object is a private copy; commits go through writeNode.
+		rootCopy := cloneNode(r.node)
+		nodes := map[pagestore.PageID]*dirnode.Node{r.pageID: rootCopy}
 		var collect func(n *dirnode.Node) error
 		collect = func(n *dirnode.Node) error {
 			for i := range n.Entries {
@@ -159,9 +419,6 @@ func (t *Tree) gcEmptyNodes() error {
 				if _, ok := nodes[e.Ptr]; ok {
 					continue
 				}
-				// The sweep may shrink and rewrite any collected node, so
-				// take private copies (the pinned root stays in place, as
-				// before the decoded cache existed).
 				c, err := t.readNodeMut(e.Ptr)
 				if err != nil {
 					return err
@@ -173,7 +430,7 @@ func (t *Tree) gcEmptyNodes() error {
 			}
 			return nil
 		}
-		if err := collect(t.rc.node); err != nil {
+		if err := collect(rootCopy); err != nil {
 			return err
 		}
 		// Sweep empty data pages first (left behind when a shared page's
@@ -223,7 +480,7 @@ func (t *Tree) gcEmptyNodes() error {
 		}
 		var empty []pagestore.PageID
 		for id, n := range nodes {
-			if id != t.rc.pageID && allNil(n) {
+			if id != r.pageID && allNil(n) {
 				empty = append(empty, id)
 			}
 		}
@@ -258,7 +515,7 @@ func (t *Tree) gcEmptyNodes() error {
 			if err := t.freeNode(id); err != nil {
 				return err
 			}
-			t.nNodes--
+			t.nNodes.Add(-1)
 		}
 	}
 }
@@ -270,16 +527,27 @@ func (t *Tree) gcEmptyNodes() error {
 // copy-on-write page; both old pages are returned for freeing after the
 // caller's node write commits. Pages with a foreign reference (impossible
 // by construction; checked defensively) are left alone.
-func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([]pagestore.PageID, error) {
+//
+// node may be a shared cached object: it is cloned lazily before the first
+// actual mutation, and the (possibly new) node and whether it changed are
+// returned.
+func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) (*dirnode.Node, bool, []pagestore.PageID, error) {
+	changed := false
+	mutable := func() {
+		if !changed {
+			node = cloneNode(node)
+			changed = true
+		}
+	}
 	var frees []pagestore.PageID
 	for {
 		e := node.Entries[q]
 		if e.Ptr == pagestore.NilPage || e.IsNode {
-			return frees, nil
+			return node, changed, frees, nil
 		}
 		m := e.M
 		if e.H[m] == 0 {
-			return frees, nil
+			return node, changed, frees, nil
 		}
 		idx := node.Tuple(q)
 		bidx := append([]uint64(nil), idx...)
@@ -287,17 +555,19 @@ func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([
 		bq := node.Index(bidx)
 		be := node.Entries[bq]
 		if be.IsNode || !sameInts(be.H, e.H) {
-			return frees, nil
+			return node, changed, frees, nil
 		}
 		mergedH := append([]int(nil), e.H...)
 		mergedH[m]--
 		prevM := (m + t.prm.Dims - 1) % t.prm.Dims
 		switch {
 		case e.Ptr == be.Ptr:
-			return frees, nil
+			return node, changed, frees, nil
 		case be.Ptr == pagestore.NilPage:
+			mutable()
 			coarsenRegion(node, q, mergedH, e.Ptr, false, prevM)
 		case e.Ptr == pagestore.NilPage:
+			mutable()
 			coarsenRegion(node, bq, mergedH, be.Ptr, false, prevM)
 			q = bq
 		default:
@@ -305,35 +575,36 @@ func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) ([
 			// so both sides need private copies.
 			p, err := t.readPageMut(e.Ptr)
 			if err != nil {
-				return frees, err
+				return node, changed, frees, err
 			}
 			bp, err := t.readPageMut(be.Ptr)
 			if err != nil {
-				return frees, err
+				return node, changed, frees, err
 			}
 			if p.Len()+bp.Len() > t.prm.Capacity {
-				return frees, nil
+				return node, changed, frees, nil
 			}
 			for _, pid := range []pagestore.PageID{e.Ptr, be.Ptr} {
 				shared, err := t.isSharedRef(pid, nodeID, false)
 				if err != nil {
-					return frees, err
+					return node, changed, frees, err
 				}
 				if shared {
-					return frees, nil
+					return node, changed, frees, nil
 				}
 			}
 			if err := p.Merge(bp); err != nil {
-				return frees, err
+				return node, changed, frees, err
 			}
 			nid, err := t.pages.Alloc()
 			if err != nil {
-				return frees, err
+				return node, changed, frees, err
 			}
 			if err := t.writePage(nid, p); err != nil {
-				return frees, err
+				return node, changed, frees, err
 			}
 			frees = append(frees, e.Ptr, be.Ptr)
+			mutable()
 			coarsenRegion(node, q, mergedH, nid, false, prevM)
 		}
 	}
@@ -364,6 +635,30 @@ func coarsenRegion(node *dirnode.Node, q int, h []int, ptr pagestore.PageID, isN
 			en.M = m
 		}
 	}
+}
+
+// canShrink reports whether shrinkNode would change the node: some nonzero
+// dimension's full depth is unused by every live element. Fast-path
+// dry-runs use it to detect latent shrinks, the exclusive path to avoid
+// cloning and rewriting untouched nodes.
+func (t *Tree) canShrink(node *dirnode.Node) bool {
+	for m := t.prm.Dims - 1; m >= 0; m-- {
+		if node.Depths[m] == 0 {
+			continue
+		}
+		needed := false
+		for i := range node.Entries {
+			if node.Entries[i].H[m] == node.Depths[m] &&
+				(node.Entries[i].Ptr != pagestore.NilPage) {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			return true
+		}
+	}
+	return false
 }
 
 // shrinkNode halves the node along any dimension whose full depth no
@@ -429,33 +724,52 @@ func undouble(node *dirnode.Node, m int) {
 // the node we came through if it has become entirely empty, or attempts to
 // re-merge it with its split sibling, then shrinks the parent. Shrinking a
 // parent can enable a merge one level up, so the walk always continues to
-// the root.
+// the root. Parents are shared snapshots; each is cloned only when a step
+// actually modifies it, and only modified parents are rewritten.
 func (t *Tree) mergeUpward(stack []frame, childID pagestore.PageID, child *dirnode.Node) (needGC bool, err error) {
 	for lvl := len(stack) - 1; lvl >= 0; lvl-- {
 		pf := stack[lvl]
 		parent, pid := pf.node, pf.id
+		dirty := false
 		var frees []pagestore.PageID
 		if allNil(child) {
-			freeID, blocked, err := t.pruneEmptyChild(parent, pid, childID)
+			pruned, freeID, blocked, err := t.pruneEmptyChild(parent, pid, childID)
 			if err != nil {
 				return false, err
+			}
+			if pruned != nil {
+				parent = pruned
+				dirty = true
 			}
 			needGC = needGC || blocked
 			if freeID != pagestore.NilPage {
 				frees = append(frees, freeID)
 			}
 		} else {
-			mergeFrees, err := t.tryMergeSiblings(parent, pid, childID, child)
+			merged, mergeFrees, err := t.tryMergeSiblings(parent, pid, childID, child)
 			if err != nil {
 				return false, err
 			}
+			if merged != nil {
+				parent = merged
+				dirty = true
+			}
 			frees = append(frees, mergeFrees...)
 		}
-		t.shrinkNode(parent)
+		if t.canShrink(parent) {
+			if !dirty {
+				parent = cloneNode(parent)
+				dirty = true
+			}
+			t.shrinkNode(parent)
+		}
 		// The parent write commits the level's restructuring; replaced
-		// node pages are freed only afterwards.
-		if err := t.writeNode(pid, parent); err != nil {
-			return false, err
+		// node pages are freed only afterwards. Untouched parents are not
+		// rewritten.
+		if dirty {
+			if err := t.writeNode(pid, parent); err != nil {
+				return false, err
+			}
 		}
 		if err := t.freeAll(frees); err != nil {
 			return false, err
@@ -476,32 +790,41 @@ func allNil(n *dirnode.Node) bool {
 }
 
 // pruneEmptyChild turns the parent region pointing to an all-empty child
-// node into a nil region. It returns the child's page for freeing after
-// the parent write commits (NilPage when nothing should be freed), and
-// whether the free was blocked by a foreign reference (impossible by
-// construction; checked defensively — the caller then schedules a sweep).
-func (t *Tree) pruneEmptyChild(parent *dirnode.Node, parentID, childID pagestore.PageID) (freeID pagestore.PageID, blocked bool, err error) {
+// node into a nil region, on a clone of the (shared) parent. It returns
+// the clone (nil when the parent does not reference the child), the
+// child's page for freeing after the parent write commits (NilPage when
+// nothing should be freed), and whether the free was blocked by a foreign
+// reference (impossible by construction; checked defensively — the caller
+// then schedules a sweep).
+func (t *Tree) pruneEmptyChild(parent *dirnode.Node, parentID, childID pagestore.PageID) (pruned *dirnode.Node, freeID pagestore.PageID, blocked bool, err error) {
 	found := false
+	for i := range parent.Entries {
+		e := &parent.Entries[i]
+		if e.IsNode && e.Ptr == childID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, pagestore.NilPage, false, nil
+	}
+	parent = cloneNode(parent)
 	for i := range parent.Entries {
 		e := &parent.Entries[i]
 		if e.IsNode && e.Ptr == childID {
 			e.Ptr = pagestore.NilPage
 			e.IsNode = false
-			found = true
 		}
-	}
-	if !found {
-		return pagestore.NilPage, false, nil
 	}
 	shared, err := t.isSharedRef(childID, parentID, true)
 	if err != nil {
-		return pagestore.NilPage, false, err
+		return nil, pagestore.NilPage, false, err
 	}
 	if shared {
-		return pagestore.NilPage, true, nil
+		return parent, pagestore.NilPage, true, nil
 	}
-	t.nNodes--
-	return childID, false, nil
+	t.nNodes.Add(-1)
+	return parent, childID, false, nil
 }
 
 // tryMergeSiblings attempts to reverse a node split: the parent region
@@ -510,8 +833,9 @@ func (t *Tree) pruneEmptyChild(parent *dirnode.Node, parentID, childID pagestore
 // when the two siblings' contents are pairwise identical across the last
 // dimension-m bit. The merged node goes to a fresh copy-on-write page; the
 // old sibling pages are returned for freeing after the parent write
-// commits.
-func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestore.PageID, child *dirnode.Node) ([]pagestore.PageID, error) {
+// commits. The parent is cloned only when the merge goes through; the
+// clone is returned (nil when nothing merged).
+func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestore.PageID, child *dirnode.Node) (*dirnode.Node, []pagestore.PageID, error) {
 	var q = -1
 	for i := range parent.Entries {
 		if parent.Entries[i].IsNode && parent.Entries[i].Ptr == childID {
@@ -520,12 +844,12 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 		}
 	}
 	if q < 0 {
-		return nil, fmt.Errorf("bmeh: node %d not referenced by its parent", childID)
+		return nil, nil, fmt.Errorf("bmeh: node %d not referenced by its parent", childID)
 	}
 	e := parent.Entries[q]
 	m := e.M
 	if e.H[m] == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	idx := parent.Tuple(q)
 	bidx := append([]uint64(nil), idx...)
@@ -533,7 +857,7 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 	bq := parent.Index(bidx)
 	be := parent.Entries[bq]
 	if be.Ptr == childID || !sameInts(be.H, e.H) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	var sibID pagestore.PageID
 	var sib *dirnode.Node
@@ -548,10 +872,10 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 		var err error
 		sib, err = t.readNode(sibID)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	default:
-		return nil, nil
+		return nil, nil, nil
 	}
 	// Order the pair as (a = low half, b = high half) by the split bit.
 	aID, bID := childID, sibID
@@ -562,7 +886,7 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 	}
 	merged, ok := mergeNodes(a, b, m)
 	if !ok {
-		return nil, nil
+		return nil, nil, nil
 	}
 	// Defense in depth: splits never share nodes across parents, but a
 	// foreign reference would make the merge unsound, so verify.
@@ -573,24 +897,25 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 		}
 		shared, err := t.isSharedRef(sid, parentID, true)
 		if err != nil || shared {
-			return nil, err
+			return nil, nil, err
 		}
 		frees = append(frees, sid)
 	}
 	newID, err := t.nodes.Alloc()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := t.writeNode(newID, merged); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sibID != pagestore.NilPage {
-		t.nNodes-- // two nodes replace one
+		t.nNodes.Add(-1) // two nodes replace one
 	}
 	mergedH := append([]int(nil), e.H...)
 	mergedH[m]--
+	parent = cloneNode(parent)
 	coarsenRegion(parent, q, mergedH, newID, true, (m+t.prm.Dims-1)%t.prm.Dims)
-	return frees, nil
+	return parent, frees, nil
 }
 
 // mergeNodes reverses splitNode: siblings a (low half of dimension m) and b
@@ -705,7 +1030,8 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 	}
 	// Data pages hang off level-1 nodes, which the walk always reaches;
 	// node references can occur at any level ≥ 2.
-	if err := walk(t.rc.pageID, t.rc.node); err != nil {
+	r := t.rc.load()
+	if err := walk(r.pageID, r.node); err != nil {
 		return false, err
 	}
 	return shared, nil
@@ -716,21 +1042,22 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 // height shrinks by one; an entirely empty root above leaf level resets to
 // a fresh single-level directory (the final reversal steps of §4.2).
 func (t *Tree) collapseRoot() error {
-	if t.rc.node.Level > 1 && allNil(t.rc.node) {
+	r := t.rc.load()
+	if r.node.Level > 1 && allNil(r.node) {
 		fresh := dirnode.New(t.prm.Dims, 1)
-		if err := t.writeNode(t.rc.pageID, fresh); err != nil {
+		if err := t.writeNode(r.pageID, fresh); err != nil {
 			return err
 		}
-		t.rc.install(t.rc.pageID, fresh)
+		t.installRoot(r.pageID, fresh)
 		return nil
 	}
-	for t.rc.node.Level > 1 {
-		first := t.rc.node.Entries[0]
+	for r.node.Level > 1 {
+		first := r.node.Entries[0]
 		if !first.IsNode || first.Ptr == pagestore.NilPage {
 			return nil
 		}
-		for i := range t.rc.node.Entries {
-			e := &t.rc.node.Entries[i]
+		for i := range r.node.Entries {
+			e := &r.node.Entries[i]
 			if !e.IsNode || e.Ptr != first.Ptr {
 				return nil
 			}
@@ -739,15 +1066,15 @@ func (t *Tree) collapseRoot() error {
 		if err != nil {
 			return err
 		}
-		oldID := t.rc.pageID
-		t.rc.install(first.Ptr, child)
-		// The pinned root shadows (and may later mutate) this object; drop
-		// the aliased cache entry.
+		oldID := r.pageID
+		t.installRoot(first.Ptr, child)
+		// The pinned root shadows this object; drop the aliased cache entry.
 		t.nc.invalidate(first.Ptr)
 		if err := t.freeNode(oldID); err != nil {
 			return err
 		}
-		t.nNodes--
+		t.nNodes.Add(-1)
+		r = t.rc.load()
 	}
 	return nil
 }

@@ -13,8 +13,10 @@ import (
 // distinct data page with its occupancy. Intended for cmd/bmehdump and
 // debugging; reading the structure costs page I/O like any other access.
 func (t *Tree) Dump(w io.Writer) error {
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
 	fmt.Fprintf(w, "BMEH-tree: d=%d w=%d b=%d ξ=%v | %d records, %d nodes, %d levels, σ=%d\n",
-		t.prm.Dims, t.prm.Width, t.prm.Capacity, t.prm.Xi, t.n, t.nNodes, t.Levels(), t.DirectoryElements())
+		t.prm.Dims, t.prm.Width, t.prm.Capacity, t.prm.Xi, t.n.Load(), t.nNodes.Load(), t.Levels(), t.DirectoryElements())
 	seenNodes := make(map[pagestore.PageID]bool)
 	seenPages := make(map[pagestore.PageID]bool)
 	var walk func(id pagestore.PageID, n *dirnode.Node, indent string) error
@@ -45,7 +47,7 @@ func (t *Tree) Dump(w io.Writer) error {
 			occ := "?"
 			if !seenPages[e.Ptr] {
 				seenPages[e.Ptr] = true
-				p, err := t.pages.Read(e.Ptr)
+				p, err := t.readPage(e.Ptr)
 				if err != nil {
 					return err
 				}
@@ -55,5 +57,6 @@ func (t *Tree) Dump(w io.Writer) error {
 		}
 		return nil
 	}
-	return walk(t.rc.pageID, t.rc.node, "")
+	r := t.rc.load()
+	return walk(r.pageID, r.node, "")
 }

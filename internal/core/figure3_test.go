@@ -41,7 +41,7 @@ func TestFigure3Semantics(t *testing.T) {
 	if tr.Levels() != 1 {
 		t.Fatalf("tree should still be a single node, has %d levels", tr.Levels())
 	}
-	if got := tr.rc.node.Depths; got[0] != 2 || got[1] != 2 {
+	if got := tr.rc.load().node.Depths; got[0] != 2 || got[1] != 2 {
 		t.Fatalf("node depths %v, want ⟨2,2⟩ before the node split", got)
 	}
 
@@ -57,7 +57,7 @@ func TestFigure3Semantics(t *testing.T) {
 	if tr.Levels() != 2 {
 		t.Fatalf("node split should create a 2-level tree, has %d", tr.Levels())
 	}
-	root := tr.rc.node
+	root := tr.rc.load().node
 	if root.Depths[0] != 1 || root.Depths[1] != 0 {
 		t.Fatalf("root depths %v, want ⟨1,0⟩", root.Depths)
 	}

@@ -6,6 +6,7 @@ import (
 	"bmeh/internal/bitkey"
 	"bmeh/internal/datapage"
 	"bmeh/internal/dirnode"
+	"bmeh/internal/latch"
 	"bmeh/internal/pagestore"
 )
 
@@ -23,15 +24,56 @@ type frame struct {
 	strip []int
 }
 
+// splitSafe reports whether the node can absorb a split from below along
+// any dimension by doubling instead of splitting itself: H_m < ξ_m for
+// every m. A split chain never propagates past a split-safe node, which is
+// exactly what lets the crabbing descent release all latches above one.
+func (t *Tree) splitSafe(n *dirnode.Node) bool {
+	for m, h := range n.Depths {
+		if h >= t.prm.Xi[m] {
+			return false
+		}
+	}
+	return true
+}
+
 // Insert stores (k, v). It returns ErrDuplicate if the key is present.
 // After any restructuring (page split, node expansion, node split chain)
 // the insertion re-enters from the root, as the paper's algorithm does.
+//
+// Concurrency: the whole insertion runs under the writer gate's read side,
+// so inserts in disjoint subtrees proceed in parallel. The common case —
+// the leaf page has room — completes on a fast path holding only shared
+// interior latches plus the exclusive leaf-page latch, so concurrent
+// inserters pass each other everywhere except on the very page they both
+// target. When the fast path finds a full page (or a region that needs
+// materializing) it backs off and the insertion re-descends crabbing
+// exclusive per-node latches, releasing all ancestors once the child it
+// moved to is split-safe. When a full page forces restructuring the descent
+// try-acquires structMu with its latches held; if another writer is mid-
+// restructure it releases everything, waits, and re-descends — so no writer
+// ever hold-and-waits on structMu and the latch order stays acyclic.
 func (t *Tree) Insert(k bitkey.Vector, v uint64) error {
 	if err := t.checkKey(k); err != nil {
 		return err
 	}
+	t.wgate.RLock()
+	defer t.wgate.RUnlock()
+	if done, err := t.insertFast(k, v); done {
+		if err == nil {
+			err = t.maybeFlushDirty()
+		}
+		return err
+	}
+	structural := false
+	defer func() {
+		if structural {
+			latch.EndStructural()
+			t.structMu.Unlock()
+		}
+	}()
 	for step := 0; step < maxRestructures; step++ {
-		done, err := t.tryInsert(k, v)
+		done, err := t.tryInsert(k, v, &structural)
 		if err != nil || done {
 			return err
 		}
@@ -39,24 +81,129 @@ func (t *Tree) Insert(k bitkey.Vector, v uint64) error {
 	return fmt.Errorf("bmeh: insertion did not converge after %d restructurings", maxRestructures)
 }
 
-// tryInsert descends once. It either completes the insertion (true) or
-// performs one restructuring step and asks to be re-run (false).
-func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
+// insertFast attempts the insertion without excluding other writers from
+// the path: interior latches are taken shared (crabbing — each ancestor is
+// released as soon as the child is latched), and only the leaf's page latch
+// is exclusive. It can complete exactly the cases that mutate nothing but
+// the data page: an in-place insert into a page with room, or a duplicate.
+// Anything structural — a full page, a nil region to materialize — returns
+// done=false untouched, and the caller re-descends with exclusive latches.
+//
+// Safety: holding a node's latch (even shared) pins its decoded identity
+// and its entries — every path that rewrites a node or frees its referents
+// holds that node's latch exclusively (restructure keeps descent latches;
+// the escalated delete holds the writer gate exclusively). So the leaf
+// entry's page cannot be freed or replaced between reading the leaf node
+// and latching the page.
+func (t *Tree) insertFast(k bitkey.Vector, v uint64) (done bool, err error) {
 	d := t.prm.Dims
 	dc := t.getDescent(k)
 	defer t.putDescent(dc)
+	ls := &dc.ls
+	defer ls.releaseAll()
+	vec := dc.v
+	// Root handshake, shared mode (see tryInsert for the ABA argument).
+	var node *dirnode.Node
+	for {
+		r := t.rc.load()
+		ls.rlock(r.pageID, r.node.Level)
+		if t.rc.load() == r {
+			node = r.node
+			break
+		}
+		ls.releaseAll()
+	}
+	for {
+		q := t.nodeIndexInto(node, vec, dc.idx)
+		e := node.Entries[q]
+		if e.Ptr == pagestore.NilPage {
+			return false, nil // empty region: materializing rewrites nodes
+		}
+		if e.IsNode {
+			for j := 0; j < d; j++ {
+				vec[j] = bitkey.LeftShift(vec[j], e.H[j], t.prm.Width)
+			}
+			ls.rlock(e.Ptr, node.Level-1)
+			child, err := t.readNode(e.Ptr)
+			if err != nil {
+				return true, err
+			}
+			ls.releaseAllExcept(e.Ptr)
+			node = child
+			continue
+		}
+		ls.lock(e.Ptr, 0) // page latch exclusive, same order as tryInsert
+		p, err := t.readPage(e.Ptr)
+		if err != nil {
+			return true, err
+		}
+		i, dup := p.Find(k)
+		if dup {
+			return true, ErrDuplicate
+		}
+		if p.Len() >= t.prm.Capacity {
+			return false, nil // full: split under the exclusive crab
+		}
+		// In-place commit: the exclusive page latch makes this writer the
+		// sole user of the decoded object (every concurrent reader of a
+		// data page holds its shared latch), so the record goes straight
+		// into the cached page at the position Find already computed — no
+		// clone, no second search. The bytes follow lazily: marking the
+		// entry dirty pins it in the cache and queues it for the batched
+		// flusher (flushdirty.go), which encodes the page once per flush
+		// rather than once per insert. Accounting trees, and the rare
+		// insert whose entry fell out of the cache mid-operation, write
+		// through instead; if that store write fails the dirtied object
+		// is dropped from the cache before the latch is released, so the
+		// next decode restores the committed state.
+		p.InsertAt(i, datapage.Record{Key: k.Clone(), Value: v})
+		if t.acct == nil && t.markPageDirty(e.Ptr) {
+			t.n.Add(1)
+			return true, nil
+		}
+		if err := t.writePage(e.Ptr, p); err != nil {
+			t.pc.invalidate(e.Ptr)
+			return true, err
+		}
+		t.n.Add(1)
+		return true, nil
+	}
+}
+
+// tryInsert descends once. It either completes the insertion (true) or
+// performs one restructuring step and asks to be re-run (false). Latches
+// acquired during the descent are released when it returns; structMu, once
+// acquired (*structural), is kept by the caller across re-entries so the
+// restructuring sequence of one insertion is not interleaved with others.
+func (t *Tree) tryInsert(k bitkey.Vector, v uint64, structural *bool) (bool, error) {
+	d := t.prm.Dims
+	dc := t.getDescent(k)
+	defer t.putDescent(dc)
+	ls := &dc.ls
+	defer ls.releaseAll()
 	vec := dc.v
 	strip := dc.strip // bits stripped per dimension before current node
 	var stack []frame
-	id := t.rc.pageID
+	// Root handshake: latch what we believe is the root, then confirm it
+	// still is. Every root install or update stores a fresh rootRef, so the
+	// pointer comparison cannot be fooled by a replace-and-restore (ABA).
+	var id pagestore.PageID
+	var node *dirnode.Node
+	for {
+		r := t.rc.load()
+		ls.lock(r.pageID, r.node.Level)
+		if t.rc.load() == r {
+			id, node = r.pageID, r.node
+			break
+		}
+		ls.releaseAll()
+	}
 	// The descent shares cached node objects: the common insertion only
 	// mutates a data page. The rare branches that do modify a node clone it
 	// first (clone-before-mutate keeps failure atomicity — a shared object
-	// is never dirtied before its commit write succeeds).
-	node, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
+	// is never dirtied before its commit write succeeds). Holding a node's
+	// latch pins its decoded identity: no other writer can commit a newer
+	// image of a latched page.
 	for {
 		q := t.nodeIndexInto(node, vec, dc.idx)
 		e := &node.Entries[q]
@@ -66,18 +213,25 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 				strip[j] += e.H[j]
 				vec[j] = bitkey.LeftShift(vec[j], e.H[j], t.prm.Width)
 			}
-			id = e.Ptr
-			var err error
-			node, err = t.readNode(id)
+			childID := e.Ptr
+			ls.lock(childID, node.Level-1)
+			child, err := t.readNode(childID)
 			if err != nil {
 				return false, err
 			}
+			if t.splitSafe(child) {
+				// Crab: a split chain from below stops at this child, so
+				// the ancestor latches can all go.
+				ls.releaseAllExcept(childID)
+			}
+			id, node = childID, child
 			continue
 		}
 		if e.Ptr == pagestore.NilPage && node.Level > 1 {
 			// An empty region above leaf level (left by deletion pruning):
 			// materialize an empty child node so the tree stays perfectly
-			// height-balanced, then continue the descent through it.
+			// height-balanced, then continue the descent through it. Nothing
+			// is freed, so this commits safely under the node latch alone.
 			cid, err := t.nodes.Alloc()
 			if err != nil {
 				return false, err
@@ -101,13 +255,13 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 			if err := t.writeNode(id, node); err != nil {
 				return false, err
 			}
-			t.nNodes++ // counted only once the parent write commits
+			t.nNodes.Add(1) // counted only once the parent write commits
 			return false, nil
 		}
 		if e.Ptr == pagestore.NilPage {
 			// Empty region at leaf level: allocate a page for it and point
 			// every element of the region (the paper's "entries having the
-			// same file depths") at it.
+			// same file depths") at it. Nothing is freed: latch-only commit.
 			pid, err := t.pages.Alloc()
 			if err != nil {
 				return false, err
@@ -132,9 +286,10 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 			if err := t.writeNode(id, node); err != nil {
 				return false, err
 			}
-			t.n++
+			t.n.Add(1)
 			return true, nil
 		}
+		ls.lock(e.Ptr, 0) // page latch, rank 0
 		p, err := t.readPageMut(e.Ptr)
 		if err != nil {
 			return false, err
@@ -147,18 +302,37 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 			if err := t.writePage(e.Ptr, p); err != nil {
 				return false, err
 			}
-			t.n++
+			t.n.Add(1)
 			return true, nil
 		}
-		// The page is full: restructure once, then re-enter.
-		return false, t.restructure(stack, id, node, q, strip, p)
+		// The page is full: restructuring frees pages, which concurrent
+		// structure-sensitive readers (Range, the Search fallback) and other
+		// restructurers must not observe mid-flight. Try for structMu with
+		// the latches held — never a blocking wait, which would invert the
+		// structMu → latch order. On failure, release everything, wait
+		// unencumbered, and re-descend as the structural writer.
+		if !*structural {
+			if t.structMu.TryLock() {
+				*structural = true
+				latch.BeginStructural()
+			} else {
+				ls.releaseAll()
+				t.structMu.Lock()
+				*structural = true
+				latch.BeginStructural()
+				return false, nil
+			}
+		}
+		return false, t.restructure(ls, stack, id, node, q, strip, p)
 	}
 }
 
 // restructure performs one growth step for the full page under element q of
 // the leaf node: an in-node page split if the node's depth allows it, a
 // node doubling if H_m < ξ_m, or a node split chain propagating toward the
-// root (§3.1).
+// root (§3.1). The caller holds structMu and exclusive latches on the
+// descent path from the deepest split-safe node down to the leaf and page —
+// the split-safe release rule guarantees the chain stays inside that span.
 //
 // Restructuring is failure-atomic through copy-on-write: the split halves
 // are written to freshly allocated pages, and the single page write that
@@ -166,7 +340,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64) (bool, error) {
 // commit point. A storage fault before the commit leaves the previous
 // structure fully intact (plus unreferenced orphan pages); the replaced
 // pages are freed only after the commit.
-func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Node, q int, strip []int, p *datapage.Page) error {
+func (t *Tree) restructure(ls *latchSet, stack []frame, id pagestore.PageID, node *dirnode.Node, q int, strip []int, p *datapage.Page) error {
 	e := &node.Entries[q]
 	m, ok := t.nextSplitDim(e, strip)
 	if !ok {
@@ -217,7 +391,7 @@ func (t *Tree) restructure(stack []frame, id pagestore.PageID, node *dirnode.Nod
 		return t.freePage(oldPtr)
 	}
 	// Node split chain (Split_Node): dimension m is exhausted in this node.
-	return t.splitChain(stack, id, node, m, strip[m], oldPtr, pz, po, false, []pagestore.PageID{oldPtr})
+	return t.splitChain(ls, stack, id, node, m, strip[m], oldPtr, pz, po, false, []pagestore.PageID{oldPtr})
 }
 
 // assignSplit updates every element of the region that pointed to oldPtr
@@ -249,10 +423,14 @@ func (t *Tree) assignSplit(node *dirnode.Node, oldPtr pagestore.PageID, oldH []i
 // elements in the new siblings receive pz (new bit 0) and po (new bit 1).
 // frees lists pages to release once an ancestor write (or the root switch)
 // has committed the new structure.
-func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees []pagestore.PageID) error {
+//
+// Every node the chain reads or writes is latched: the split-safe release
+// rule kept latches on exactly the span the chain can touch, and downward
+// cascade targets are latched by splitReferent before they are read.
+func (t *Tree) splitChain(ls *latchSet, stack []frame, id pagestore.PageID, node *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees []pagestore.PageID) error {
 	curID, curNode := id, node
 	for {
-		a, b, err := t.splitNode(curNode, m, stripM, trigPtr, pz, po, trigIsNode, &frees)
+		a, b, err := t.splitNode(ls, curNode, m, stripM, trigPtr, pz, po, trigIsNode, &frees)
 		if err != nil {
 			return err
 		}
@@ -270,11 +448,14 @@ func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node
 		if err := t.writeNode(bID, b); err != nil {
 			return err
 		}
-		t.nNodes++ // two new nodes replace one (freed after the commit below)
+		t.nNodes.Add(1) // two new nodes replace one (freed after the commit below)
 		frees = append(frees, curID)
 		trigPtr, pz, po, trigIsNode = curID, aID, bID, true
 		if len(stack) == 0 {
-			// The root itself split: grow the tree by one level.
+			// The root itself split: grow the tree by one level. (The root
+			// latch is necessarily still held — a chain reaching the root
+			// means no split-safe node appeared anywhere on the path, so
+			// nothing was released.)
 			if err := t.newRoot(m, aID, bID, a.Level+1); err != nil {
 				return err
 			}
@@ -311,11 +492,14 @@ func (t *Tree) splitChain(stack []frame, id pagestore.PageID, node *dirnode.Node
 
 // freeAll releases committed-away pages (data pages and directory nodes
 // alike); failures here only leak pages. Decoded-cache entries are dropped
-// before the store free, so a recycled id never decodes stale.
+// before the store free, and both change counters are bumped so optimistic
+// readers that touched a freed object re-validate.
 func (t *Tree) freeAll(ids []pagestore.PageID) error {
 	for _, id := range ids {
 		t.nc.invalidate(id)
 		t.pc.invalidate(id)
+		t.structVer.Add(1)
+		t.pageEpoch.Add(1)
 		if err := t.st.Free(id); err != nil {
 			return err
 		}
@@ -344,11 +528,12 @@ func (t *Tree) newRoot(m int, a, b pagestore.PageID, level int) error {
 	if err != nil {
 		return err
 	}
+	root.Latch = t.latches.of(rid)
 	if err := t.nodes.Write(rid, root); err != nil {
 		return err
 	}
-	t.nNodes++
-	t.rc.install(rid, root)
+	t.nNodes.Add(1)
+	t.installRoot(rid, root)
 	return nil
 }
 
@@ -370,7 +555,7 @@ func (t *Tree) newRoot(m int, a, b pagestore.PageID, level int) error {
 // consumed above the old node: the plane is absolute bit stripM+1.
 // Replaced pages are appended to frees; the caller releases them after the
 // commit write.
-func (t *Tree) splitNode(old *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees *[]pagestore.PageID) (a, b *dirnode.Node, err error) {
+func (t *Tree) splitNode(ls *latchSet, old *dirnode.Node, m, stripM int, trigPtr, pz, po pagestore.PageID, trigIsNode bool, frees *[]pagestore.PageID) (a, b *dirnode.Node, err error) {
 	a = cloneShape(old)
 	b = cloneShape(old)
 	hm := old.Depths[m]
@@ -425,10 +610,12 @@ func (t *Tree) splitNode(old *dirnode.Node, m, stripM int, trigPtr, pz, po pages
 			} else if done, ok := splitDown[e.Ptr]; ok {
 				halves = done
 			} else {
-				halves, err = t.splitReferent(e, m, stripM, frees)
+				var out struct{ lo, hi pagestore.PageID }
+				out, err = t.splitReferent(ls, e, m, stripM, old.Level, frees)
 				if err != nil {
 					return nil, nil, err
 				}
+				halves = pair(out)
 				splitDown[e.Ptr] = halves
 			}
 			// The cell maps to the same index in both siblings: the old
@@ -461,11 +648,16 @@ func (t *Tree) splitNode(old *dirnode.Node, m, stripM int, trigPtr, pz, po pages
 
 // splitReferent splits a plane-crossing referent (data page or child node)
 // along dimension m at absolute bit stripM+1, returning the page ids of
-// the low and high halves (NilPage for an empty data-page half).
-func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore.PageID) (struct{ lo, hi pagestore.PageID }, error) {
+// the low and high halves (NilPage for an empty data-page half). level is
+// the level of the node being split; its node referents rank one below.
+// The referent sits off the descent path, so it is latched exclusively
+// here, before it is read — legal for the structural writer, which may
+// latch downward anywhere inside the subtrees it holds.
+func (t *Tree) splitReferent(ls *latchSet, e *dirnode.Entry, m, stripM, level int, frees *[]pagestore.PageID) (struct{ lo, hi pagestore.PageID }, error) {
 	var out struct{ lo, hi pagestore.PageID }
-	t.nCascades++
+	t.nCascades.Add(1)
 	if !e.IsNode {
+		ls.lock(e.Ptr, 0)
 		p, err := t.readPageMut(e.Ptr)
 		if err != nil {
 			return out, err
@@ -490,11 +682,12 @@ func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore
 		*frees = append(*frees, e.Ptr)
 		return out, nil
 	}
+	ls.lock(e.Ptr, level-1)
 	child, err := t.readNode(e.Ptr)
 	if err != nil {
 		return out, err
 	}
-	ca, cb, err := t.splitNode(child, m, stripM, pagestore.NilPage, pagestore.NilPage, pagestore.NilPage, false, frees)
+	ca, cb, err := t.splitNode(ls, child, m, stripM, pagestore.NilPage, pagestore.NilPage, pagestore.NilPage, false, frees)
 	if err != nil {
 		return out, err
 	}
@@ -512,7 +705,7 @@ func (t *Tree) splitReferent(e *dirnode.Entry, m, stripM int, frees *[]pagestore
 	if err := t.writeNode(cbID, cb); err != nil {
 		return out, err
 	}
-	t.nNodes++ // two nodes replace one (freed after commit)
+	t.nNodes.Add(1) // two nodes replace one (freed after commit)
 	*frees = append(*frees, e.Ptr)
 	out.lo, out.hi = caID, cbID
 	return out, nil

@@ -7,11 +7,16 @@ package core
 // boundary. Coherence follows the same commit-point rules as the root:
 //
 //   - read-only descents (Search, Range, Validate, walks) may share the
-//     cached object and must not mutate it;
-//   - mutating descents work on a private copy (readNodeMut, readPageMut)
-//     and the cache is updated write-through only after the page write
-//     committed (writeNode, writePage), so a storage fault leaves cache,
-//     memory and disk agreeing on the previous state;
+//     cached object and must not mutate it; concurrent readers of a data
+//     page hold its shared latch, because of the in-place exception below;
+//   - node-mutating descents work on a private copy (readNodeMut,
+//     readPageMut) and the cache is updated write-through only after the
+//     page write committed (writeNode, writePage), so a storage fault
+//     leaves cache, memory and disk agreeing on the previous state;
+//   - the insert fast path is the one in-place exception: under the
+//     page's exclusive latch it mutates the cached data page directly and
+//     writes it through, dropping the entry if the store write fails —
+//     the next decode then restores the committed state;
 //   - freeing a page invalidates its entry before the store free, so a
 //     recycled PageID can never resurrect a stale decoded image.
 //
@@ -37,8 +42,12 @@ const (
 	// nodes are few (one per ~2^φ regions), so this covers directories far
 	// past the paper's 2^27-element scale.
 	defaultNodeCacheCap = 1024
-	// defaultPageCacheCap bounds cached decoded data pages.
-	defaultPageCacheCap = 4096
+	// defaultPageCacheCap bounds cached decoded data pages. Sized to keep
+	// the hot working set of write-heavy workloads decoded: a miss costs a
+	// Decode allocation and, because a fresh decode has no spare record
+	// capacity, a reallocation on the next in-place insert. At ~2KB per
+	// decoded page this bounds the cache near 64MB.
+	defaultPageCacheCap = 32768
 )
 
 // objCacheStats are the cache's white-box counters.
@@ -52,10 +61,17 @@ type objShard[V any] struct {
 	m  map[pagestore.PageID]*objEntry[V]
 }
 
-// objEntry wraps a cached object with its second-chance reference bit.
+// objEntry wraps a cached object with its second-chance reference bit and,
+// for data pages on the deferred write-back path, a dirty bit. A dirty
+// entry's decoded object is ahead of the page bytes and is the only
+// up-to-date form, so eviction skips it; the dirty-page flusher clears the
+// bit once the bytes catch up. The shard lock serializes markDirty against
+// the eviction sweep, so an entry can never be both chosen as victim and
+// marked dirty.
 type objEntry[V any] struct {
-	val V
-	ref atomic.Bool
+	val   V
+	ref   atomic.Bool
+	dirty atomic.Bool
 }
 
 // objCache is a sharded, capacity-bounded map from PageID to a decoded
@@ -84,32 +100,61 @@ func (c *objCache[V]) shard(id pagestore.PageID) *objShard[V] {
 	return &c.shards[uint32(id)%objCacheShards]
 }
 
-// get returns the cached object for id, marking it recently used.
+// get returns the cached object for id, marking it recently used. The
+// value is copied out under the shard lock: put replaces an existing
+// entry's val in place, so reading it after unlock would race.
 func (c *objCache[V]) get(id pagestore.PageID) (V, bool) {
-	var zero V
+	var v V
 	if c.perShard == 0 {
 		c.misses.Add(1)
-		return zero, false
+		return v, false
 	}
 	s := c.shard(id)
 	s.mu.RLock()
 	e, ok := s.m[id]
 	if ok {
 		e.ref.Store(true)
+		v = e.val
 	}
 	s.mu.RUnlock()
 	if !ok {
 		c.misses.Add(1)
-		return zero, false
+		return v, false
 	}
 	c.hits.Add(1)
-	return e.val, true
+	return v, true
+}
+
+// evictOneLocked frees one slot in a full shard by evicting a
+// not-recently-used clean entry. Map iteration order is randomized, so
+// clearing reference bits along the probe acts as a second-chance sweep
+// without a ring. Dirty entries are never victims (their decoded object is
+// the only up-to-date form); if every entry is dirty the shard overflows
+// softly — the dirty-page flusher drains it back under capacity.
+func (c *objCache[V]) evictOneLocked(s *objShard[V]) {
+	var fallback pagestore.PageID
+	haveFallback := false
+	for k, e := range s.m {
+		if e.dirty.Load() {
+			continue
+		}
+		fallback, haveFallback = k, true
+		if e.ref.CompareAndSwap(true, false) {
+			continue // recently used: spend its second chance
+		}
+		delete(s.m, k)
+		c.evicts.Add(1)
+		return
+	}
+	if haveFallback { // every clean entry was hot: evict the last seen
+		delete(s.m, fallback)
+		c.evicts.Add(1)
+	}
 }
 
 // put installs (or replaces) the object for id, evicting a
-// not-recently-used entry when the shard is full. Map iteration order is
-// randomized, so clearing reference bits along the probe acts as a
-// second-chance sweep without a ring.
+// not-recently-used entry when the shard is full. A put is a write
+// commit — the caller just wrote the bytes — so it clears any dirty bit.
 func (c *objCache[V]) put(id pagestore.PageID, v V) {
 	if c.perShard == 0 {
 		return
@@ -119,30 +164,98 @@ func (c *objCache[V]) put(id pagestore.PageID, v V) {
 	if e, ok := s.m[id]; ok {
 		e.val = v
 		e.ref.Store(true)
+		e.dirty.Store(false)
 		s.mu.Unlock()
 		return
 	}
 	if len(s.m) >= c.perShard {
-		var fallback pagestore.PageID
-		evicted := false
-		for k, e := range s.m {
-			fallback = k
-			if e.ref.CompareAndSwap(true, false) {
-				continue // recently used: spend its second chance
-			}
-			delete(s.m, k)
-			evicted = true
-			break
-		}
-		if !evicted { // every probed entry was hot: evict the last seen
-			delete(s.m, fallback)
-		}
-		c.evicts.Add(1)
+		c.evictOneLocked(s)
 	}
 	e := &objEntry[V]{val: v}
 	e.ref.Store(true)
 	s.m[id] = e
 	s.mu.Unlock()
+}
+
+// putIfAbsent installs the object for id only when no entry exists,
+// evicting like put when the shard is full. Read-miss installs use this so
+// a slow reader cannot overwrite a newer object committed by a writer
+// between the reader's storage read and its cache install.
+func (c *objCache[V]) putIfAbsent(id pagestore.PageID, v V) {
+	if c.perShard == 0 {
+		return
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	if e, ok := s.m[id]; ok {
+		e.ref.Store(true)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= c.perShard {
+		c.evictOneLocked(s)
+	}
+	e := &objEntry[V]{val: v}
+	e.ref.Store(true)
+	s.m[id] = e
+	s.mu.Unlock()
+}
+
+// markDirty flags id's entry as dirty, pinning it against eviction until
+// the flusher clears it. It reports whether an entry was present: when it
+// is not (cache disabled, or the entry was evicted before the caller's
+// mutation), the caller must fall back to writing the page through.
+// newly distinguishes the first marking from re-dirtying, so each page
+// enters the flush queue once. Runs under the shard read lock, which the
+// eviction sweep's write lock excludes.
+func (c *objCache[V]) markDirty(id pagestore.PageID) (newly, ok bool) {
+	if c.perShard == 0 {
+		return false, false
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	if ok {
+		e.ref.Store(true)
+		newly = e.dirty.CompareAndSwap(false, true)
+	}
+	s.mu.RUnlock()
+	return newly, ok
+}
+
+// getIfDirty returns the cached object only if it is present and dirty.
+// The flusher uses it: an entry that went absent (freed) or clean
+// (rewritten through writePage) since it was queued needs no flush.
+func (c *objCache[V]) getIfDirty(id pagestore.PageID) (V, bool) {
+	var v V
+	if c.perShard == 0 {
+		return v, false
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	if ok && e.dirty.Load() {
+		v = e.val
+	} else {
+		ok = false
+	}
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// clearDirty marks id's entry clean again. The caller must have excluded
+// concurrent mutators of the object (the flusher holds the page's shared
+// latch, so in-place inserters, who need it exclusive, are out).
+func (c *objCache[V]) clearDirty(id pagestore.PageID) {
+	if c.perShard == 0 {
+		return
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	if e, ok := s.m[id]; ok {
+		e.dirty.Store(false)
+	}
+	s.mu.RUnlock()
 }
 
 // invalidate drops the entry for id, if any.
@@ -215,9 +328,13 @@ func (t *Tree) PageCacheStats() CacheStats {
 // SetDecodedCacheCapacity resizes the decoded caches (rebuilding them
 // empty): nodes bounds cached directory nodes, pages cached data pages.
 // Zero or negative disables the respective cache — every read then decodes
-// from page bytes, the pre-cache behavior. Not safe to call concurrently
-// with operations on the tree.
-func (t *Tree) SetDecodedCacheCapacity(nodes, pages int) {
+// from page bytes, the pre-cache behavior. Dirty pages are flushed first,
+// since dropping the old cache discards the only up-to-date form of each.
+// Not safe to call concurrently with operations on the tree.
+func (t *Tree) SetDecodedCacheCapacity(nodes, pages int) error {
+	if err := t.FlushDirtyPages(); err != nil {
+		return err
+	}
 	if nodes < 0 {
 		nodes = 0
 	}
@@ -226,4 +343,5 @@ func (t *Tree) SetDecodedCacheCapacity(nodes, pages int) {
 	}
 	t.nc = newObjCache[*dirnode.Node](nodes)
 	t.pc = newObjCache[*datapage.Page](pages)
+	return nil
 }

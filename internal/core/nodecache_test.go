@@ -14,9 +14,14 @@ import (
 // checkCacheCoherence verifies that every decoded-cache entry agrees
 // byte-for-byte with a fresh decode of its page from the store: the
 // write-through and invalidation discipline must never let a cached object
-// drift from the committed bytes.
+// drift from the committed bytes. Deferred in-place inserts are flushed
+// first — a dirty page is *supposed* to be ahead of its bytes, and the
+// invariant under test is that flushing reconciles the two exactly.
 func checkCacheCoherence(t *testing.T, tr *Tree) {
 	t.Helper()
+	if err := tr.FlushDirtyPages(); err != nil {
+		t.Fatalf("flushing dirty pages: %v", err)
+	}
 	nbuf := make([]byte, tr.st.PageSize())
 	cbuf := make([]byte, tr.st.PageSize())
 	tr.nc.forEach(func(id pagestore.PageID, n *dirnode.Node) {

@@ -40,12 +40,12 @@ func (t *Tree) MarshalMeta() []byte {
 		buf = append(buf, byte(xi))
 	}
 	var u32 [4]byte
-	binary.BigEndian.PutUint32(u32[:], uint32(t.rc.pageID))
+	binary.BigEndian.PutUint32(u32[:], uint32(t.rc.load().pageID))
 	buf = append(buf, u32[:]...)
-	binary.BigEndian.PutUint32(u32[:], uint32(t.nNodes))
+	binary.BigEndian.PutUint32(u32[:], uint32(t.nNodes.Load()))
 	buf = append(buf, u32[:]...)
 	var u64 [8]byte
-	binary.BigEndian.PutUint64(u64[:], uint64(t.n))
+	binary.BigEndian.PutUint64(u64[:], uint64(t.n.Load()))
 	buf = append(buf, u64[:]...)
 	binary.BigEndian.PutUint32(u32[:], crc32.Checksum(buf, metaCRCTable))
 	return append(buf, u32[:]...)
@@ -91,13 +91,13 @@ func Load(st pagestore.Store, meta []byte) (*Tree, error) {
 		return nil, fmt.Errorf("bmeh: corrupt meta record: %w", err)
 	}
 	t := &Tree{
-		st:     st,
-		prm:    prm,
-		pages:  datapage.NewIO(st, d),
-		nodes:  dirnode.NewIO(st, d),
-		nNodes: int(binary.BigEndian.Uint32(meta[off+4:])),
-		n:      int(binary.BigEndian.Uint64(meta[off+8:])),
+		st:    st,
+		prm:   prm,
+		pages: datapage.NewIO(st, d),
+		nodes: dirnode.NewIO(st, d),
 	}
+	t.nNodes.Store(int64(binary.BigEndian.Uint32(meta[off+4:])))
+	t.n.Store(int64(binary.BigEndian.Uint64(meta[off+8:])))
 	if st.PageSize() < PageBytes(prm) {
 		return nil, fmt.Errorf("bmeh: page size %d < required %d", st.PageSize(), PageBytes(prm))
 	}
@@ -107,6 +107,7 @@ func Load(st pagestore.Store, meta []byte) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bmeh: reading root node: %w", err)
 	}
-	t.rc.install(rootID, root)
+	root.Latch = t.latches.of(rootID)
+	t.installRoot(rootID, root)
 	return t, nil
 }

@@ -30,11 +30,19 @@ func (t *Tree) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v uint64) bo
 			return nil
 		}
 	}
+	// Range holds a structure read-lock for the whole scan rather than
+	// validating optimistically like Search: a structural change mid-scan
+	// would force a retry, and fn may already have observed records —
+	// re-running it would surface duplicates to the caller. Plain page
+	// writes (inserts into non-full pages, fast deletes) proceed
+	// concurrently; only restructurings wait.
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
 	r := rangeScanPool.Get().(*rangeScan)
 	r.t, r.lo, r.hi, r.fn = t, lo, hi, fn
 	r.width = t.prm.Width
 	r.stopped = false
-	err := r.node(t.rc.node, lo.Clone(), hi.Clone())
+	err := r.node(t.rc.load().node, lo.Clone(), hi.Clone())
 	clear(r.seenPages)
 	clear(r.seenNodes)
 	*r = rangeScan{seenPages: r.seenPages, seenNodes: r.seenNodes}
@@ -184,8 +192,14 @@ func (r *rangeScan) descend(n *dirnode.Node, e *dirnode.Entry, idx []uint64, vlo
 }
 
 // page scans one data page, filtering by the original box. The page is the
-// shared cached object; record keys are handed to fn read-only.
+// shared cached object, read under its shared latch (the insert fast path
+// mutates cached pages in place under the exclusive latch); record keys
+// are handed to fn read-only, and fn runs with the latch held — another
+// reason it must not mutate the tree.
 func (r *rangeScan) page(id pagestore.PageID) error {
+	l := r.t.latches.of(id)
+	l.RLock(0)
+	defer l.RUnlock()
 	p, err := r.t.readPage(id)
 	if err != nil {
 		return err

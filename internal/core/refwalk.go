@@ -7,6 +7,8 @@ import "bmeh/internal/pagestore"
 // data page. The root itself is not reported (it is the walk's origin).
 // Diagnostic/space-accounting tooling; reads every node, counted as I/O.
 func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
 	seen := make(map[pagestore.PageID]bool)
 	var rec func(id pagestore.PageID) error
 	rec = func(id pagestore.PageID) error {
@@ -29,5 +31,5 @@ func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
 		}
 		return nil
 	}
-	return rec(t.rc.pageID)
+	return rec(t.rc.load().pageID)
 }

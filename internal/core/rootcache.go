@@ -1,18 +1,20 @@
 package core
 
 import (
-	"bmeh/internal/pagestore"
+	"sync/atomic"
 
 	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
 )
 
 // rootCache is the pinned-root cache of the paper's accounting model
 // (§3.1, §4): the root directory node stays decoded in memory across
 // operations, so an exact-match probe costs (levels−1) node reads plus one
 // data-page read — the root contributes zero disk accesses and zero decode
-// work. The cache is valid for as long as the page named by pageID holds
-// the image of node; the three events that change which page (or which
-// decoded image) is the root each funnel through install/update:
+// work. The cache is valid for as long as the page named by the current
+// rootRef holds the image of its node; the three events that change which
+// page (or which decoded image) is the root each funnel through
+// install/update:
 //
 //   - a root split adds a level: newRoot writes the new root page, then
 //     installs it (insert.go);
@@ -23,33 +25,53 @@ import (
 // Write-through commits to the existing root page (writeNode) call update,
 // which keeps the same pageID and replaces only the decoded image.
 //
-// Concurrency: the read path (Search, Range) only reads pageID and node,
-// and every mutation happens under the owning index's writer lock, so
-// concurrent readers never observe a half-installed root.
+// Concurrency: readers snapshot the whole (pageID, node) pair with one
+// atomic load. Every install and update stores a freshly allocated rootRef,
+// so a pointer comparison against a previously loaded ref detects any
+// intervening root change — there is no ABA window even across a
+// free/reallocate of the root's PageID. Mutators call install/update only
+// while the root's latch is held exclusively or all writers are stopped, so
+// update's load-modify-store does not race with itself.
 type rootCache struct {
-	pageID   pagestore.PageID
-	node     *dirnode.Node
-	installs uint64 // install calls: root splits, collapses, resets, loads
+	ref      atomic.Pointer[rootRef]
+	installs atomic.Uint64 // install calls: root splits, collapses, resets, loads
 }
 
+// rootRef is one immutable (pageID, decoded node) root snapshot.
+type rootRef struct {
+	pageID pagestore.PageID
+	node   *dirnode.Node
+}
+
+// load returns the current root snapshot (nil only before the first
+// install).
+func (c *rootCache) load() *rootRef { return c.ref.Load() }
+
 // holds reports whether id names the pinned root page.
-func (c *rootCache) holds(id pagestore.PageID) bool { return id == c.pageID }
+func (c *rootCache) holds(id pagestore.PageID) bool {
+	r := c.ref.Load()
+	return r != nil && id == r.pageID
+}
 
 // install pins a (new) root: the previous cached node, if any, is
 // invalidated. Callers write the node's page before installing, so the
 // cache never gets ahead of durable storage.
 func (c *rootCache) install(id pagestore.PageID, n *dirnode.Node) {
-	c.pageID = id
-	c.node = n
-	c.installs++
+	c.ref.Store(&rootRef{pageID: id, node: n})
+	c.installs.Add(1)
 }
 
 // update replaces the decoded image of the current root page after its
-// page write committed (write-through; the pageID is unchanged).
-func (c *rootCache) update(n *dirnode.Node) { c.node = n }
+// page write committed (write-through; the pageID is unchanged). A fresh
+// rootRef is stored so concurrent root handshakes see the change by pointer
+// identity.
+func (c *rootCache) update(n *dirnode.Node) {
+	old := c.ref.Load()
+	c.ref.Store(&rootRef{pageID: old.pageID, node: n})
+}
 
 // RootInstalls returns how many times the pinned root was replaced (root
 // splits, collapses, resets and loads) — a white-box statistic for tests
 // asserting the cache is invalidated exactly when the paper says the tree
 // height changes.
-func (t *Tree) RootInstalls() uint64 { return t.rc.installs }
+func (t *Tree) RootInstalls() uint64 { return t.rc.installs.Load() }

@@ -27,7 +27,7 @@ func TestRootCacheAccounting(t *testing.T) {
 	if tr.Levels() < 2 {
 		t.Fatalf("workload too small: tree stayed at %d level(s)", tr.Levels())
 	}
-	rootPage := tr.rc.pageID
+	rootPage := tr.rc.load().pageID
 	st.ResetStats()
 	const probes = 50
 	for i := 0; i < probes; i++ {

@@ -16,12 +16,31 @@
 // every root-to-page path has the same length, and with the root pinned in
 // memory an exact-match search costs exactly (levels−1) node reads plus one
 // data-page read.
+//
+// # Concurrency
+//
+// The tree synchronizes itself; callers need no external lock. The lock
+// order, outermost first, is
+//
+//	wgate → structMu → node latches (root→leaf) → page latches
+//
+// wgate is the writer gate: plain writers hold it shared for the duration
+// of one operation; a delete that must restructure (merge/shrink/collapse)
+// escalates to the exclusive side, stopping all writers. structMu serializes
+// structure changes (splits and the readers that cannot tolerate them) and
+// is only ever Try-acquired while latches are held, so writers never
+// hold-and-wait on it. Insert and the delete fast path crab per-node
+// latches down the tree, releasing ancestors as soon as the child is
+// split-safe; Search is optimistic (latch-free with structVer validation);
+// Range runs under structMu's read side. See DESIGN.md for the full
+// protocol and its deadlock-freedom argument.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bmeh/internal/bitkey"
 	"bmeh/internal/datapage"
@@ -50,9 +69,9 @@ type Tree struct {
 	prm    params.Params
 	pages  *datapage.IO
 	nodes  *dirnode.IO
-	rc     rootCache // pinned-root cache (paper §3.1); see rootcache.go
-	nNodes int       // directory nodes, root included
-	n      int           // stored records
+	rc     rootCache    // pinned-root cache (paper §3.1); see rootcache.go
+	nNodes atomic.Int64 // directory nodes, root included
+	n      atomic.Int64 // stored records
 	// nc and pc are the decoded-object caches above the byte store; see
 	// nodecache.go for the coherence discipline.
 	nc *objCache[*dirnode.Node]
@@ -65,23 +84,53 @@ type Tree struct {
 	descents sync.Pool
 	// nCascades counts downward K-D-B splits of plane-crossing referents
 	// during node splits (white-box statistic for tests and ablations).
-	nCascades int
+	nCascades atomic.Int64
+
+	// wgate is the writer gate: every Insert/Delete holds the read side for
+	// its whole operation; delete escalation and Validate take the write
+	// side to stop all writers.
+	wgate sync.RWMutex
+	// structMu serializes structure changes: a writer that splits or
+	// collapses holds it exclusively (Try-acquired while latched, or
+	// blocking with nothing held); Range and the Search fallback hold it
+	// shared to see a frozen tree shape.
+	structMu sync.RWMutex
+	// structVer counts structure-affecting commits (node writes and page
+	// frees). Optimistic searches snapshot it before descending and retry
+	// when it moved; read-miss cache installs use it to detect that the
+	// object they decoded went stale while off-lock.
+	structVer atomic.Uint64
+	// pageEpoch counts data-page writes; it guards read-miss installs of
+	// decoded pages the way structVer guards nodes, without making plain
+	// in-place page commits visible to optimistic searches.
+	pageEpoch atomic.Uint64
+	// latches maps PageIDs to their per-node/per-page latches.
+	latches latchTable
+	// Deferred write-back of in-place page inserts (see flushdirty.go):
+	// dirtyMu guards dirtyIDs, the queue of pages whose decoded object is
+	// ahead of its bytes; dirtyLen mirrors len(dirtyIDs) so the hot path
+	// can test the high-water mark without the mutex.
+	dirtyMu  sync.Mutex
+	dirtyIDs []pagestore.PageID
+	dirtyLen atomic.Int64
 }
 
 // descentCtx is the reusable scratch of one descent: the shifted pseudo-key
-// vector, the per-dimension element index, and the stripped-bits counter of
-// mutating descents.
+// vector, the per-dimension element index, the stripped-bits counter of
+// mutating descents, and the descent's held-latch set.
 type descentCtx struct {
 	v     bitkey.Vector
 	idx   []uint64
 	strip []int
+	ls    latchSet
 }
 
-// initRuntime wires the decoded caches, accounting hook and scratch pool;
-// called by New and Load once prm and st are set.
+// initRuntime wires the decoded caches, accounting hook, latch table and
+// scratch pool; called by New and Load once prm and st are set.
 func (t *Tree) initRuntime() {
 	t.nc = newObjCache[*dirnode.Node](defaultNodeCacheCap)
 	t.pc = newObjCache[*datapage.Page](defaultPageCacheCap)
+	t.latches.init()
 	if ra, ok := t.st.(pagestore.ReadAccounter); ok {
 		t.acct = ra.AccountRead
 	}
@@ -91,17 +140,20 @@ func (t *Tree) initRuntime() {
 			v:     make(bitkey.Vector, d),
 			idx:   make([]uint64, d),
 			strip: make([]int, d),
+			ls:    latchSet{t: t},
 		}
 	}
 }
 
-// getDescent fetches descent scratch with strip zeroed and v loaded from k.
+// getDescent fetches descent scratch with strip zeroed, the latch set empty
+// and v loaded from k.
 func (t *Tree) getDescent(k bitkey.Vector) *descentCtx {
 	dc := t.descents.Get().(*descentCtx)
 	copy(dc.v, k)
 	for j := range dc.strip {
 		dc.strip[j] = 0
 	}
+	dc.ls.held = dc.ls.held[:0]
 	return dc
 }
 
@@ -127,37 +179,46 @@ func New(st pagestore.Store, prm params.Params) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.rc.install(id, dirnode.New(prm.Dims, 1))
-	t.nNodes = 1
-	if err := t.nodes.Write(id, t.rc.node); err != nil {
+	root := dirnode.New(prm.Dims, 1)
+	root.Latch = t.latches.of(id)
+	t.installRoot(id, root)
+	t.nNodes.Store(1)
+	if err := t.nodes.Write(id, root); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
+// installRoot pins a new root and bumps the structure version so optimistic
+// searches in flight retry against the new root.
+func (t *Tree) installRoot(id pagestore.PageID, n *dirnode.Node) {
+	t.rc.install(id, n)
+	t.structVer.Add(1)
+}
+
 // Len returns the number of stored records.
-func (t *Tree) Len() int { return t.n }
+func (t *Tree) Len() int { return int(t.n.Load()) }
 
 // Levels returns the number of directory levels ℓ (root level).
-func (t *Tree) Levels() int { return t.rc.node.Level }
+func (t *Tree) Levels() int { return t.rc.load().node.Level }
 
 // Nodes returns the number of directory nodes.
-func (t *Tree) Nodes() int { return t.nNodes }
+func (t *Tree) Nodes() int { return int(t.nNodes.Load()) }
 
 // DirectoryPages returns the number of disk pages the directory occupies
 // (one per node).
-func (t *Tree) DirectoryPages() int { return t.nNodes }
+func (t *Tree) DirectoryPages() int { return int(t.nNodes.Load()) }
 
 // DirectoryElements returns σ as the paper reports it for tree directories:
 // nodes × 2^φ, since every node occupies a full fixed-size page.
-func (t *Tree) DirectoryElements() int { return t.nNodes * t.prm.NodeEntries() }
+func (t *Tree) DirectoryElements() int { return int(t.nNodes.Load()) * t.prm.NodeEntries() }
 
 // Params returns the tree's configuration.
 func (t *Tree) Params() params.Params { return t.prm }
 
 // Cascades returns how many plane-crossing referents node splits have
 // split downward (K-D-B style) over the tree's lifetime.
-func (t *Tree) Cascades() int { return t.nCascades }
+func (t *Tree) Cascades() int { return int(t.nCascades.Load()) }
 
 // readNode fetches a non-root node (one counted logical read); the root
 // comes from the pinned-root cache for free. A decoded-cache hit skips the
@@ -165,9 +226,15 @@ func (t *Tree) Cascades() int { return t.nCascades }
 // (and can still fault there), keeping the §4 access model exact. The
 // returned node is shared and must not be mutated — mutating descents use
 // readNodeMut.
+//
+// A cache miss installs with putIfAbsent guarded by a structVer snapshot:
+// if a writer committed a newer image between our storage read and our
+// install, the (possibly stale) entry is dropped again. A writer's own put
+// either ran first (putIfAbsent no-ops) or runs later (overwriting ours),
+// so readers can never shadow a committed write.
 func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
-	if t.rc.holds(id) {
-		return t.rc.node, nil
+	if r := t.rc.load(); id == r.pageID {
+		return r.node, nil
 	}
 	if n, ok := t.nc.get(id); ok {
 		if t.acct != nil {
@@ -177,11 +244,16 @@ func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
 		}
 		return n, nil
 	}
+	v0 := t.structVer.Load()
 	n, err := t.nodes.Read(id)
 	if err != nil {
 		return nil, err
 	}
-	t.nc.put(id, n)
+	n.Latch = t.latches.of(id)
+	t.nc.putIfAbsent(id, n)
+	if t.structVer.Load() != v0 {
+		t.nc.invalidate(id)
+	}
 	return n, nil
 }
 
@@ -191,8 +263,8 @@ func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
 // write fails. A cache-miss decode is private already and is not
 // installed — only committed writes enter the cache.
 func (t *Tree) readNodeMut(id pagestore.PageID) (*dirnode.Node, error) {
-	if t.rc.holds(id) {
-		return cloneNode(t.rc.node), nil
+	if r := t.rc.load(); id == r.pageID {
+		return cloneNode(r.node), nil
 	}
 	if n, ok := t.nc.get(id); ok {
 		if t.acct != nil {
@@ -211,23 +283,32 @@ func cloneNode(n *dirnode.Node) *dirnode.Node { return n.Clone() }
 // writeNode stores a node (one counted write). The write is the commit
 // point: the pinned in-memory root is replaced only after the page write
 // succeeded, so a storage fault leaves the previous (consistent) state in
-// force.
+// force. The structure version is bumped after the caches agree, so an
+// optimistic search that read the old image re-validates and retries.
 func (t *Tree) writeNode(id pagestore.PageID, n *dirnode.Node) error {
+	if n.Latch == nil {
+		n.Latch = t.latches.of(id)
+	}
 	if err := t.nodes.Write(id, n); err != nil {
 		return err
 	}
 	if t.rc.holds(id) {
 		t.rc.update(n)
 		t.nc.invalidate(id) // the pinned root shadows any cached copy
-		return nil
+	} else {
+		t.nc.put(id, n) // write-through: the caller no longer mutates n
 	}
-	t.nc.put(id, n) // write-through: the caller no longer mutates n
+	t.structVer.Add(1)
 	return nil
 }
 
-// readPage fetches a data page for read-only use (one counted logical
-// read); the decoded cache is consulted first, with the same accounting
-// discipline as readNode. The returned page is shared: do not mutate.
+// readPage fetches a data page (one counted logical read); the decoded
+// cache is consulted first, with the same accounting discipline as
+// readNode. The returned page is shared. Concurrent callers must hold the
+// page's latch: shared to read (the insert fast path mutates cached pages
+// in place), exclusive to mutate in place and write through. Miss installs
+// follow readNode's putIfAbsent discipline, with pageEpoch as the
+// staleness witness.
 func (t *Tree) readPage(id pagestore.PageID) (*datapage.Page, error) {
 	if p, ok := t.pc.get(id); ok {
 		if t.acct != nil {
@@ -237,11 +318,16 @@ func (t *Tree) readPage(id pagestore.PageID) (*datapage.Page, error) {
 		}
 		return p, nil
 	}
+	e0 := t.pageEpoch.Load()
 	p, err := t.pages.Read(id)
 	if err != nil {
 		return nil, err
 	}
-	t.pc.put(id, p)
+	p.Latch = t.latches.of(id)
+	t.pc.putIfAbsent(id, p)
+	if t.pageEpoch.Load() != e0 {
+		t.pc.invalidate(id)
+	}
 	return p, nil
 }
 
@@ -261,13 +347,22 @@ func (t *Tree) readPageMut(id pagestore.PageID) (*datapage.Page, error) {
 }
 
 // writePage stores a data page (one counted write) and installs it in the
-// decoded cache once the write committed. The caller must not mutate p
-// afterwards.
+// decoded cache once the write committed. The caller holds the page's
+// exclusive latch; p is (or becomes) the shared cached object, which
+// readers use under the shared latch and the insert fast path mutates in
+// place under the exclusive one — so p must not be touched again after
+// the latch is released. Only pageEpoch is bumped: an in-place page
+// commit does not change the tree's shape, so optimistic searches need
+// not retry over it.
 func (t *Tree) writePage(id pagestore.PageID, p *datapage.Page) error {
+	if p.Latch == nil {
+		p.Latch = t.latches.of(id)
+	}
 	if err := t.pages.Write(id, p); err != nil {
 		return err
 	}
 	t.pc.put(id, p)
+	t.pageEpoch.Add(1)
 	return nil
 }
 
@@ -275,12 +370,15 @@ func (t *Tree) writePage(id pagestore.PageID, p *datapage.Page) error {
 // recycled PageID can never serve a stale decoded image.
 func (t *Tree) freePage(id pagestore.PageID) error {
 	t.pc.invalidate(id)
+	t.pageEpoch.Add(1)
+	t.structVer.Add(1) // a freed page means the shape changed under readers
 	return t.pages.Free(id)
 }
 
 // freeNode is freePage for directory nodes.
 func (t *Tree) freeNode(id pagestore.PageID) error {
 	t.nc.invalidate(id)
+	t.structVer.Add(1)
 	return t.nodes.Free(id)
 }
 
@@ -299,18 +397,50 @@ func (t *Tree) nodeIndex(n *dirnode.Node, v bitkey.Vector) int {
 	return t.nodeIndexInto(n, v, make([]uint64, t.prm.Dims))
 }
 
+// maxOptimistic bounds latch-free search attempts before falling back to
+// the structMu read side.
+const maxOptimistic = 8
+
 // Search implements algorithm EXM_Search: descend from the pinned root,
 // stripping each followed entry's local depths, then search the data page.
 // All per-operation scratch comes from the descent pool, so at steady
 // state (decoded caches warm) a probe allocates nothing.
+//
+// The descent is optimistic: it takes no node latches and validates the
+// structure version afterwards. Decoded directory nodes are immutable
+// (node mutators commit fresh clones), so every route either reads nodes
+// current at their read time or nodes stale only because of a
+// post-snapshot commit — and any such commit bumps structVer, so the
+// validation catches it and the search retries. Data pages are the
+// exception: the insert fast path mutates the cached page in place under
+// its exclusive latch, so the final page probe holds the page's shared
+// latch for the duration of the lookup. Under sustained restructuring the
+// search degrades to one attempt under structMu's read side.
 func (t *Tree) Search(k bitkey.Vector) (uint64, bool, error) {
 	if err := t.checkKey(k); err != nil {
 		return 0, false, err
 	}
+	for i := 0; i < maxOptimistic; i++ {
+		v0 := t.structVer.Load()
+		val, ok, err := t.searchOnce(k)
+		if t.structVer.Load() == v0 {
+			return val, ok, err
+		}
+		// The shape moved under us: the result (and even an error) may
+		// stem from a torn route. Retry from the new root.
+	}
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
+	return t.searchOnce(k)
+}
+
+// searchOnce runs one latch-free descent against the current root
+// snapshot. Callers validate structVer (or hold structMu) around it.
+func (t *Tree) searchOnce(k bitkey.Vector) (uint64, bool, error) {
 	dc := t.getDescent(k)
 	defer t.putDescent(dc)
 	v := dc.v
-	node := t.rc.node
+	node := t.rc.load().node
 	for {
 		q := t.nodeIndexInto(node, v, dc.idx)
 		e := &node.Entries[q]
@@ -318,11 +448,17 @@ func (t *Tree) Search(k bitkey.Vector) (uint64, bool, error) {
 			return 0, false, nil
 		}
 		if !e.IsNode {
+			// Shared page latch: excludes the in-place insert fast path
+			// for the duration of the probe (see writePage).
+			l := t.latches.of(e.Ptr)
+			l.RLock(0)
 			p, err := t.readPage(e.Ptr)
 			if err != nil {
+				l.RUnlock()
 				return 0, false, err
 			}
 			val, ok := p.Get(k)
+			l.RUnlock()
 			return val, ok, nil
 		}
 		for j := 0; j < t.prm.Dims; j++ {

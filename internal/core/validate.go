@@ -114,9 +114,19 @@ func (t *Tree) Validate() error {
 		}
 		return nil
 	}
+	// Validation needs a globally consistent snapshot including exact
+	// record counts, so it stops all writers for its duration. It checks
+	// page *bytes*, so deferred in-place inserts must flush first — which
+	// also makes every Validate vouch for the flusher itself.
+	t.wgate.Lock()
+	defer t.wgate.Unlock()
+	if err := t.FlushDirtyPages(); err != nil {
+		return err
+	}
 	strip := make([]int, t.prm.Dims)
 	prefix := make(bitkey.Vector, t.prm.Dims)
-	if err := walk(t.rc.pageID, t.rc.node, strip, prefix); err != nil {
+	root := t.rc.load()
+	if err := walk(root.pageID, root.node, strip, prefix); err != nil {
 		return err
 	}
 	total := 0
@@ -148,8 +158,8 @@ func (t *Tree) Validate() error {
 			}
 		}
 	}
-	if total != t.n {
-		return fmt.Errorf("record count %d != Len() %d", total, t.n)
+	if int64(total) != t.n.Load() {
+		return fmt.Errorf("record count %d != Len() %d", total, t.n.Load())
 	}
 	return nil
 }

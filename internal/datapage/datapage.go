@@ -13,9 +13,9 @@ package datapage
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"bmeh/internal/bitkey"
+	"bmeh/internal/latch"
 )
 
 // Record is one stored record.
@@ -32,8 +32,13 @@ func Size(d, capacity int) int { return 2 + capacity*recordSize(d) }
 
 // Page is the decoded form of a data page.
 type Page struct {
-	d    int
-	recs []Record
+	// Latch protects the page's identity on the concurrent write path; it
+	// is attached by the cache layer and carried by Clone so every
+	// in-memory generation of the same PageID shares one latch instance.
+	// Ignored by Encode/Decode.
+	Latch *latch.Latch
+	d     int
+	recs  []Record
 }
 
 // New returns an empty decoded page for dimensionality d.
@@ -91,7 +96,7 @@ func (p *Page) Encode(buf []byte) (int, error) {
 // inserted, removed, or moved between pages), so a shallow copy is enough
 // for copy-on-write callers.
 func (p *Page) Clone() *Page {
-	return &Page{d: p.d, recs: append([]Record(nil), p.recs...)}
+	return &Page{Latch: p.Latch, d: p.d, recs: append([]Record(nil), p.recs...)}
 }
 
 // Len returns the number of records in the page.
@@ -100,13 +105,24 @@ func (p *Page) Len() int { return len(p.recs) }
 // Records returns the page's records (shared slice; do not mutate).
 func (p *Page) Records() []Record { return p.recs }
 
-// Find returns the index of key and whether it is present.
+// Find returns the index of key and whether it is present. The search is
+// hand-rolled three-way binary search: it sits on the per-insert hot path,
+// where sort.Search's closure calls and its extra equality probe at the
+// end are measurable.
 func (p *Page) Find(key bitkey.Vector) (int, bool) {
-	i := sort.Search(len(p.recs), func(i int) bool { return !p.recs[i].Key.Less(key) })
-	if i < len(p.recs) && p.recs[i].Key.Equal(key) {
-		return i, true
+	lo, hi := 0, len(p.recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch p.recs[mid].Key.Compare(key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
 	}
-	return i, false
+	return lo, false
 }
 
 // Get returns the value stored under key.
@@ -125,10 +141,18 @@ func (p *Page) Insert(r Record) bool {
 	if ok {
 		return false
 	}
+	p.InsertAt(i, r)
+	return true
+}
+
+// InsertAt inserts r at position i, which the caller obtained from a Find
+// that reported the key absent. It skips Insert's own search, for callers
+// that already probed the page; the records stay sorted only if i is that
+// insertion point.
+func (p *Page) InsertAt(i int, r Record) {
 	p.recs = append(p.recs, Record{})
 	copy(p.recs[i+1:], p.recs[i:])
 	p.recs[i] = r
-	return true
 }
 
 // Set overwrites the value of an existing key, or inserts it. It reports

@@ -26,6 +26,7 @@ package dirnode
 import (
 	"fmt"
 
+	"bmeh/internal/latch"
 	"bmeh/internal/pagestore"
 )
 
@@ -62,6 +63,7 @@ func (n *Node) Clone() *Node {
 		Level:   n.Level,
 		Depths:  append([]int(nil), n.Depths...),
 		Entries: make([]Entry, len(n.Entries)),
+		Latch:   n.Latch, // the latch follows the page identity, not the copy
 		d:       n.d,
 	}
 	for i := range n.Entries {
@@ -91,7 +93,14 @@ type Node struct {
 	Depths []int
 	// Entries is the dense row-major element array, len = 2^{ΣDepths}.
 	Entries []Entry
-	d       int
+	// Latch is the latch protecting this node's page identity, attached by
+	// the cache layer when the node enters the decoded cache and carried by
+	// Clone: every in-memory generation of the same PageID shares one latch
+	// instance, so two writers in different subtrees clone and commit
+	// independently while writers to the same node serialize. Ignored by
+	// Encode/Decode (a latch is a runtime object, not page state).
+	Latch *latch.Latch
+	d     int
 }
 
 // New returns a single-element node (all depths zero) of the given level.

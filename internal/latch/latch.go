@@ -1,0 +1,23 @@
+// Package latch provides the reader-writer latches that protect decoded
+// page objects (directory nodes and data pages) during latch-crabbing
+// descents of the BMEH-tree's concurrent write path.
+//
+// A Latch is a thin wrapper around sync.RWMutex with a *rank* attached to
+// every acquisition: data pages are rank 0 and a directory node's rank is
+// its level (1 for leaf directory nodes, increasing toward the root). The
+// write path acquires latches root→leaf, i.e. in strictly decreasing rank
+// order, and a page latch only while holding at most its owning leaf — the
+// discipline that makes the crabbing protocol deadlock-free (see
+// DESIGN.md, "Locking hierarchy").
+//
+// In the default build the rank is ignored and a Latch compiles down to
+// the bare RWMutex. Building with -tags latchdebug turns every acquisition
+// into an assertion of the ordering discipline: a goroutine that acquires
+// latches out of rank order, re-acquires a latch it already holds, or
+// releases a latch it does not hold panics immediately, instead of
+// deadlocking some other schedule later. The structural writer (the unique
+// goroutine holding the tree's structural-change mutex) registers itself
+// with BeginStructural and is allowed the wider pattern its split/merge
+// cascades need: equal-rank sibling acquisitions and multiple page latches,
+// still never an ancestor of anything it holds.
+package latch

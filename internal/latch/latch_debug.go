@@ -1,0 +1,195 @@
+//go:build latchdebug
+
+package latch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Debug reports whether latch-order assertions are compiled in.
+const Debug = true
+
+// Latch is a reader-writer latch for one decoded page object. The zero
+// value is an open latch. Under this build tag every acquisition and
+// release is checked against the crabbing protocol's rank discipline and
+// violations panic with the offending ranks.
+type Latch struct {
+	mu sync.RWMutex
+}
+
+type heldRec struct {
+	l      *Latch
+	rank   int
+	shared bool
+}
+
+type gState struct {
+	held       []heldRec
+	structural bool
+}
+
+// reg tracks, per goroutine, which latches it holds at which ranks. A
+// single mutex is fine: this path exists only in latchdebug test builds.
+var reg = struct {
+	sync.Mutex
+	g map[int64]*gState
+}{g: make(map[int64]*gState)}
+
+// gid parses the goroutine id from the stack header ("goroutine N [...").
+// Slow, but only compiled under the debug tag.
+func gid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	id := int64(0)
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+func checkAcquire(l *Latch, rank int, shared bool) {
+	g := gid()
+	reg.Lock()
+	defer reg.Unlock()
+	s := reg.g[g]
+	if s == nil {
+		s = &gState{}
+		reg.g[g] = s
+	}
+	for _, h := range s.held {
+		if h.l == l {
+			panic(fmt.Sprintf("latch: goroutine %d re-acquires a latch it already holds (rank %d)", g, rank))
+		}
+	}
+	if s.structural {
+		// The unique structural writer works top-down inside subtrees it
+		// holds: equal-rank siblings, downward cascades and any number of
+		// page latches are legal, but it may never acquire a node ranked
+		// above every node it holds — that is the ancestor-after-descendant
+		// inversion the crabbing protocol forbids. (With latches held at
+		// several depths, a cascade target sits below some held node even
+		// though deeper path latches rank lower, so the check is against
+		// the maximum held node rank.)
+		if rank >= 1 {
+			maxNode := -1
+			for _, h := range s.held {
+				if h.rank >= 1 && h.rank > maxNode {
+					maxNode = h.rank
+				}
+			}
+			if maxNode >= 1 && rank > maxNode {
+				panic(fmt.Sprintf("latch: structural goroutine %d acquires node rank %d while holding max node rank %d (ancestor after descendant)", g, rank, maxNode))
+			}
+		}
+	} else {
+		if rank >= 1 {
+			// Plain crabbing: node latches in strictly decreasing rank, and
+			// never a node after a page.
+			for _, h := range s.held {
+				if h.rank <= rank {
+					panic(fmt.Sprintf("latch: goroutine %d acquires rank %d while holding rank %d (order violated)", g, rank, h.rank))
+				}
+			}
+		} else {
+			for _, h := range s.held {
+				if h.rank == 0 {
+					panic(fmt.Sprintf("latch: goroutine %d acquires a second page latch outside structural mode", g))
+				}
+			}
+		}
+	}
+	s.held = append(s.held, heldRec{l: l, rank: rank, shared: shared})
+}
+
+func checkRelease(l *Latch, shared bool) {
+	g := gid()
+	reg.Lock()
+	defer reg.Unlock()
+	s := reg.g[g]
+	if s != nil {
+		for i := len(s.held) - 1; i >= 0; i-- {
+			if s.held[i].l == l && s.held[i].shared == shared {
+				s.held = append(s.held[:i], s.held[i+1:]...)
+				if len(s.held) == 0 && !s.structural {
+					delete(reg.g, g)
+				}
+				return
+			}
+		}
+	}
+	mode := "exclusive"
+	if shared {
+		mode = "shared"
+	}
+	panic(fmt.Sprintf("latch: goroutine %d releases a %s latch it does not hold", g, mode))
+}
+
+// Lock acquires the latch exclusively, asserting rank order first.
+func (l *Latch) Lock(rank int) {
+	checkAcquire(l, rank, false)
+	l.mu.Lock()
+}
+
+// Unlock releases an exclusive hold.
+func (l *Latch) Unlock() {
+	checkRelease(l, false)
+	l.mu.Unlock()
+}
+
+// RLock acquires the latch shared, asserting rank order first.
+func (l *Latch) RLock(rank int) {
+	checkAcquire(l, rank, true)
+	l.mu.RLock()
+}
+
+// RUnlock releases a shared hold.
+func (l *Latch) RUnlock() {
+	checkRelease(l, true)
+	l.mu.RUnlock()
+}
+
+// BeginStructural marks the calling goroutine as the structural writer.
+func BeginStructural() {
+	g := gid()
+	reg.Lock()
+	s := reg.g[g]
+	if s == nil {
+		s = &gState{}
+		reg.g[g] = s
+	}
+	s.structural = true
+	reg.Unlock()
+}
+
+// EndStructural ends the calling goroutine's structural mode.
+func EndStructural() {
+	g := gid()
+	reg.Lock()
+	if s := reg.g[g]; s != nil {
+		s.structural = false
+		if len(s.held) == 0 {
+			delete(reg.g, g)
+		}
+	}
+	reg.Unlock()
+}
+
+// AssertHeld panics unless the calling goroutine holds l exclusively.
+func AssertHeld(l *Latch) {
+	g := gid()
+	reg.Lock()
+	defer reg.Unlock()
+	if s := reg.g[g]; s != nil {
+		for _, h := range s.held {
+			if h.l == l && !h.shared {
+				return
+			}
+		}
+	}
+	panic(fmt.Sprintf("latch: goroutine %d does not hold the latch exclusively", g))
+}

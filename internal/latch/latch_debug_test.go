@@ -1,0 +1,76 @@
+//go:build latchdebug
+
+package latch
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected a latch-order panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestDebugOrderViolations asserts the latchdebug build panics on each
+// class of protocol violation.
+func TestDebugOrderViolations(t *testing.T) {
+	mustPanic(t, "ascending ranks", func() {
+		var leaf, root Latch
+		leaf.Lock(1)
+		defer leaf.Unlock()
+		root.Lock(2) // child before ancestor: out of order
+	})
+	mustPanic(t, "reacquire", func() {
+		var l Latch
+		l.Lock(1)
+		defer l.Unlock()
+		l.Lock(1)
+	})
+	mustPanic(t, "node after page", func() {
+		var page, leaf Latch
+		page.Lock(0)
+		defer page.Unlock()
+		leaf.Lock(1)
+	})
+	mustPanic(t, "second page", func() {
+		var p1, p2 Latch
+		p1.Lock(0)
+		defer p1.Unlock()
+		p2.Lock(0)
+	})
+	mustPanic(t, "unlock unheld", func() {
+		var l Latch
+		l.Unlock()
+	})
+	mustPanic(t, "wrong mode", func() {
+		var l Latch
+		l.RLock(1)
+		defer l.RUnlock()
+		l.Unlock() // held shared, released exclusive
+	})
+}
+
+// TestDebugStructuralAncestor asserts even the structural writer may not
+// take an ancestor after a descendant.
+func TestDebugStructuralAncestor(t *testing.T) {
+	BeginStructural()
+	defer EndStructural()
+	mustPanic(t, "structural ancestor", func() {
+		var leaf, root Latch
+		leaf.Lock(1)
+		defer leaf.Unlock()
+		root.Lock(2)
+	})
+}
+
+// TestDebugAssertHeld asserts AssertHeld distinguishes held from not held.
+func TestDebugAssertHeld(t *testing.T) {
+	var l Latch
+	l.Lock(1)
+	AssertHeld(&l)
+	l.Unlock()
+	mustPanic(t, "assert unheld", func() { AssertHeld(&l) })
+}

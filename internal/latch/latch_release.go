@@ -1,0 +1,40 @@
+//go:build !latchdebug
+
+package latch
+
+import "sync"
+
+// Debug reports whether latch-order assertions are compiled in.
+const Debug = false
+
+// Latch is a reader-writer latch for one decoded page object. The zero
+// value is an open latch.
+type Latch struct {
+	mu sync.RWMutex
+}
+
+// Lock acquires the latch exclusively. rank is the latch-order rank of the
+// protected object (0 for data pages, the node level for directory nodes);
+// it is asserted only under the latchdebug build tag.
+func (l *Latch) Lock(rank int) { l.mu.Lock() }
+
+// Unlock releases an exclusive hold.
+func (l *Latch) Unlock() { l.mu.Unlock() }
+
+// RLock acquires the latch shared.
+func (l *Latch) RLock(rank int) { l.mu.RLock() }
+
+// RUnlock releases a shared hold.
+func (l *Latch) RUnlock() { l.mu.RUnlock() }
+
+// BeginStructural marks the calling goroutine as the structural writer
+// until EndStructural, relaxing the order assertions to the pattern split
+// and merge cascades need. A no-op without the latchdebug tag.
+func BeginStructural() {}
+
+// EndStructural ends the calling goroutine's structural mode.
+func EndStructural() {}
+
+// AssertHeld panics (latchdebug builds only) unless the calling goroutine
+// holds l exclusively.
+func AssertHeld(l *Latch) {}

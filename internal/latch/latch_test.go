@@ -1,0 +1,82 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLatchMutualExclusion exercises the latch as a plain RWMutex: an
+// exclusive hold excludes other writers, counters under it stay exact.
+func TestLatchMutualExclusion(t *testing.T) {
+	var l Latch
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock(1)
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+// TestLatchSharedReaders verifies shared holds admit each other: both
+// readers must be inside the latch at the same time to release the barrier.
+func TestLatchSharedReaders(t *testing.T) {
+	var l Latch
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			l.RLock(1)
+			barrier.Done()
+			barrier.Wait() // deadlocks if RLock were exclusive
+			l.RUnlock()
+			done <- struct{}{}
+		}()
+	}
+	<-done
+	<-done
+}
+
+// TestCrabbingOrder runs the legal descent pattern (decreasing node ranks,
+// then one page latch) — it must not panic under either build.
+func TestCrabbingOrder(t *testing.T) {
+	var root, mid, leaf, page Latch
+	root.Lock(3)
+	mid.Lock(2)
+	root.Unlock() // split-safe release
+	leaf.Lock(1)
+	mid.Unlock()
+	page.Lock(0)
+	page.Unlock()
+	leaf.Unlock()
+}
+
+// TestStructuralPattern runs the structural writer's wider pattern:
+// sibling (equal-rank) node acquisitions and multiple page latches while
+// holding the path.
+func TestStructuralPattern(t *testing.T) {
+	BeginStructural()
+	defer EndStructural()
+	var parent, a, b, p1, p2 Latch
+	parent.Lock(2)
+	a.Lock(1)
+	b.Lock(1) // sibling at the same rank: legal for the structural writer
+	p1.Lock(0)
+	p2.Lock(0) // second page latch: legal for the structural writer
+	p2.Unlock()
+	p1.Unlock()
+	b.Unlock()
+	a.Unlock()
+	parent.Unlock()
+}

@@ -1,0 +1,100 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+)
+
+// storeAllocRace hammers one store with concurrent Alloc/Free/Write/Read
+// traffic and then verifies no page was handed out twice and the free list
+// survived intact.
+func storeAllocRace(t *testing.T, st Store) {
+	t.Helper()
+	const (
+		workers   = 8
+		perWorker = 200
+	)
+	var (
+		mu  sync.Mutex
+		ids []PageID
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, st.PageSize())
+			var local []PageID
+			for i := 0; i < perWorker; i++ {
+				id, err := st.Alloc(KindData)
+				if err != nil {
+					t.Errorf("worker %d: alloc: %v", w, err)
+					return
+				}
+				local = append(local, id)
+				if err := st.Write(id, []byte{byte(w), byte(i)}); err != nil {
+					t.Errorf("worker %d: write %d: %v", w, id, err)
+					return
+				}
+				if err := st.Read(id, buf); err != nil {
+					t.Errorf("worker %d: read %d: %v", w, id, err)
+					return
+				}
+				if buf[0] != byte(w) || buf[1] != byte(i) {
+					t.Errorf("worker %d: page %d holds %v, want [%d %d]", w, id, buf[:2], w, i)
+					return
+				}
+				// Free every third page so the free list churns while
+				// other workers pop it.
+				if i%3 == 2 {
+					victim := local[len(local)-2]
+					local = append(local[:len(local)-2], local[len(local)-1])
+					if err := st.Free(victim); err != nil {
+						t.Errorf("worker %d: free %d: %v", w, victim, err)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			ids = append(ids, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[PageID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("page %d allocated twice", id)
+		}
+		seen[id] = true
+	}
+	alloc := st.Allocated()
+	if alloc[KindData] != len(ids) {
+		t.Fatalf("store reports %d data pages, workers hold %d", alloc[KindData], len(ids))
+	}
+}
+
+func TestMemDiskConcurrentAlloc(t *testing.T) {
+	st := NewMemDisk(256)
+	defer st.Close()
+	storeAllocRace(t, st)
+}
+
+func TestFileDiskConcurrentAlloc(t *testing.T) {
+	d, err := CreateFileDiskFiles(NewMemFile(), NewMemFile(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	storeAllocRace(t, d)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pages, _, problems := d.CheckPages()
+	if len(problems) > 0 {
+		t.Fatalf("%d of %d slots damaged after concurrent churn: %v", len(problems), pages, problems[0])
+	}
+}

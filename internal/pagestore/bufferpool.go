@@ -77,6 +77,56 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	return f.data, nil
 }
 
+// ReadInto copies the page's bytes into buf (faulting on a miss), without
+// taking a pin. The copy happens under the pool mutex, so it is consistent
+// against a concurrent Put of the same page.
+func (bp *BufferPool) ReadInto(id PageID, buf []byte) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if ok {
+		bp.hits.Add(1)
+		bp.lru.MoveToFront(f.elem)
+		copy(buf, f.data)
+		return nil
+	}
+	bp.misses.Add(1)
+	if err := bp.evictIfFullLocked(); err != nil {
+		return err
+	}
+	data := make([]byte, bp.store.PageSize())
+	if err := bp.store.Read(id, data); err != nil {
+		return err
+	}
+	f = &frame{id: id, data: data}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	copy(buf, f.data)
+	return nil
+}
+
+// Put replaces the page's frame contents with the full-page image in data
+// and marks the frame dirty, without faulting the old image in from the
+// store. Copy-under-lock like ReadInto.
+func (bp *BufferPool) Put(id PageID, data []byte) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		// Write-around: a full-page overwrite of a non-resident page goes
+		// straight to the store rather than faulting a frame in just to
+		// overwrite it (see ShardedPool.Put).
+		return bp.store.Write(id, data)
+	}
+	bp.lru.MoveToFront(f.elem)
+	n := copy(f.data, data)
+	for i := n; i < len(f.data); i++ {
+		f.data[i] = 0
+	}
+	f.dirty = true
+	return nil
+}
+
 // NewPage allocates a page in the store and returns its zeroed, pinned
 // frame (no read I/O).
 func (bp *BufferPool) NewPage(kind Kind) (PageID, []byte, error) {

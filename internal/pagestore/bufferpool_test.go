@@ -120,22 +120,40 @@ func TestCachedStoreSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A freshly allocated page has no frame, so its first write goes
+	// around the pool, straight to the inner store.
 	if err := cs.Write(id, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 64)
+	if err := inner.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) != "abc" {
+		t.Fatalf("write-around of non-resident page did not reach inner store (got %q)", buf[:3])
+	}
+	// Reading faults the page into a frame; a write to the now-resident
+	// page is write-back — cached until Flush.
 	if err := cs.Read(id, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:3]) != "abc" {
 		t.Fatalf("read back %q", buf[:3])
 	}
-	// The write is cached: inner has not seen it.
+	if err := cs.Write(id, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
 	if err := inner.Read(id, buf); err != nil {
 		t.Fatal(err)
 	}
-	if string(buf[:3]) == "abc" {
+	if string(buf[:3]) == "xyz" {
 		t.Fatal("write-through happened despite write-back cache")
+	}
+	if err := cs.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) != "xyz" {
+		t.Fatalf("cached read returned %q, want the buffered write", buf[:3])
 	}
 	if err := cs.Flush(); err != nil {
 		t.Fatal(err)
@@ -143,7 +161,7 @@ func TestCachedStoreSemantics(t *testing.T) {
 	if err := inner.Read(id, buf); err != nil {
 		t.Fatal(err)
 	}
-	if string(buf[:3]) != "abc" {
+	if string(buf[:3]) != "xyz" {
 		t.Fatal("flush did not reach inner store")
 	}
 	// Free drops the frame.

@@ -6,6 +6,15 @@ package pagestore
 type PagePool interface {
 	// Get returns the page's frame buffer with one pin taken.
 	Get(id PageID) ([]byte, error)
+	// ReadInto copies the page's bytes into buf (faulting on a miss). The
+	// copy happens under the pool's internal locking, so it can never
+	// observe a torn image from a concurrent Put of the same page.
+	ReadInto(id PageID, buf []byte) error
+	// Put replaces the page's frame contents with the full-page image in
+	// data and marks it dirty. A non-resident page is written around the
+	// pool, straight to the store: faulting a frame in just to overwrite
+	// it wastes an eviction. Copy-under-lock like ReadInto.
+	Put(id PageID, data []byte) error
 	// NewPage allocates a page and returns its zeroed, pinned, dirty frame.
 	NewPage(kind Kind) (PageID, []byte, error)
 	// MarkDirty flags a pinned frame as modified.
@@ -47,14 +56,12 @@ func NewCachedStoreWithPool(inner Store, pool PagePool) *CachedStore {
 // PageSize implements Store.
 func (c *CachedStore) PageSize() int { return c.inner.PageSize() }
 
-// Alloc implements Store: the fresh page materializes directly in the pool.
+// Alloc implements Store. The fresh page takes no pool frame: its first
+// write goes around the pool (see Write), and its first read faults it in
+// like any other page — so the pool's frames stay reserved for pages that
+// are actually re-read.
 func (c *CachedStore) Alloc(kind Kind) (PageID, error) {
-	id, _, err := c.pool.NewPage(kind)
-	if err != nil {
-		return NilPage, err
-	}
-	c.pool.Unpin(id)
-	return id, nil
+	return c.inner.Alloc(kind)
 }
 
 // Free implements Store, dropping any cached frame.
@@ -65,28 +72,13 @@ func (c *CachedStore) Free(id PageID) error {
 
 // Read implements Store.
 func (c *CachedStore) Read(id PageID, buf []byte) error {
-	data, err := c.pool.Get(id)
-	if err != nil {
-		return err
-	}
-	copy(buf[:c.inner.PageSize()], data)
-	c.pool.Unpin(id)
-	return nil
+	return c.pool.ReadInto(id, buf[:c.inner.PageSize()])
 }
 
-// Write implements Store (write-back).
+// Write implements Store (write-back). Put replaces the frame contents
+// whole, so a write miss costs no fault-in read from the inner store.
 func (c *CachedStore) Write(id PageID, data []byte) error {
-	frame, err := c.pool.Get(id)
-	if err != nil {
-		return err
-	}
-	n := copy(frame, data)
-	for i := n; i < len(frame); i++ {
-		frame[i] = 0
-	}
-	c.pool.MarkDirty(id)
-	c.pool.Unpin(id)
-	return nil
+	return c.pool.Put(id, data)
 }
 
 // KindOf implements Store.

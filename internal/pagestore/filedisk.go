@@ -50,9 +50,13 @@ const walSuffix = ".wal"
 // tail and discards an incomplete one. Checksum damage anywhere surfaces
 // as an error wrapping ErrCorrupt, never a silent wrong answer.
 //
-// Safe for concurrent use.
+// Safe for concurrent use. The free-list head lives under allocMu (taken
+// before mu), so an allocation that must read the next free slot from disk
+// performs that read without holding the main lock — two splitting writers
+// allocate while readers keep streaming.
 type FileDisk struct {
 	mu        sync.Mutex
+	allocMu   sync.Mutex // freeHead hand-over-hand; ordered before mu
 	f         File
 	wal       *WAL
 	pageSize  int
@@ -350,25 +354,50 @@ func (d *FileDisk) stagedOrDisk(id PageID) ([]byte, error) {
 	return d.readSlot(id, d.kinds[id])
 }
 
-// Alloc implements Store.
+// Alloc implements Store. allocMu pins the free-list head for the whole
+// pop, so the next-pointer read — a disk read when the free page is not
+// staged — runs without the main lock: Free cannot move the head
+// underneath us (it takes allocMu too), the slot's image cannot change (a
+// KindFree page rejects Write and re-Free), and Sync cannot be rewriting
+// the slot (a staged image is read from memory instead, and syncLocked
+// clears the staging map only under mu).
 func (d *FileDisk) Alloc(kind Kind) (PageID, error) {
+	if kind == KindFree || kind == KindMeta {
+		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
+	}
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return NilPage, ErrClosed
+	}
+	d.stats.Allocs++
+	id := d.freeHead
+	var staged []byte
+	if id != NilPage {
+		staged = d.dirty[id]
+	}
+	d.mu.Unlock()
+	var next PageID
+	if id != NilPage {
+		page := staged
+		if page == nil {
+			var err error
+			page, err = d.readSlot(id, KindFree)
+			if err != nil {
+				return NilPage, err
+			}
+		}
+		next = PageID(binary.BigEndian.Uint32(page[:4]))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return NilPage, ErrClosed
 	}
-	if kind == KindFree || kind == KindMeta {
-		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
-	}
-	d.stats.Allocs++
-	var id PageID
-	if d.freeHead != NilPage {
-		id = d.freeHead
-		page, err := d.stagedOrDisk(id)
-		if err != nil {
-			return NilPage, err
-		}
-		d.freeHead = PageID(binary.BigEndian.Uint32(page[:4]))
+	if id != NilPage {
+		d.freeHead = next
 	} else {
 		id = PageID(d.pageCount)
 		d.pageCount++
@@ -380,8 +409,11 @@ func (d *FileDisk) Alloc(kind Kind) (PageID, error) {
 	return id, nil
 }
 
-// Free implements Store.
+// Free implements Store. It takes allocMu first, like Alloc, so the
+// free-list head moves under one consistent lock.
 func (d *FileDisk) Free(id PageID) error {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {

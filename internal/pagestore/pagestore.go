@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page. The zero value is NilPage: it never refers to
@@ -142,14 +143,24 @@ type Store interface {
 	Close() error
 }
 
-// MemDisk is an in-memory Store. It is safe for concurrent use.
+// MemDisk is an in-memory Store. It is safe for concurrent use: reads
+// (and logical-read accounting) share a read lock so concurrent searches
+// scale, writes and structural changes take the write lock, and the
+// access counters are atomics so readers never serialize on accounting.
+// The free list lives under its own small mutex, taken before the main
+// lock, so two splitting writers can interleave allocation with ongoing
+// reads.
 type MemDisk struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // pages, kinds, closed
+	allocMu  sync.Mutex   // free list; ordered before mu
 	pageSize int
 	pages    [][]byte
 	kinds    []Kind
 	free     []PageID
-	stats    Stats
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+	allocs   atomic.Uint64
+	frees    atomic.Uint64
 	closed   bool
 }
 
@@ -168,17 +179,21 @@ func NewMemDisk(pageSize int) *MemDisk {
 // PageSize implements Store.
 func (d *MemDisk) PageSize() int { return d.pageSize }
 
-// Alloc implements Store.
+// Alloc implements Store. The free-list pop runs under allocMu so
+// concurrent allocators stay ordered; the page-table mutation takes the
+// main write lock only briefly.
 func (d *MemDisk) Alloc(kind Kind) (PageID, error) {
+	if kind == KindFree || kind == KindMeta {
+		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
+	}
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return NilPage, ErrClosed
 	}
-	if kind == KindFree || kind == KindMeta {
-		return NilPage, fmt.Errorf("pagestore: cannot allocate page of kind %v", kind)
-	}
-	d.stats.Allocs++
+	d.allocs.Add(1)
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
@@ -197,6 +212,8 @@ func (d *MemDisk) Alloc(kind Kind) (PageID, error) {
 
 // Free implements Store.
 func (d *MemDisk) Free(id PageID) error {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -207,14 +224,15 @@ func (d *MemDisk) Free(id PageID) error {
 	}
 	d.kinds[id] = KindFree
 	d.free = append(d.free, id)
-	d.stats.Frees++
+	d.frees.Add(1)
 	return nil
 }
 
-// Read implements Store.
+// Read implements Store. Concurrent reads share the read lock; a read is
+// never torn by a concurrent Write (which takes the write lock).
 func (d *MemDisk) Read(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -225,22 +243,22 @@ func (d *MemDisk) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
 	}
 	copy(buf[:d.pageSize], d.pages[id])
-	d.stats.Reads++
+	d.reads.Add(1)
 	return nil
 }
 
 // AccountRead implements ReadAccounter: it validates the id and counts
 // one logical read without touching page bytes.
 func (d *MemDisk) AccountRead(id PageID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}
 	if err := d.checkLocked(id); err != nil {
 		return err
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	return nil
 }
 
@@ -260,14 +278,14 @@ func (d *MemDisk) Write(id PageID, data []byte) error {
 	p := d.pages[id]
 	copy(p, data)
 	clearBytes(p[len(data):])
-	d.stats.Writes++
+	d.writes.Add(1)
 	return nil
 }
 
 // KindOf implements Store.
 func (d *MemDisk) KindOf(id PageID) (Kind, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.kinds) {
 		return KindFree, ErrOutOfRange
 	}
@@ -276,16 +294,20 @@ func (d *MemDisk) KindOf(id PageID) (Kind, error) {
 
 // Stats implements Store.
 func (d *MemDisk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Reads:  d.reads.Load(),
+		Writes: d.writes.Load(),
+		Allocs: d.allocs.Load(),
+		Frees:  d.frees.Load(),
+	}
 }
 
 // ResetStats implements Store.
 func (d *MemDisk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.allocs.Store(0)
+	d.frees.Store(0)
 }
 
 // Account adds synthetic read/write counts to the statistics without
@@ -295,16 +317,14 @@ func (d *MemDisk) ResetStats() {
 // analysis treats the directory as a disk-resident array; see §3's
 // O(M/(b+1)) insertion cost).
 func (d *MemDisk) Account(reads, writes uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Reads += reads
-	d.stats.Writes += writes
+	d.reads.Add(reads)
+	d.writes.Add(writes)
 }
 
 // Allocated implements Store.
 func (d *MemDisk) Allocated() map[Kind]int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make(map[Kind]int)
 	for _, k := range d.kinds[1:] {
 		if k != KindFree {
@@ -316,6 +336,8 @@ func (d *MemDisk) Allocated() map[Kind]int {
 
 // Close implements Store.
 func (d *MemDisk) Close() error {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.closed = true

@@ -180,6 +180,74 @@ func (p *ShardedPool) Get(id PageID) ([]byte, error) {
 	return f.data, nil
 }
 
+// ReadInto copies the page's bytes into buf, faulting the page in on a
+// miss. Unlike Get, no pin is taken: the copy happens under the shard
+// lock (shared on a hit), which is what makes it consistent against a
+// concurrent Put of the same page.
+func (p *ShardedPool) ReadInto(id PageID, buf []byte) error {
+	s := p.shard(id)
+	s.mu.RLock()
+	if f, ok := s.frames[id]; ok {
+		f.ref.Store(true)
+		copy(buf, f.data)
+		s.mu.RUnlock()
+		p.hits.Add(1)
+		return nil
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		f.ref.Store(true)
+		copy(buf, f.data)
+		p.hits.Add(1)
+		return nil
+	}
+	p.misses.Add(1)
+	f, err := p.claimSlotLocked(s)
+	if err != nil {
+		return err
+	}
+	if err := p.store.Read(id, f.data); err != nil {
+		p.releaseSlotLocked(s, f)
+		return err
+	}
+	p.installLocked(s, f, id)
+	f.pins.Store(0) // unpinned: ReadInto callers never hold the frame
+	copy(buf, f.data)
+	return nil
+}
+
+// Put replaces the page's frame contents with the full-page image in data
+// and marks the frame dirty. The old image is never faulted in from the
+// store — the page is overwritten whole — so a write miss costs one frame
+// claim and one copy. The copy happens under the shard's exclusive lock,
+// so ReadInto and hit-path Get callers never observe a torn image. Put
+// must not race a pinned mutator of the same page (CachedStore's callers
+// serialize page writers externally).
+func (p *ShardedPool) Put(id PageID, data []byte) error {
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok {
+		// Write-around: a full-page overwrite of a non-resident page goes
+		// straight to the store. Faulting a frame in just to overwrite it
+		// buys nothing (the caller keeps its own decoded copy) and, when
+		// the working set exceeds the pool, turns every write into an
+		// eviction. Done under the shard lock so a racing ReadInto of the
+		// same page cannot install the pre-write image after we return.
+		return p.store.Write(id, data)
+	}
+	f.ref.Store(true)
+	n := copy(f.data, data)
+	for i := n; i < len(f.data); i++ {
+		f.data[i] = 0
+	}
+	f.dirty.Store(true)
+	return nil
+}
+
 // NewPage allocates a page in the store and returns its zeroed, pinned
 // frame (no read I/O).
 func (p *ShardedPool) NewPage(kind Kind) (PageID, []byte, error) {
@@ -194,6 +262,7 @@ func (p *ShardedPool) NewPage(kind Kind) (PageID, []byte, error) {
 	if err != nil {
 		return NilPage, nil, err
 	}
+	clear(f.data) // claimed buffers are recycled; NewPage promises zeroes
 	f.dirty.Store(true)
 	p.installLocked(s, f, id)
 	return id, f.data, nil
@@ -202,10 +271,13 @@ func (p *ShardedPool) NewPage(kind Kind) (PageID, []byte, error) {
 // claimSlotLocked finds a free slot in s, evicting if necessary with a
 // CLOCK sweep: pinned frames are skipped, frames with the reference bit
 // set get a second chance, and dirty victims are written back. The caller
-// holds the shard's exclusive lock. The returned frame has a zeroed
-// buffer, one pin, and is not yet in the map (see installLocked).
+// holds the shard's exclusive lock. The returned frame has one pin and is
+// not yet in the map (see installLocked); its buffer is recycled from the
+// victim, so the contents are undefined — every caller overwrites the
+// whole page (fault-in, Put) or zeroes it (NewPage).
 func (p *ShardedPool) claimSlotLocked(s *poolShard) (*cframe, error) {
 	var slot int
+	var buf []byte
 	switch {
 	case s.used < len(s.slots):
 		for s.slots[s.hand] != nil {
@@ -237,12 +309,16 @@ func (p *ShardedPool) claimSlotLocked(s *poolShard) (*cframe, error) {
 			p.writebacks.Add(1)
 		}
 		delete(s.frames, f.id)
+		buf = f.data // recycle the victim's buffer: no per-eviction malloc
 		s.slots[victim] = nil
 		s.used--
 		p.evictions.Add(1)
 		slot = victim
 	}
-	f := &cframe{slot: slot, data: make([]byte, p.store.PageSize())}
+	if buf == nil {
+		buf = make([]byte, p.store.PageSize())
+	}
+	f := &cframe{slot: slot, data: buf}
 	f.pins.Store(1)
 	s.slots[slot] = f
 	s.used++

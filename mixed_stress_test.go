@@ -1,0 +1,203 @@
+package bmeh
+
+// Mixed-workload stress for the latch-crabbing write path: many inserters,
+// dedicated deleters racing them over the same keys, point readers and box
+// scanners, all concurrent on one index over both backends. Run under
+// -race in CI. Correctness here means no detector report, no invariant
+// violation at any Validate, and an exact final membership check: every
+// key the deleters claimed is gone, every other acknowledged insert is
+// retrievable.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMixedWorkloadStress(t *testing.T) {
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			ix := stressIndex(t, backend)
+			defer ix.Close()
+
+			const (
+				writers   = 4
+				deleters  = 2
+				readers   = 3
+				perWriter = 300
+				spacing   = 1 << 20 // disjoint key ranges per writer
+			)
+			for i := 0; i < 100; i++ {
+				if err := ix.Insert(benchKey(uint64(i)), uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg, writerWG sync.WaitGroup
+			errs := make(chan error, writers+deleters+readers+2)
+			stop := make(chan struct{})
+			// Inserted keys stream to the deleters, so deletes race the
+			// splits and merges of later inserts in the same subtree.
+			feed := make(chan uint64, 256)
+
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				writerWG.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					defer writerWG.Done()
+					base := uint64((w + 1) * spacing)
+					for i := 0; i < perWriter; i++ {
+						id := base + uint64(i)
+						if err := ix.Insert(benchKey(id), id); err != nil {
+							errs <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+							return
+						}
+						feed <- id
+					}
+				}(w)
+			}
+
+			// Deleters remove every even key they receive; odd keys must
+			// survive to the end.
+			deleted := make([]map[uint64]bool, deleters)
+			var delWG sync.WaitGroup
+			for d := 0; d < deleters; d++ {
+				deleted[d] = make(map[uint64]bool)
+				wg.Add(1)
+				delWG.Add(1)
+				go func(d int) {
+					defer wg.Done()
+					defer delWG.Done()
+					for id := range feed {
+						if id%2 != 0 {
+							continue
+						}
+						ok, err := ix.Delete(benchKey(id))
+						if err != nil {
+							errs <- fmt.Errorf("deleter %d delete %d: %w", d, id, err)
+							return
+						}
+						if !ok {
+							errs <- fmt.Errorf("deleter %d: acknowledged key %d already missing", d, id)
+							return
+						}
+						deleted[d][id] = true
+					}
+				}(d)
+			}
+
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					i := uint64(r)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						i++
+						id := mix64(i) % 100
+						v, ok, err := ix.Get(benchKey(id))
+						if err != nil {
+							errs <- fmt.Errorf("reader %d get: %w", r, err)
+							return
+						}
+						if !ok || v != id {
+							errs <- fmt.Errorf("reader %d: stable key %d returned ok=%v v=%d", r, id, ok, v)
+							return
+						}
+						if i%256 == 0 {
+							// Full-space scan: the 100 stable preload keys
+							// (values 0..99; churned keys carry values ≥
+							// 2^20) must each be seen exactly once.
+							hi := ix.MaxComponent()
+							seen := 0
+							if err := ix.Range(Key{0, 0}, Key{hi, hi}, func(k Key, v uint64) bool {
+								if v < 100 {
+									seen++
+								}
+								return true
+							}); err != nil {
+								errs <- fmt.Errorf("reader %d range: %w", r, err)
+								return
+							}
+							if seen != 100 {
+								errs <- fmt.Errorf("reader %d: scan saw %d of 100 stable keys", r, seen)
+								return
+							}
+						}
+					}
+				}(r)
+			}
+
+			// Validator and syncer race the writers too.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+						if err := ix.Validate(); err != nil {
+							errs <- fmt.Errorf("validate: %w", err)
+							return
+						}
+						if err := ix.Sync(); err != nil {
+							errs <- fmt.Errorf("sync: %w", err)
+							return
+						}
+					}
+				}
+			}()
+
+			go func() { writerWG.Wait(); close(feed) }()
+			go func() { delWG.Wait(); close(stop) }()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				t.Fatal("stress test wedged")
+			}
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			if err := ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			gone := make(map[uint64]bool)
+			for d := range deleted {
+				for id := range deleted[d] {
+					gone[id] = true
+				}
+			}
+			for w := 0; w < writers; w++ {
+				base := uint64((w + 1) * spacing)
+				for i := 0; i < perWriter; i++ {
+					id := base + uint64(i)
+					v, ok, err := ix.Get(benchKey(id))
+					if err != nil {
+						t.Fatal(err)
+					}
+					switch {
+					case gone[id] && ok:
+						t.Fatalf("deleted key %d resurrected (v=%d)", id, v)
+					case !gone[id] && (!ok || v != id):
+						t.Fatalf("key %d lost (ok=%v v=%d)", id, ok, v)
+					}
+				}
+			}
+			want := 100 + writers*perWriter - len(gone)
+			if got := ix.Len(); got != want {
+				t.Fatalf("Len() = %d after the dust settled, want %d", got, want)
+			}
+		})
+	}
+}
