@@ -196,7 +196,10 @@ type Index struct {
 	store  pagestore.Store
 	cached *pagestore.CachedStore
 	file   *pagestore.FileDisk
-	closed bool
+	// recovered is the number of committed WAL batches replayed when the
+	// index was opened (0 for New/Create and after a clean shutdown).
+	recovered int
+	closed    bool
 	// gc, when non-nil, coalesces Sync calls (group commit). Read without
 	// ix.mu — the leader's commit acquires ix.mu itself.
 	gc atomic.Pointer[pagestore.GroupCommitter]
@@ -342,7 +345,46 @@ func Open(path string, cacheFrames int) (*Index, error) {
 		Width:        ix.prm.Width,
 		CacheFrames:  cacheFrames,
 	}
+	ix.recovered = file.RecoveredCommits()
 	return ix, nil
+}
+
+// Options returns the index's effective configuration: the scheme,
+// geometry and cache settings in force, whether they were given to
+// New/Create or recovered from a file by Open. The returned value is a
+// copy; mutating it does not affect the index.
+func (ix *Index) Options() Options {
+	o := ix.opts
+	o.Scheme = ix.scheme
+	o.Dims = ix.prm.Dims
+	o.PageCapacity = ix.prm.Capacity
+	o.Width = ix.prm.Width
+	o.NodeBits = append([]int(nil), ix.prm.Xi...)
+	return o
+}
+
+// RecoveryInfo describes what crash recovery had to do when a
+// file-backed index was opened.
+type RecoveryInfo struct {
+	// ReplayedCommits is the number of committed write-ahead-log batches
+	// recovery replayed into the file on Open. It is always 0 for an
+	// index built by New or Create.
+	ReplayedCommits int
+}
+
+// CleanShutdown reports whether opening needed no log replay: the
+// previous process committed its final Sync and reset the log before
+// exiting, which is what Close (and bmehserve's graceful drain) leave
+// behind. A positive ReplayedCommits means the store came back from a
+// crash that left a durable-but-unapplied commit in the log — the data
+// is intact either way; this only distinguishes how the process ended.
+func (r RecoveryInfo) CleanShutdown() bool { return r.ReplayedCommits == 0 }
+
+// Recovery reports what opening this index's file required of crash
+// recovery. Meaningful after Open; an index created in-process reports
+// a clean state trivially.
+func (ix *Index) Recovery() RecoveryInfo {
+	return RecoveryInfo{ReplayedCommits: ix.recovered}
 }
 
 // key converts and validates a public key into a fresh vector (callers
@@ -439,6 +481,24 @@ func (ix *Index) Insert(k Key, value uint64) error {
 // stops the batch (concurrent workers finish their in-flight pair): pairs
 // applied before it remain applied and are made durable by the next Sync.
 func (ix *Index) InsertBatch(kvs []KV) (int, error) {
+	return ix.insertBatch(kvs, nil)
+}
+
+// InsertBatchStatus is InsertBatch with per-entry outcomes: dup[i] is
+// true when entry i was skipped because its key was already present.
+// Callers that answer for each pair individually — the network server's
+// write coalescer funnels many clients' PUTs through here — need to know
+// which entries the count excludes, not just how many. On a non-nil
+// error the dup slice only covers entries processed before the failure.
+func (ix *Index) InsertBatchStatus(kvs []KV) (inserted int, dup []bool, err error) {
+	dup = make([]bool, len(kvs))
+	inserted, err = ix.insertBatch(kvs, dup)
+	return inserted, dup, err
+}
+
+// insertBatch is the shared batch path; dup, when non-nil, receives
+// per-entry duplicate flags (its length must be len(kvs)).
+func (ix *Index) insertBatch(kvs []KV, dup []bool) (int, error) {
 	vecs := make([]bitkey.Vector, len(kvs))
 	for i := range kvs {
 		v, err := ix.key(kvs[i].Key)
@@ -448,7 +508,7 @@ func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 		vecs[i] = v
 	}
 	if ix.scheme == SchemeBMEH {
-		return ix.insertBatchParallel(kvs, vecs)
+		return ix.insertBatchParallel(kvs, vecs, dup)
 	}
 	inserted := 0
 	ix.mu.Lock()
@@ -461,7 +521,10 @@ func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 		case err == nil:
 			inserted++
 		case errors.Is(err, ErrDuplicate):
-			// Skipped; reflected in the count only.
+			// Skipped; reflected in the count (and dup flags).
+			if dup != nil {
+				dup[i] = true
+			}
 		default:
 			ix.mu.Unlock()
 			return inserted, fmt.Errorf("bmeh: batch entry %d: %w", i, err)
@@ -476,7 +539,7 @@ func (ix *Index) InsertBatch(kvs []KV) (int, error) {
 // insertBatchParallel fans a batch out over worker goroutines; the core
 // tree's own synchronization keeps concurrent inserts correct, so the
 // whole batch runs under one shared hold of ix.mu.
-func (ix *Index) insertBatchParallel(kvs []KV, vecs []bitkey.Vector) (int, error) {
+func (ix *Index) insertBatchParallel(kvs []KV, vecs []bitkey.Vector, dup []bool) (int, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8
@@ -508,7 +571,11 @@ func (ix *Index) insertBatchParallel(kvs []KV, vecs []bitkey.Vector) (int, error
 				case err == nil:
 					inserted.Add(1)
 				case errors.Is(err, ErrDuplicate):
-					// Skipped; reflected in the count only.
+					// Skipped; reflected in the count (and dup flags —
+					// workers touch disjoint indices, so no races).
+					if dup != nil {
+						dup[i] = true
+					}
 				default:
 					errMu.Lock()
 					if firstErr == nil {

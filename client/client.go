@@ -1,0 +1,525 @@
+// Package client is the Go client for bmehserve, the network daemon in
+// cmd/bmehserve.
+//
+// A Client multiplexes requests over a small pool of TCP connections.
+// Every connection is pipelined: requests are written back to back with
+// distinct IDs and completions are matched by ID as they arrive, in
+// whatever order the server finishes them — so N outstanding calls cost
+// one round trip of latency, not N. The synchronous methods (Get, Put,
+// …) each occupy one in-flight slot; the *Async variants return a Call
+// immediately so one goroutine can keep dozens of requests in flight.
+//
+// Failure semantics: transport-level failures (dial, write, read,
+// timeout, connection torn down mid-flight) are wrapped in *ConnError,
+// and the synchronous methods retry them automatically — but only for
+// idempotent operations (Get, Range, Stats, Sync). A Put, Delete or
+// Batch whose connection died mid-flight returns the *ConnError
+// unretried, because the server may or may not have applied it; the
+// caller owns that ambiguity. Application-level outcomes (key absent,
+// duplicate key, a server-side error message) are never retried.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bmeh"
+	"bmeh/internal/wire"
+)
+
+// Options configures a Client. The zero value is usable.
+type Options struct {
+	// PoolSize is how many connections the client multiplexes over
+	// (default 4).
+	PoolSize int
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request attempt, send to completion
+	// (default 10s). A timeout tears the connection down — pipelined
+	// responses cannot be skipped individually — failing its other
+	// in-flight calls with a retryable *ConnError.
+	RequestTimeout time.Duration
+	// Retries is how many times an idempotent operation is re-sent after
+	// a transport failure (default 2; total attempts = 1 + Retries).
+	Retries int
+	// MaxPayload bounds response payloads (default wire.DefaultMaxPayload).
+	MaxPayload int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = wire.DefaultMaxPayload
+	}
+	return o
+}
+
+// ConnError wraps a transport-level failure. Operations that return one
+// have unknown server-side effect; the client retries them automatically
+// only when they are idempotent.
+type ConnError struct{ Err error }
+
+func (e *ConnError) Error() string { return "client: connection: " + e.Err.Error() }
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// RemoteError is an error message produced by the server for one
+// request (for example a key whose dimensionality the index rejects).
+type RemoteError string
+
+func (e RemoteError) Error() string { return "client: server: " + string(e) }
+
+// ErrClosed is returned by operations on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// Stats is the server's index snapshot (see bmeh.Stats), plus the
+// geometry a caller needs to build keys.
+type Stats struct {
+	Scheme            bmeh.Scheme
+	Dims              int
+	Width             int
+	DirectoryLevels   int
+	Records           uint64
+	Reads, Writes     uint64
+	DirectoryElements uint64
+	DataPages         int
+	DirectoryPages    int
+	LoadFactor        float64
+}
+
+// Client is a pooled, pipelined bmehserve client. Safe for concurrent
+// use.
+type Client struct {
+	addr   string
+	opts   Options
+	slots  []slot
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+type slot struct {
+	mu sync.Mutex
+	cn *netConn
+}
+
+// Dial connects to a bmehserve at addr ("host:port"). The first
+// connection is established eagerly so an unreachable server fails here
+// rather than on the first operation; the rest of the pool dials lazily.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.slots = make([]slot, c.opts.PoolSize)
+	if _, err := c.conn(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down every connection. In-flight calls fail with a
+// *ConnError.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		if s.cn != nil {
+			s.cn.fail(&ConnError{Err: ErrClosed})
+			s.cn = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// conn returns slot i's connection, dialing if absent or broken.
+func (c *Client) conn(i int) (*netConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := &c.slots[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cn != nil && !s.cn.broken() {
+		return s.cn, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, &ConnError{Err: err}
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	s.cn = newNetConn(nc, c.opts.MaxPayload)
+	return s.cn, nil
+}
+
+// pick returns a connection, round-robin over the pool.
+func (c *Client) pick() (*netConn, error) {
+	i := int(c.next.Add(1)) % len(c.slots)
+	return c.conn(i)
+}
+
+// roundTrip sends one request and waits for its completion, retrying
+// transport failures when the operation is idempotent.
+func (c *Client) roundTrip(op wire.Op, payload []byte, idempotent bool) (*Call, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.opts.Retries
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		cn, err := c.pick()
+		if err == nil {
+			call := cn.send(op, payload, c.opts.RequestTimeout)
+			<-call.done
+			if call.Err == nil {
+				return call, nil
+			}
+			err = call.Err
+		}
+		lastErr = err
+		var ce *ConnError
+		if !errors.As(err, &ce) {
+			return nil, err // application-level: never retried
+		}
+		if c.closed.Load() {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Get returns the value stored under key on the server, and whether the
+// key was present. Idempotent: retried on transport failure.
+func (c *Client) Get(key bmeh.Key) (uint64, bool, error) {
+	call, err := c.roundTrip(wire.OpGet, wire.AppendGetReq(nil, key), true)
+	if err != nil {
+		return 0, false, err
+	}
+	return call.Value, call.Found, nil
+}
+
+// Put stores value under key. It returns bmeh.ErrDuplicate when the key
+// is already present. Not idempotent: a transport failure mid-flight is
+// returned as a *ConnError without retrying (the server may have applied
+// the write).
+func (c *Client) Put(key bmeh.Key, value uint64) error {
+	_, err := c.roundTrip(wire.OpPut, wire.AppendPutReq(nil, key, value), false)
+	return err
+}
+
+// Delete removes key, reporting whether it was present. Not retried: a
+// replayed delete would misreport an already-removed key as absent.
+func (c *Client) Delete(key bmeh.Key) (bool, error) {
+	call, err := c.roundTrip(wire.OpDel, wire.AppendGetReq(nil, key), false)
+	if err != nil {
+		return false, err
+	}
+	return call.Found, nil
+}
+
+// Range returns up to limit records in the axis-aligned box [lo, hi]
+// (limit ≤ 0 accepts the server's cap). The second result is true when
+// the server stopped early and more records exist in the box.
+// Idempotent: retried on transport failure.
+func (c *Client) Range(lo, hi bmeh.Key, limit int) ([]bmeh.KV, bool, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	call, err := c.roundTrip(wire.OpRange, wire.AppendRangeReq(nil, lo, hi, uint32(limit)), true)
+	if err != nil {
+		return nil, false, err
+	}
+	return call.KVs, call.More, nil
+}
+
+// Batch inserts the given pairs in one request, returning how many were
+// inserted (the remainder were duplicates). Not idempotent, not retried.
+func (c *Client) Batch(kvs []bmeh.KV) (int, error) {
+	enc := make([]wire.KV, len(kvs))
+	for i, kv := range kvs {
+		enc[i] = wire.KV{Key: kv.Key, Value: kv.Value}
+	}
+	call, err := c.roundTrip(wire.OpBatch, wire.AppendBatchReq(nil, enc), false)
+	if err != nil {
+		return 0, err
+	}
+	return call.Inserted, nil
+}
+
+// Sync asks the server to commit everything it has acknowledged.
+// Idempotent: retried on transport failure.
+func (c *Client) Sync() error {
+	_, err := c.roundTrip(wire.OpSync, nil, true)
+	return err
+}
+
+// Stats returns the server's index statistics. Idempotent.
+func (c *Client) Stats() (Stats, error) {
+	call, err := c.roundTrip(wire.OpStats, nil, true)
+	if err != nil {
+		return Stats{}, err
+	}
+	return call.Stats, nil
+}
+
+// GetAsync issues a pipelined GET and returns immediately; read the
+// result from the Call after Done. Async calls are not retried.
+func (c *Client) GetAsync(key bmeh.Key) *Call {
+	return c.async(wire.OpGet, wire.AppendGetReq(nil, key))
+}
+
+// PutAsync issues a pipelined PUT and returns immediately. Like Put it
+// is not retried; completion carries nil, bmeh.ErrDuplicate, or an
+// error.
+func (c *Client) PutAsync(key bmeh.Key, value uint64) *Call {
+	return c.async(wire.OpPut, wire.AppendPutReq(nil, key, value))
+}
+
+func (c *Client) async(op wire.Op, payload []byte) *Call {
+	cn, err := c.pick()
+	if err != nil {
+		call := &Call{op: op, done: make(chan struct{})}
+		call.Err = err
+		close(call.done)
+		return call
+	}
+	return cn.send(op, payload, c.opts.RequestTimeout)
+}
+
+// Call is one in-flight (or completed) pipelined request. Its result
+// fields are valid only after Done is closed / Wait returns.
+type Call struct {
+	// Err is the call's failure: nil, bmeh.ErrDuplicate, a RemoteError,
+	// or a *ConnError.
+	Err error
+	// Value and Found hold a GET result.
+	Value uint64
+	Found bool
+	// KVs and More hold a RANGE result.
+	KVs  []bmeh.KV
+	More bool
+	// Inserted holds a BATCH result.
+	Inserted int
+	// Stats holds a STATS result.
+	Stats Stats
+
+	op    wire.Op
+	done  chan struct{}
+	timer *time.Timer
+}
+
+// Done is closed when the call completes.
+func (ca *Call) Done() <-chan struct{} { return ca.done }
+
+// Wait blocks until the call completes and returns its error.
+func (ca *Call) Wait() error {
+	<-ca.done
+	return ca.Err
+}
+
+// netConn is one pipelined connection.
+type netConn struct {
+	nc  net.Conn
+	max int
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]*Call
+	err     error // sticky transport failure; guarded by pmu
+	idSeq   uint64
+}
+
+func newNetConn(nc net.Conn, maxPayload int) *netConn {
+	cn := &netConn{
+		nc:      nc,
+		max:     maxPayload,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]*Call),
+	}
+	go cn.readLoop()
+	return cn
+}
+
+func (cn *netConn) broken() bool {
+	cn.pmu.Lock()
+	defer cn.pmu.Unlock()
+	return cn.err != nil
+}
+
+// fail marks the connection dead and completes every pending call with
+// err. Idempotent; the first failure wins.
+func (cn *netConn) fail(err error) {
+	cn.pmu.Lock()
+	if cn.err != nil {
+		cn.pmu.Unlock()
+		return
+	}
+	cn.err = err
+	calls := cn.pending
+	cn.pending = nil
+	cn.pmu.Unlock()
+	cn.nc.Close()
+	for _, call := range calls {
+		call.finish(err)
+	}
+}
+
+func (ca *Call) finish(err error) {
+	if ca.timer != nil {
+		ca.timer.Stop()
+	}
+	ca.Err = err
+	close(ca.done)
+}
+
+// send registers a call, writes its frame, and returns it. The call is
+// already completed (with the sticky error) when the connection has
+// failed.
+func (cn *netConn) send(op wire.Op, payload []byte, timeout time.Duration) *Call {
+	call := &Call{op: op, done: make(chan struct{})}
+	cn.pmu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.pmu.Unlock()
+		call.Err = err
+		close(call.done)
+		return call
+	}
+	cn.idSeq++
+	id := cn.idSeq
+	cn.pending[id] = call
+	if timeout > 0 {
+		// A pipelined response cannot be abandoned individually, so a
+		// timeout declares the whole connection dead; its other calls
+		// fail retryably and the pool redials.
+		call.timer = time.AfterFunc(timeout, func() {
+			cn.fail(&ConnError{Err: fmt.Errorf("request timeout after %v", timeout)})
+		})
+	}
+	cn.pmu.Unlock()
+
+	cn.wmu.Lock()
+	buf := wire.AppendFrame(nil, wire.Frame{Op: op, ID: id, Payload: payload})
+	_, err := cn.bw.Write(buf)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.fail(&ConnError{Err: err})
+	}
+	return call
+}
+
+func (cn *netConn) readLoop() {
+	r := wire.NewReader(bufio.NewReaderSize(cn.nc, 64<<10), cn.max)
+	for {
+		fr, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			cn.fail(&ConnError{Err: err})
+			return
+		}
+		cn.pmu.Lock()
+		call := cn.pending[fr.ID]
+		delete(cn.pending, fr.ID)
+		cn.pmu.Unlock()
+		if call == nil {
+			// A completion we no longer track (late response after the
+			// conn was failed); nothing to deliver to.
+			continue
+		}
+		if fr.Op != call.op.Response() {
+			cn.fail(&ConnError{Err: fmt.Errorf("response opcode %v for request %v", fr.Op, call.op)})
+			return
+		}
+		call.finish(call.decode(fr.Payload))
+	}
+}
+
+// decode parses a response payload into the call's result fields; the
+// returned error becomes the call's Err. The payload aliases the read
+// buffer, so everything retained is copied here.
+func (ca *Call) decode(payload []byte) error {
+	st, body, err := wire.DecodeStatus(payload)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case wire.StatusNotFound:
+		ca.Found = false
+		return nil
+	case wire.StatusDuplicate:
+		return bmeh.ErrDuplicate
+	case wire.StatusErr:
+		return RemoteError(string(body))
+	case wire.StatusOK:
+	default:
+		return fmt.Errorf("client: unknown response status %d", st)
+	}
+	switch ca.op {
+	case wire.OpGet:
+		v, err := wire.DecodeGetRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Value, ca.Found = v, true
+	case wire.OpDel:
+		ca.Found = true
+	case wire.OpRange:
+		kvs, more, err := wire.DecodeRangeRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.KVs = make([]bmeh.KV, len(kvs))
+		for i, kv := range kvs {
+			ca.KVs[i] = bmeh.KV{Key: bmeh.Key(kv.Key), Value: kv.Value}
+		}
+		ca.More = more
+	case wire.OpBatch:
+		n, err := wire.DecodeBatchRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Inserted = int(n)
+	case wire.OpStats:
+		s, err := wire.DecodeStatsRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Stats = Stats{
+			Scheme:            bmeh.Scheme(s.Scheme),
+			Dims:              int(s.Dims),
+			Width:             int(s.Width),
+			DirectoryLevels:   int(s.DirectoryLevels),
+			Records:           s.Records,
+			Reads:             s.Reads,
+			Writes:            s.Writes,
+			DirectoryElements: s.DirectoryElements,
+			DataPages:         int(s.DataPages),
+			DirectoryPages:    int(s.DirectoryPages),
+			LoadFactor:        s.LoadFactor,
+		}
+	}
+	return nil
+}

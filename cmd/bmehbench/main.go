@@ -33,8 +33,9 @@ func main() {
 		noise     = flag.Bool("noise", false, "run the §3 degeneration experiment (noise-burst keys)")
 		cache     = flag.Bool("cache", false, "run the buffer-pool (physical I/O) ablation")
 		conc      = flag.Bool("concurrent", false, "run the parallel get/insert/mixed sweep (1/4/16 goroutines)")
-		jsonPath  = flag.String("json", "", "with -concurrent: also write the sweep report to this JSON file")
-		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent: measurement window per configuration")
+		netBench  = flag.Bool("net", false, "run the loopback network serving benchmark (16 pipelined clients)")
+		jsonPath  = flag.String("json", "", "with -concurrent/-net: also write the report to this JSON file")
+		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
 		all       = flag.Bool("all", false, "run every table, figure and extra experiment")
 		n         = flag.Int("n", 40000, "keys to insert per run (paper: 40000)")
@@ -120,6 +121,20 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runNet := func() {
+		ran = true
+		nn := *n
+		if nn > 20000 {
+			nn = 20000 // preload working set; larger N only lengthens setup
+		}
+		rep, err := runNet(os.Stdout, nn, *window, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeNetJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -167,6 +182,9 @@ func main() {
 		}
 		if *conc {
 			runConc()
+		}
+		if *netBench {
+			runNet()
 		}
 	}
 	if !ran {

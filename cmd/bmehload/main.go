@@ -19,12 +19,15 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bmeh"
@@ -114,11 +117,17 @@ func (cs *colSpecs) Set(s string) error {
 	return nil
 }
 
+// errStopped reports a load cut short by a stop request. The rows
+// batched so far are flushed before loadCSV returns it, so the index is
+// consistent — just partial.
+var errStopped = errors.New("load interrupted")
+
 // loadCSV streams rows from r into ix in batches of batchSize (1 falls
 // back to per-row Insert); returns rows indexed, duplicates skipped and
 // malformed rows skipped. Batches go through InsertBatch: one write lock
-// and one group-committed Sync per batch instead of per row.
-func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize int, errw io.Writer) (loaded, dups, bad int, err error) {
+// and one group-committed Sync per batch instead of per row. If stop is
+// closed mid-load the current batch is flushed and errStopped returned.
+func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize int, errw io.Writer, stop <-chan struct{}) (loaded, dups, bad int, err error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -137,6 +146,14 @@ func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize
 		return err
 	}
 	for {
+		select {
+		case <-stop:
+			if err := flush(); err != nil {
+				return loaded, dups, bad, err
+			}
+			return loaded, dups, bad, errStopped
+		default:
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return loaded, dups, bad, flush()
@@ -211,9 +228,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// SIGINT/SIGTERM stop the load at the next batch boundary; the batch
+	// in hand is flushed and the index closed cleanly, so the partial
+	// file opens without WAL replay.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "bmehload: %v: flushing and closing %s\n", s, *out)
+		close(stop)
+		signal.Stop(sigc) // a second signal kills us the default way
+	}()
 	start := time.Now()
-	loaded, dups, bad, err := loadCSV(ix, in, cols, *header, *batchN, os.Stderr)
-	if err != nil {
+	loaded, dups, bad, err := loadCSV(ix, in, cols, *header, *batchN, os.Stderr, stop)
+	stopped := errors.Is(err, errStopped)
+	if err != nil && !stopped {
 		ix.Close()
 		fail(err)
 	}
@@ -221,8 +251,15 @@ func main() {
 		fail(err)
 	}
 	st, _ := os.Stat(*out)
-	fmt.Printf("indexed %d rows (%d duplicates, %d malformed) in %v → %s (%d KiB)\n",
-		loaded, dups, bad, time.Since(start).Round(time.Millisecond), *out, st.Size()/1024)
+	note := ""
+	if stopped {
+		note = " [interrupted: partial load]"
+	}
+	fmt.Printf("indexed %d rows (%d duplicates, %d malformed) in %v → %s (%d KiB)%s\n",
+		loaded, dups, bad, time.Since(start).Round(time.Millisecond), *out, st.Size()/1024, note)
+	if stopped {
+		os.Exit(130)
+	}
 }
 
 func fail(err error) {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"bmeh"
@@ -77,7 +81,7 @@ short-row
 		{kind: "f64", index: 2, lo: -90, hi: 90},
 	}
 	var errlog bytes.Buffer
-	loaded, dups, bad, err := loadCSV(ix, strings.NewReader(csvData), cols, true, 3, &errlog)
+	loaded, dups, bad, err := loadCSV(ix, strings.NewReader(csvData), cols, true, 3, &errlog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,4 +109,86 @@ short-row
 	if len(rows) != 2 || !rows[1] || !rows[2] {
 		t.Fatalf("Europe box rows = %v, want {1,2}", rows)
 	}
+}
+
+// TestLoadCSVStop: a stop request mid-load flushes the batch in hand,
+// reports errStopped, and leaves a file that reopens with a clean
+// shutdown (no WAL replay) holding exactly the flushed rows.
+func TestLoadCSVStop(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a,b\n")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i%97)
+	}
+	path := filepath.Join(t.TempDir(), "stop.bmeh")
+	ix, err := bmeh.Create(path, bmeh.Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []colSpec{{kind: "u32", index: 0}, {kind: "u32", index: 1}}
+	stop := make(chan struct{})
+	close(stop) // fires on the very first row boundary
+	var errlog bytes.Buffer
+	loaded, _, _, err := loadCSV(ix, strings.NewReader(sb.String()), cols, true, 64, &errlog, stop)
+	if !errors.Is(err, errStopped) {
+		t.Fatalf("stopped load error = %v, want errStopped", err)
+	}
+	if loaded != 0 {
+		t.Fatalf("loaded %d rows after immediate stop, want 0", loaded)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stop after some batches keeps what was flushed.
+	path2 := filepath.Join(t.TempDir(), "stop2.bmeh")
+	ix2, err := bmeh.Create(path2, bmeh.Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop2 := make(chan struct{})
+	var once sync.Once
+	// stoppingReader closes stop2 partway through the input stream.
+	r := io.Reader(&stoppingReader{r: strings.NewReader(sb.String()), after: 2000, fire: func() { once.Do(func() { close(stop2) }) }})
+	loaded2, _, _, err := loadCSV(ix2, r, cols, true, 64, &errlog, stop2)
+	if !errors.Is(err, errStopped) {
+		t.Fatalf("stopped load error = %v, want errStopped", err)
+	}
+	if loaded2 == 0 || loaded2 >= 1000 {
+		t.Fatalf("partial load kept %d rows, want 0 < n < 1000", loaded2)
+	}
+	if err := ix2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := bmeh.Open(path2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Recovery().CleanShutdown() {
+		t.Fatalf("interrupted load left a dirty WAL: %+v", re.Recovery())
+	}
+	if got := re.Len(); got != loaded2 {
+		t.Fatalf("reopened index has %d records, loader reported %d", got, loaded2)
+	}
+}
+
+// stoppingReader calls fire once `after` bytes have been read through it.
+type stoppingReader struct {
+	r     io.Reader
+	after int
+	read  int
+	fire  func()
+}
+
+func (s *stoppingReader) Read(p []byte) (int, error) {
+	if len(p) > 512 {
+		p = p[:512] // small reads so fire lands mid-stream
+	}
+	n, err := s.r.Read(p)
+	s.read += n
+	if s.read >= s.after {
+		s.fire()
+	}
+	return n, err
 }

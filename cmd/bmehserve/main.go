@@ -1,0 +1,158 @@
+// Command bmehserve exposes a BMEH-tree index over the binary wire
+// protocol (package bmeh/internal/wire). It serves either a file-backed
+// index (-index, crash-consistent via the write-ahead log) or an
+// in-memory one (-mem, for benchmarking and tests).
+//
+// SIGINT or SIGTERM starts a graceful drain: the listener closes, every
+// request already received is answered, the coalescer flushes, and the
+// index Syncs — so the next open replays nothing from the WAL and
+// reports a clean shutdown. A second signal aborts the drain.
+//
+// Usage:
+//
+//	bmehserve -index cities.bmeh -addr :7707
+//	bmehserve -mem -dims 3 -addr 127.0.0.1:0
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bmeh"
+	"bmeh/internal/server"
+)
+
+// serveConfig carries everything main parses from flags, so runServer is
+// testable without a process boundary.
+type serveConfig struct {
+	addr         string
+	indexPath    string // file-backed store; "" means in-memory
+	create       bool   // create indexPath if absent
+	mem          bool
+	dims         int // new indexes only
+	capacity     int // new indexes only
+	cache        int
+	syncInterval time.Duration
+	syncBatch    int
+	coalesceMax  int
+	coalesceWait time.Duration
+	drainTimeout time.Duration
+}
+
+// runServer opens/creates the index, serves cfg.addr until a value
+// arrives on sig, then drains and closes. ready (optional) is called
+// with the bound address once the listener is up — tests use it to learn
+// the port and to coordinate shutdown.
+func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw io.Writer) error {
+	opts := bmeh.Options{
+		Dims:         cfg.dims,
+		PageCapacity: cfg.capacity,
+		CacheFrames:  cfg.cache,
+		SyncPolicy:   bmeh.SyncPolicy{Interval: cfg.syncInterval, MaxBatch: cfg.syncBatch},
+	}
+	var (
+		ix  *bmeh.Index
+		err error
+	)
+	switch {
+	case cfg.mem:
+		ix, err = bmeh.New(opts)
+	case cfg.indexPath == "":
+		return errors.New("either -index or -mem is required")
+	default:
+		ix, err = bmeh.Open(cfg.indexPath, cfg.cache)
+		if cfg.create && errors.Is(err, os.ErrNotExist) {
+			ix, err = bmeh.Create(cfg.indexPath, opts)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	ix.SetSyncPolicy(opts.SyncPolicy)
+	defer ix.Close()
+	if !cfg.mem {
+		rec := ix.Recovery()
+		if rec.CleanShutdown() {
+			fmt.Fprintf(logw, "bmehserve: %s: clean shutdown, no WAL replay\n", cfg.indexPath)
+		} else {
+			fmt.Fprintf(logw, "bmehserve: %s: recovered %d WAL commit(s)\n", cfg.indexPath, rec.ReplayedCommits)
+		}
+	}
+
+	srv := server.New(ix, server.Config{
+		CoalesceMax:  cfg.coalesceMax,
+		CoalesceWait: cfg.coalesceWait,
+		Logf:         func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
+	})
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "bmehserve: serving %d record(s), %d dim(s) on %s\n", ix.Len(), ix.Options().Dims, ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(logw, "bmehserve: %v: draining (timeout %v)\n", s, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		go func() {
+			if s, ok := <-sig; ok {
+				fmt.Fprintf(logw, "bmehserve: %v: aborting drain\n", s)
+				cancel()
+			}
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			<-serveErr
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintf(logw, "bmehserve: drained cleanly\n")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func main() {
+	var cfg serveConfig
+	flag.StringVar(&cfg.addr, "addr", ":7707", "listen address")
+	flag.StringVar(&cfg.indexPath, "index", "", "file-backed index to serve")
+	flag.BoolVar(&cfg.create, "create", false, "create -index if it does not exist")
+	flag.BoolVar(&cfg.mem, "mem", false, "serve a fresh in-memory index instead of a file")
+	flag.IntVar(&cfg.dims, "dims", 2, "key dimensions (new indexes only)")
+	flag.IntVar(&cfg.capacity, "b", 32, "data page capacity (new indexes only)")
+	flag.IntVar(&cfg.cache, "cache", 4096, "page cache frames")
+	flag.DurationVar(&cfg.syncInterval, "sync-interval", 200*time.Microsecond, "group-commit window (0 = commit-in-flight coalescing only)")
+	flag.IntVar(&cfg.syncBatch, "sync-batch", 64, "group-commit max batch (0 = unbounded)")
+	flag.IntVar(&cfg.coalesceMax, "coalesce-max", 0, "max PUTs folded into one InsertBatch (0 = server default)")
+	flag.DurationVar(&cfg.coalesceWait, "coalesce-wait", 0, "how long to hold a non-full PUT batch open (0 = don't wait)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := runServer(cfg, sig, nil, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bmehserve:", err)
+		os.Exit(1)
+	}
+}

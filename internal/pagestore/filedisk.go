@@ -67,6 +67,7 @@ type FileDisk struct {
 	meta      []byte            // client meta record (staged + cached)
 	metaDirty bool
 	stats     Stats
+	recovered int // committed WAL batches replayed when the store was opened
 	closed    bool
 	// gc, when non-nil, coalesces Sync calls (group commit). Stored
 	// atomically so Sync can consult it without taking mu.
@@ -168,6 +169,7 @@ func OpenFileDiskFiles(main, walFile File) (*FileDisk, error) {
 		return nil, err
 	}
 	var wal *WAL
+	recovered := 0
 	if walSize >= walHeaderSize {
 		wal, err = OpenWAL(walFile, 0)
 		if err != nil {
@@ -182,6 +184,7 @@ func OpenFileDiskFiles(main, walFile File) (*FileDisk, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pagestore: WAL replay: %w", err)
 		}
+		recovered = batches
 		if batches > 0 {
 			if err := main.Sync(); err != nil {
 				return nil, err
@@ -221,6 +224,7 @@ func OpenFileDiskFiles(main, walFile File) (*FileDisk, error) {
 		pageCount: binary.BigEndian.Uint32(hdr[16:20]),
 		freeHead:  PageID(binary.BigEndian.Uint32(hdr[20:24])),
 		dirty:     make(map[PageID][]byte),
+		recovered: recovered,
 	}
 	metaPage, err := d.readSlot(0, KindMeta)
 	if err != nil {
@@ -565,6 +569,13 @@ func (d *FileDisk) CheckPages() (pages, free int, problems []error) {
 	}
 	return pages, free, problems
 }
+
+// RecoveredCommits reports how many committed write-ahead-log batches
+// open-time recovery replayed into the file. Zero means the previous
+// process committed and reset its log before exiting — a clean shutdown;
+// a positive count means the store came back from a crash that left a
+// durable-but-unapplied commit in the log.
+func (d *FileDisk) RecoveredCommits() int { return d.recovered }
 
 // Dirty returns the number of staged pages awaiting Sync (observability
 // aid; large batches cost memory until committed).

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"time"
+
+	"bmeh"
+)
+
+// newBufReader sizes the per-connection read buffer: large enough that a
+// pipelined burst of small frames decodes from one syscall.
+func newBufReader(r io.Reader) io.Reader { return bufio.NewReaderSize(r, 64<<10) }
+
+// putReq is one PUT awaiting the shared commit; done is called exactly
+// once with nil, bmeh.ErrDuplicate, or the batch's failure.
+type putReq struct {
+	kv   bmeh.KV
+	done func(error)
+}
+
+// coalescer funnels PUTs from every connection into InsertBatchStatus
+// calls. Each batch ends in one Sync, which the index's group committer
+// (bmeh.SyncPolicy) further coalesces with concurrent BATCH and SYNC
+// commits — so a thousand clients each writing one record cost a handful
+// of fsyncs, not a thousand.
+//
+// Batches form naturally: while one InsertBatchStatus call runs (its
+// Sync dominates on a file-backed store), newly arriving PUTs queue on
+// the channel; the next round drains them all at once. A non-zero wait
+// additionally holds a non-full batch open, trading latency for batch
+// size on stores where commits are too fast to pile requests up.
+type coalescer struct {
+	ix   *bmeh.Index
+	ch   chan putReq
+	max  int
+	wait time.Duration
+	done chan struct{}
+}
+
+func newCoalescer(ix *bmeh.Index, max int, wait time.Duration) *coalescer {
+	co := &coalescer{
+		ix:   ix,
+		ch:   make(chan putReq, 4*max),
+		max:  max,
+		wait: wait,
+		done: make(chan struct{}),
+	}
+	go co.run()
+	return co
+}
+
+// enqueue hands a PUT to the coalescer; the request's done callback
+// fires when its batch commits. Callers must not enqueue after close
+// (the server stops reading requests before closing the coalescer).
+func (co *coalescer) enqueue(r putReq) { co.ch <- r }
+
+// close flushes the queue's tail and stops the loop.
+func (co *coalescer) close() {
+	close(co.ch)
+	<-co.done
+}
+
+func (co *coalescer) run() {
+	defer close(co.done)
+	batch := make([]putReq, 0, co.max)
+	kvs := make([]bmeh.KV, 0, co.max)
+	for {
+		r, ok := <-co.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+		batch, ok = co.gather(batch)
+		co.flush(batch, kvs)
+		if !ok {
+			return
+		}
+	}
+}
+
+// gather drains queued PUTs into batch (up to max), optionally holding
+// the batch open for co.wait. The second result is false once the
+// channel has closed.
+func (co *coalescer) gather(batch []putReq) ([]putReq, bool) {
+	var timeout <-chan time.Time
+	if co.wait > 0 {
+		t := time.NewTimer(co.wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for len(batch) < co.max {
+		select {
+		case r, ok := <-co.ch:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, r)
+		case <-timeout:
+			return batch, true
+		default:
+			if timeout == nil {
+				return batch, true
+			}
+			// Blocking wait: either more work or the window closing.
+			select {
+			case r, ok := <-co.ch:
+				if !ok {
+					return batch, false
+				}
+				batch = append(batch, r)
+			case <-timeout:
+				return batch, true
+			}
+		}
+	}
+	return batch, true
+}
+
+// flush commits one batch and answers every request in it.
+func (co *coalescer) flush(batch []putReq, kvs []bmeh.KV) {
+	kvs = kvs[:0]
+	for _, r := range batch {
+		kvs = append(kvs, r.kv)
+	}
+	_, dup, err := co.ix.InsertBatchStatus(kvs)
+	for i, r := range batch {
+		switch {
+		case err != nil:
+			// The batch failed mid-way; which entries landed is not
+			// knowable per key, so every caller learns the failure (PUT
+			// is not retried automatically — it is not idempotent).
+			r.done(err)
+		case dup[i]:
+			r.done(bmeh.ErrDuplicate)
+		default:
+			r.done(nil)
+		}
+	}
+}

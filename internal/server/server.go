@@ -1,0 +1,473 @@
+// Package server serves a bmeh.Index over TCP using the wire protocol.
+//
+// Each accepted connection gets one reader goroutine (decode, dispatch)
+// and one writer goroutine (encode, flush); responses travel through a
+// per-connection channel, carry the request's ID, and may complete out
+// of order, so clients can pipeline. Cheap read-side operations (GET,
+// DEL, RANGE, STATS) are answered inline by the reader — they ride the
+// index's latch-free lookup path and keep its zero-allocation descent
+// hot. Operations that end in a commit (PUT, BATCH, SYNC) are completed
+// asynchronously: PUTs from every connection funnel into one write
+// coalescer (see coalesce.go) so the WAL group committer amortizes
+// fsyncs across clients, and their responses are sent when the shared
+// batch commits.
+//
+// Ordering model: an acknowledged write is visible to every request the
+// server decodes after the acknowledgment was sent. Within one
+// connection's pipeline there is no cross-operation ordering beyond
+// that — a GET pipelined behind a still-unacknowledged PUT may be
+// answered from the pre-PUT state, because lookups run inline while the
+// PUT waits for its shared commit. Clients needing read-your-write wait
+// for the PUT's completion before issuing the read (the synchronous
+// client API does this by construction).
+//
+// Shutdown drains gracefully: the listener closes, every connection
+// stops reading but finishes and flushes its in-flight responses, the
+// coalescer commits its tail, and the index is Synced — so a subsequent
+// open finds a clean shutdown (bmeh.RecoveryInfo.CleanShutdown).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bmeh"
+	"bmeh/internal/wire"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// MaxPayload bounds the payload size accepted from clients
+	// (default wire.DefaultMaxPayload).
+	MaxPayload int
+	// CoalesceMax is the most PUTs folded into one InsertBatchStatus
+	// call (default 512).
+	CoalesceMax int
+	// CoalesceWait is how long the coalescer holds a non-full batch open
+	// for more PUTs to arrive. The default 0 adds no latency: batches
+	// form naturally from whatever queued while the previous commit ran.
+	CoalesceWait time.Duration
+	// RangeLimit caps the entries in one RANGE response (default 4096).
+	// Clients may ask for less; a truncated response sets its
+	// continuation flag.
+	RangeLimit int
+	// WriteTimeout bounds one physical write to a client (default 30s).
+	// A connection that cannot accept bytes for this long is dropped so
+	// a stalled client cannot pin the drain path or the coalescer.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.CoalesceMax <= 0 {
+		c.CoalesceMax = 512
+	}
+	if c.RangeLimit <= 0 {
+		c.RangeLimit = 4096
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves one Index over one listener.
+type Server struct {
+	ix  *bmeh.Index
+	cfg Config
+	co  *coalescer
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	wg       sync.WaitGroup // live connection handlers
+}
+
+// New returns an unstarted Server for ix.
+func New(ix *bmeh.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		ix:    ix,
+		cfg:   cfg,
+		co:    newCoalescer(ix, cfg.CoalesceMax, cfg.CoalesceWait),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Addr returns the listener's address once Serve has been called (nil
+// before).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port") and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after a graceful Shutdown the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &conn{
+			srv:        s,
+			nc:         nc,
+			out:        make(chan []byte, 128),
+			writerDone: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// Shutdown drains the server: stop accepting, let every in-flight
+// request complete and flush, commit the coalescer's tail, then Sync the
+// index so its WAL is clean. Connections that cannot drain before ctx
+// expires are closed forcibly (their unsent responses are dropped, the
+// staged data still commits). Shutdown does not close the index; the
+// caller owns that.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil && !already {
+		ln.Close()
+	}
+	// Unblock every reader: all future reads fail immediately, requests
+	// already decoded (or buffered) still run and answer.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// All producers are gone; commit whatever the coalescer still holds,
+	// then leave the WAL reset so the next open sees a clean shutdown.
+	s.co.close()
+	if err := s.ix.Sync(); err != nil {
+		return err
+	}
+	return forced
+}
+
+// conn is one client connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	// out carries encoded response frames to the writer goroutine. The
+	// writer drains it until it is closed — even after a write error —
+	// so completion callbacks can never block forever.
+	out        chan []byte
+	writerDone chan struct{}
+	// pending counts requests whose response is not yet queued on out
+	// (asynchronously completed PUT/BATCH/SYNC).
+	pending sync.WaitGroup
+}
+
+// bufPool recycles frame encode buffers across connections.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func (c *conn) run() {
+	defer c.srv.wg.Done()
+	go c.writeLoop()
+	c.readLoop()
+	// Wait for every in-flight asynchronous response to be queued, then
+	// let the writer flush the channel and exit.
+	c.pending.Wait()
+	close(c.out)
+	<-c.writerDone
+	c.nc.Close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+func (c *conn) readLoop() {
+	r := wire.NewReader(newBufReader(c.nc), c.srv.cfg.MaxPayload)
+	for {
+		fr, err := r.Next()
+		if err != nil {
+			if err != io.EOF && !isExpectedNetErr(err, c.srv) {
+				c.srv.cfg.Logf("server: %v: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		if !fr.Op.IsRequest() {
+			c.srv.cfg.Logf("server: %v: unexpected opcode %v", c.nc.RemoteAddr(), fr.Op)
+			return
+		}
+		c.dispatch(fr)
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	var err error
+	for buf := range c.out {
+		if err == nil {
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+			if _, err = c.nc.Write(buf); err != nil {
+				// Keep draining so queued completions never block; the
+				// connection is torn down by run().
+				c.nc.Close()
+			}
+		}
+		b := buf[:0]
+		bufPool.Put(&b)
+	}
+}
+
+// send encodes a response frame and queues it for the writer.
+func (c *conn) send(op wire.Op, id uint64, payload []byte) {
+	bp := bufPool.Get().(*[]byte)
+	buf := wire.AppendFrame((*bp)[:0], wire.Frame{Op: op.Response(), ID: id, Payload: payload})
+	c.out <- buf
+}
+
+// sendStatus queues a bare status (or error-message) response.
+func (c *conn) sendStatus(op wire.Op, id uint64, st wire.Status, msg string) {
+	c.send(op, id, wire.AppendStatus(nil, st, msg))
+}
+
+// errStatus maps an index error to a wire status.
+func errStatus(err error) (wire.Status, string) {
+	switch {
+	case err == nil:
+		return wire.StatusOK, ""
+	case errors.Is(err, bmeh.ErrDuplicate):
+		return wire.StatusDuplicate, ""
+	default:
+		return wire.StatusErr, err.Error()
+	}
+}
+
+func (c *conn) dispatch(fr wire.Frame) {
+	switch fr.Op {
+	case wire.OpGet:
+		key, err := wire.DecodeGetReq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		v, ok, err := c.srv.ix.Get(bmeh.Key(key))
+		switch {
+		case err != nil:
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+		case !ok:
+			c.sendStatus(fr.Op, fr.ID, wire.StatusNotFound, "")
+		default:
+			c.send(fr.Op, fr.ID, wire.AppendGetResp(nil, v))
+		}
+
+	case wire.OpDel:
+		key, err := wire.DecodeGetReq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		ok, err := c.srv.ix.Delete(bmeh.Key(key))
+		switch {
+		case err != nil:
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+		case !ok:
+			c.sendStatus(fr.Op, fr.ID, wire.StatusNotFound, "")
+		default:
+			c.sendStatus(fr.Op, fr.ID, wire.StatusOK, "")
+		}
+
+	case wire.OpPut:
+		key, val, err := wire.DecodePutReq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		// The response leaves when the coalesced batch commits; requests
+		// decoded after this one may well answer first (pipelining).
+		id := fr.ID
+		c.pending.Add(1)
+		c.srv.co.enqueue(putReq{
+			kv: bmeh.KV{Key: bmeh.Key(key), Value: val},
+			done: func(err error) {
+				st, msg := errStatus(err)
+				c.sendStatus(wire.OpPut, id, st, msg)
+				c.pending.Done()
+			},
+		})
+
+	case wire.OpRange:
+		lo, hi, limit, err := wire.DecodeRangeReq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		max := c.srv.cfg.RangeLimit
+		if limit != 0 && int(limit) < max {
+			max = int(limit)
+		}
+		kvs := make([]wire.KV, 0, 16)
+		more := false
+		err = c.srv.ix.Range(bmeh.Key(lo), bmeh.Key(hi), func(k bmeh.Key, v uint64) bool {
+			if len(kvs) == max {
+				more = true
+				return false
+			}
+			// k is already a defensive copy (see bmeh.Index.Range); it can
+			// be retained across the scan without aliasing pooled buffers.
+			kvs = append(kvs, wire.KV{Key: []uint64(k), Value: v})
+			return true
+		})
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		c.send(fr.Op, fr.ID, wire.AppendRangeResp(nil, more, kvs))
+
+	case wire.OpBatch:
+		kvs, err := wire.DecodeBatchReq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		batch := make([]bmeh.KV, len(kvs))
+		for i, kv := range kvs {
+			batch[i] = bmeh.KV{Key: bmeh.Key(kv.Key), Value: kv.Value}
+		}
+		// Asynchronous like PUT: the commit (a Sync) must not stall the
+		// reader, or pipelined lookups behind it would wait a disk flush.
+		id := fr.ID
+		c.pending.Add(1)
+		go func() {
+			defer c.pending.Done()
+			n, err := c.srv.ix.InsertBatch(batch)
+			if err != nil {
+				c.sendStatus(wire.OpBatch, id, wire.StatusErr, err.Error())
+				return
+			}
+			c.send(wire.OpBatch, id, wire.AppendBatchResp(nil, uint32(n)))
+		}()
+
+	case wire.OpSync:
+		id := fr.ID
+		c.pending.Add(1)
+		go func() {
+			defer c.pending.Done()
+			st, msg := errStatus(c.srv.ix.Sync())
+			c.sendStatus(wire.OpSync, id, st, msg)
+		}()
+
+	case wire.OpStats:
+		st := c.srv.ix.Stats()
+		opts := c.srv.ix.Options()
+		c.send(fr.Op, fr.ID, wire.AppendStatsResp(nil, wire.Stats{
+			Scheme:            uint8(opts.Scheme),
+			Dims:              uint8(opts.Dims),
+			Width:             uint8(opts.Width),
+			DirectoryLevels:   uint8(st.DirectoryLevels),
+			Records:           uint64(st.Records),
+			Reads:             st.Reads,
+			Writes:            st.Writes,
+			DirectoryElements: uint64(st.DirectoryElements),
+			DataPages:         uint32(st.DataPages),
+			DirectoryPages:    uint32(st.DirectoryPages),
+			LoadFactor:        st.LoadFactor,
+		}))
+
+	default:
+		c.sendStatus(fr.Op, fr.ID, wire.StatusErr, fmt.Sprintf("unknown opcode %v", fr.Op))
+	}
+}
+
+// isExpectedNetErr reports errors that are part of normal connection
+// teardown: the drain deadline firing, or the socket closing under a
+// forced shutdown.
+func isExpectedNetErr(err error, s *Server) bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return true
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return true
+		}
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at both decoders. Whatever the
+// input — truncated, oversized, checksum-damaged, version-skewed — the
+// decoder must either return a frame that re-encodes to the same bytes
+// or an error; it must never panic, and it must never allocate beyond
+// the configured payload limit (enforced here by running with a small
+// limit against inputs that may claim enormous lengths).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Op: OpGet, ID: 1, Payload: AppendGetReq(nil, []uint64{1, 2})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpPut, ID: 2, Payload: AppendPutReq(nil, []uint64{7}, 9)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpRange, ID: 3, Payload: AppendRangeReq(nil, []uint64{0}, []uint64{5}, 10)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 4, Payload: AppendBatchReq(nil, []KV{{Key: []uint64{1}, Value: 2}})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpSync, ID: 5}))
+	f.Add(AppendFrame(nil, Frame{Op: OpStats.Response(), ID: 6, Payload: AppendStatsResp(nil, Stats{Dims: 2})}))
+	// Truncated, bad-CRC and version-skew seeds.
+	good := AppendFrame(nil, Frame{Op: OpGet, ID: 7, Payload: AppendGetReq(nil, []uint64{3})})
+	f.Add(good[:len(good)-1])
+	f.Add(good[:HeaderSize-1])
+	crcBad := append([]byte(nil), good...)
+	crcBad[16] ^= 0xff
+	f.Add(crcBad)
+	verBad := append([]byte(nil), good...)
+	verBad[4] = 0xee
+	f.Add(verBad)
+	// Hostile length prefix: claims 4 GiB-ish with no body.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xf0, Version, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, limit)
+		if err == nil {
+			if n < HeaderSize || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if len(fr.Payload) > limit {
+				t.Fatalf("payload %d exceeds limit %d", len(fr.Payload), limit)
+			}
+			// A frame that decodes must re-encode to the consumed bytes
+			// bit for bit (the codec is canonical).
+			if re := AppendFrame(nil, fr); !bytes.Equal(re, data[:n]) {
+				t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:n], re)
+			}
+			// Opcode-specific payload decoders must not panic either.
+			switch fr.Op {
+			case OpGet, OpDel:
+				_, _ = DecodeGetReq(fr.Payload)
+			case OpPut:
+				_, _, _ = DecodePutReq(fr.Payload)
+			case OpRange:
+				_, _, _, _ = DecodeRangeReq(fr.Payload)
+			case OpBatch:
+				_, _ = DecodeBatchReq(fr.Payload)
+			}
+			if fr.Op&Resp != 0 {
+				if st, body, err := DecodeStatus(fr.Payload); err == nil && st == StatusOK {
+					switch fr.Op &^ Resp {
+					case OpGet:
+						_, _ = DecodeGetRespBody(body)
+					case OpRange:
+						_, _, _ = DecodeRangeRespBody(body)
+					case OpBatch:
+						_, _ = DecodeBatchRespBody(body)
+					case OpStats:
+						_, _ = DecodeStatsRespBody(body)
+					}
+				}
+			}
+		}
+		// The streaming reader must agree with the slice decoder on
+		// whether the prefix holds a valid frame.
+		sf, serr := NewReader(bytes.NewReader(data), limit).Next()
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("slice err %v, stream err %v", err, serr)
+		}
+		if err == nil && (sf.Op != fr.Op || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload)) {
+			t.Fatalf("slice and stream disagree: %+v vs %+v", fr, sf)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Payload encodings. Keys travel as a dimensionality byte followed by
+// that many big-endian uint64 components; entries are a key followed by
+// a uint64 value. All decode helpers bound every count against the bytes
+// actually present before allocating, so a hostile frame cannot make the
+// server reserve more memory than the frame itself occupies.
+
+// KV is one key/value entry as it travels on the wire.
+type KV struct {
+	Key   []uint64
+	Value uint64
+}
+
+// MaxDims bounds the key dimensionality a frame may carry. The index
+// itself accepts at most 8 dimensions; the wire limit is looser so the
+// server — not the codec — owns that policy error.
+const MaxDims = 64
+
+// AppendKey appends the wire encoding of key to dst.
+func AppendKey(dst []byte, key []uint64) []byte {
+	dst = append(dst, byte(len(key)))
+	for _, c := range key {
+		dst = binary.BigEndian.AppendUint64(dst, c)
+	}
+	return dst
+}
+
+// readKey decodes one key from the front of b, returning the key and the
+// remaining bytes.
+func readKey(b []byte) ([]uint64, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("%w: missing key", ErrPayload)
+	}
+	d := int(b[0])
+	if d == 0 || d > MaxDims {
+		return nil, nil, fmt.Errorf("%w: key dimensionality %d", ErrPayload, d)
+	}
+	b = b[1:]
+	if len(b) < 8*d {
+		return nil, nil, fmt.Errorf("%w: key shorter than %d components", ErrPayload, d)
+	}
+	key := make([]uint64, d)
+	for j := range key {
+		key[j] = binary.BigEndian.Uint64(b[8*j:])
+	}
+	return key, b[8*d:], nil
+}
+
+// AppendGetReq appends a GET (or DEL) request payload.
+func AppendGetReq(dst []byte, key []uint64) []byte { return AppendKey(dst, key) }
+
+// DecodeGetReq parses a GET (or DEL) request payload.
+func DecodeGetReq(p []byte) ([]uint64, error) {
+	key, rest, err := readKey(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrPayload, len(rest))
+	}
+	return key, nil
+}
+
+// AppendPutReq appends a PUT request payload.
+func AppendPutReq(dst []byte, key []uint64, value uint64) []byte {
+	dst = AppendKey(dst, key)
+	return binary.BigEndian.AppendUint64(dst, value)
+}
+
+// DecodePutReq parses a PUT request payload.
+func DecodePutReq(p []byte) ([]uint64, uint64, error) {
+	key, rest, err := readKey(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) != 8 {
+		return nil, 0, fmt.Errorf("%w: PUT value wants 8 bytes, has %d", ErrPayload, len(rest))
+	}
+	return key, binary.BigEndian.Uint64(rest), nil
+}
+
+// AppendRangeReq appends a RANGE request payload: the box corners and
+// the most entries the caller wants back (0 lets the server pick).
+func AppendRangeReq(dst []byte, lo, hi []uint64, limit uint32) []byte {
+	dst = AppendKey(dst, lo)
+	dst = AppendKey(dst, hi)
+	return binary.BigEndian.AppendUint32(dst, limit)
+}
+
+// DecodeRangeReq parses a RANGE request payload.
+func DecodeRangeReq(p []byte) (lo, hi []uint64, limit uint32, err error) {
+	lo, p, err = readKey(p)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	hi, p, err = readKey(p)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(lo) != len(hi) {
+		return nil, nil, 0, fmt.Errorf("%w: range corners have %d and %d dimensions", ErrPayload, len(lo), len(hi))
+	}
+	if len(p) != 4 {
+		return nil, nil, 0, fmt.Errorf("%w: RANGE limit wants 4 bytes, has %d", ErrPayload, len(p))
+	}
+	return lo, hi, binary.BigEndian.Uint32(p), nil
+}
+
+// AppendEntries appends a count-prefixed entry list (BATCH requests and
+// RANGE response bodies share it).
+func AppendEntries(dst []byte, kvs []KV) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(kvs)))
+	for _, kv := range kvs {
+		dst = AppendKey(dst, kv.Key)
+		dst = binary.BigEndian.AppendUint64(dst, kv.Value)
+	}
+	return dst
+}
+
+// decodeEntries parses a count-prefixed entry list, returning the
+// entries and the remaining bytes. The count is validated against the
+// bytes present before anything is allocated.
+func decodeEntries(p []byte) ([]KV, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("%w: missing entry count", ErrPayload)
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	// The smallest entry is 1 (dims) + 8 (component) + 8 (value) bytes.
+	if n > len(p)/17 {
+		return nil, nil, fmt.Errorf("%w: %d entries cannot fit %d bytes", ErrPayload, n, len(p))
+	}
+	kvs := make([]KV, 0, n)
+	for i := 0; i < n; i++ {
+		key, rest, err := readKey(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("%w: entry %d missing value", ErrPayload, i)
+		}
+		kvs = append(kvs, KV{Key: key, Value: binary.BigEndian.Uint64(rest)})
+		p = rest[8:]
+	}
+	return kvs, p, nil
+}
+
+// AppendBatchReq appends a BATCH request payload.
+func AppendBatchReq(dst []byte, kvs []KV) []byte { return AppendEntries(dst, kvs) }
+
+// DecodeBatchReq parses a BATCH request payload.
+func DecodeBatchReq(p []byte) ([]KV, error) {
+	kvs, rest, err := decodeEntries(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrPayload, len(rest))
+	}
+	return kvs, nil
+}
+
+// AppendStatus appends a bare status response payload; msg rides along
+// only for StatusErr.
+func AppendStatus(dst []byte, st Status, msg string) []byte {
+	dst = append(dst, byte(st))
+	if st == StatusErr {
+		dst = append(dst, msg...)
+	}
+	return dst
+}
+
+// DecodeStatus splits a response payload into its status and body. For
+// StatusErr the body is the error message.
+func DecodeStatus(p []byte) (Status, []byte, error) {
+	if len(p) < 1 {
+		return 0, nil, fmt.Errorf("%w: empty response", ErrPayload)
+	}
+	return Status(p[0]), p[1:], nil
+}
+
+// AppendGetResp appends a GET response: StatusOK plus the value.
+func AppendGetResp(dst []byte, value uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	return binary.BigEndian.AppendUint64(dst, value)
+}
+
+// DecodeGetRespBody parses the body of a StatusOK GET response.
+func DecodeGetRespBody(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: GET value wants 8 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// AppendRangeResp appends a RANGE response: StatusOK, a byte that is 1
+// when the server stopped early (more entries exist in the box), and the
+// entries.
+func AppendRangeResp(dst []byte, more bool, kvs []KV) []byte {
+	dst = append(dst, byte(StatusOK))
+	if more {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return AppendEntries(dst, kvs)
+}
+
+// DecodeRangeRespBody parses the body of a StatusOK RANGE response.
+func DecodeRangeRespBody(body []byte) (kvs []KV, more bool, err error) {
+	if len(body) < 1 {
+		return nil, false, fmt.Errorf("%w: RANGE response missing continuation byte", ErrPayload)
+	}
+	more = body[0] != 0
+	kvs, rest, err := decodeEntries(body[1:])
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rest) != 0 {
+		return nil, false, fmt.Errorf("%w: %d trailing bytes", ErrPayload, len(rest))
+	}
+	return kvs, more, nil
+}
+
+// AppendBatchResp appends a BATCH response: StatusOK plus how many
+// entries were inserted (the rest were duplicates).
+func AppendBatchResp(dst []byte, inserted uint32) []byte {
+	dst = append(dst, byte(StatusOK))
+	return binary.BigEndian.AppendUint32(dst, inserted)
+}
+
+// DecodeBatchRespBody parses the body of a StatusOK BATCH response.
+func DecodeBatchRespBody(body []byte) (uint32, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: BATCH count wants 4 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint32(body), nil
+}
+
+// Stats is the STATS response body: the index's Stats snapshot plus the
+// geometry a client needs to build keys (dimensionality, component
+// width) and the directory scheme being served.
+type Stats struct {
+	Scheme            uint8
+	Dims              uint8
+	Width             uint8
+	DirectoryLevels   uint8
+	Records           uint64
+	Reads             uint64
+	Writes            uint64
+	DirectoryElements uint64
+	DataPages         uint32
+	DirectoryPages    uint32
+	LoadFactor        float64
+}
+
+// statsSize is the fixed encoded size of Stats.
+const statsSize = 4 + 4*8 + 2*4 + 8
+
+// AppendStatsResp appends a STATS response: StatusOK plus the snapshot.
+func AppendStatsResp(dst []byte, s Stats) []byte {
+	dst = append(dst, byte(StatusOK))
+	dst = append(dst, s.Scheme, s.Dims, s.Width, s.DirectoryLevels)
+	dst = binary.BigEndian.AppendUint64(dst, s.Records)
+	dst = binary.BigEndian.AppendUint64(dst, s.Reads)
+	dst = binary.BigEndian.AppendUint64(dst, s.Writes)
+	dst = binary.BigEndian.AppendUint64(dst, s.DirectoryElements)
+	dst = binary.BigEndian.AppendUint32(dst, s.DataPages)
+	dst = binary.BigEndian.AppendUint32(dst, s.DirectoryPages)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(s.LoadFactor))
+}
+
+// DecodeStatsRespBody parses the body of a StatusOK STATS response.
+func DecodeStatsRespBody(body []byte) (Stats, error) {
+	if len(body) != statsSize {
+		return Stats{}, fmt.Errorf("%w: STATS wants %d bytes, has %d", ErrPayload, statsSize, len(body))
+	}
+	s := Stats{
+		Scheme:          body[0],
+		Dims:            body[1],
+		Width:           body[2],
+		DirectoryLevels: body[3],
+	}
+	s.Records = binary.BigEndian.Uint64(body[4:])
+	s.Reads = binary.BigEndian.Uint64(body[12:])
+	s.Writes = binary.BigEndian.Uint64(body[20:])
+	s.DirectoryElements = binary.BigEndian.Uint64(body[28:])
+	s.DataPages = binary.BigEndian.Uint32(body[36:])
+	s.DirectoryPages = binary.BigEndian.Uint32(body[40:])
+	s.LoadFactor = math.Float64frombits(binary.BigEndian.Uint64(body[44:]))
+	return s, nil
+}

@@ -1,0 +1,253 @@
+// Package wire defines the binary protocol spoken between bmehserve and
+// its clients.
+//
+// Every message is one length-prefixed frame:
+//
+//	offset size field
+//	0      4    payload length (big-endian uint32)
+//	4      1    protocol version (currently 1)
+//	5      1    opcode (request, or request|0x80 for its response)
+//	6      2    flags (reserved, must be zero in version 1)
+//	8      8    request ID (echoed verbatim in the response)
+//	16     4    CRC-32C over bytes [0,16) and the payload
+//	20     …    payload
+//
+// Responses carry the request's ID and may be delivered out of order, so
+// a client can pipeline many requests on one connection and match
+// completions by ID. The version byte is checked before anything else:
+// a decoder that sees a version it does not speak fails with ErrVersion
+// instead of misparsing, which is the forward-compatibility contract —
+// future versions may change everything after the first six bytes except
+// the length prefix's meaning.
+//
+// The checksum catches corruption in transit or in a buggy proxy before
+// a length or opcode is acted on; a mismatch is ErrChecksum, never a
+// silent misroute. Decoders never allocate more than the configured
+// maximum payload, no matter what the length prefix claims.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// HeaderSize is the fixed number of bytes before a frame's payload.
+const HeaderSize = 20
+
+// DefaultMaxPayload bounds the payload a decoder will accept (and
+// therefore allocate) unless the caller chooses another limit.
+const DefaultMaxPayload = 1 << 24 // 16 MiB
+
+// Op identifies a frame's operation. Response frames use the request's
+// opcode with the Resp bit set.
+type Op uint8
+
+// Resp is OR-ed into a request opcode to form its response opcode.
+const Resp Op = 0x80
+
+// Request opcodes.
+const (
+	OpGet   Op = 1 // payload: key → status [+ value]
+	OpPut   Op = 2 // payload: key + value → status
+	OpDel   Op = 3 // payload: key → status (OK = removed, NotFound = absent)
+	OpRange Op = 4 // payload: lo + hi + limit → status + more + entries
+	OpBatch Op = 5 // payload: entries → status + inserted count
+	OpSync  Op = 6 // empty → status
+	OpStats Op = 7 // empty → status + Stats
+)
+
+// IsRequest reports whether op is a known request opcode.
+func (op Op) IsRequest() bool { return op >= OpGet && op <= OpStats }
+
+// Response returns the response opcode for a request.
+func (op Op) Response() Op { return op | Resp }
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	name := map[Op]string{
+		OpGet: "GET", OpPut: "PUT", OpDel: "DEL", OpRange: "RANGE",
+		OpBatch: "BATCH", OpSync: "SYNC", OpStats: "STATS",
+	}
+	if s, ok := name[op&^Resp]; ok {
+		if op&Resp != 0 {
+			return s + "-resp"
+		}
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Status is the first payload byte of every response.
+type Status uint8
+
+const (
+	// StatusOK: the operation succeeded (for DEL, the key existed).
+	StatusOK Status = 0
+	// StatusNotFound: GET or DEL addressed an absent key.
+	StatusNotFound Status = 1
+	// StatusDuplicate: PUT addressed a key that is already present.
+	StatusDuplicate Status = 2
+	// StatusErr: the operation failed; the rest of the payload is a
+	// human-readable message.
+	StatusErr Status = 3
+)
+
+// Protocol errors. Decoders return these (possibly wrapped); they never
+// panic on hostile input.
+var (
+	// ErrVersion reports a frame whose version byte this decoder does not
+	// speak.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrChecksum reports a frame whose CRC-32C does not cover its bytes.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrTooLarge reports a length prefix above the decoder's limit.
+	ErrTooLarge = errors.New("wire: frame exceeds maximum payload size")
+	// ErrTruncated reports a frame shorter than its header claims.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrPayload reports a payload that does not parse as its opcode's
+	// encoding.
+	ErrPayload = errors.New("wire: malformed payload")
+	// ErrFlags reports nonzero reserved flag bits in a version-1 frame.
+	ErrFlags = errors.New("wire: reserved flags set")
+)
+
+// crcTable is the Castagnoli table shared with the pagestore's on-disk
+// checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op Op
+	// ID is the request ID; responses echo the request's.
+	ID uint64
+	// Payload is the opcode-specific body. Frames produced by
+	// Reader.Next alias the reader's internal buffer and are valid only
+	// until the next call; decode or copy before then.
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame (current version, checksummed)
+// to dst and returns the extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	dst = append(dst, f.Payload...)
+	hdr := dst[off:]
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
+	hdr[4] = Version
+	hdr[5] = byte(f.Op)
+	hdr[6], hdr[7] = 0, 0
+	binary.BigEndian.PutUint64(hdr[8:16], f.ID)
+	crc := crc32.Update(0, crcTable, hdr[0:16])
+	crc = crc32.Update(crc, crcTable, f.Payload)
+	binary.BigEndian.PutUint32(hdr[16:20], crc)
+	return dst
+}
+
+// DecodeFrame parses one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b.
+// Errors: ErrTruncated (b holds less than one whole frame), ErrVersion,
+// ErrFlags, ErrTooLarge, ErrChecksum.
+func DecodeFrame(b []byte, maxPayload int) (Frame, int, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(b) < HeaderSize {
+		return Frame{}, 0, ErrTruncated
+	}
+	// Version gates everything after the length prefix: a future format
+	// must fail here, not misparse.
+	if b[4] != Version {
+		return Frame{}, 0, fmt.Errorf("%w: got %d, speak %d", ErrVersion, b[4], Version)
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return Frame{}, 0, ErrFlags
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	if n > maxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, maxPayload)
+	}
+	if len(b) < HeaderSize+n {
+		return Frame{}, 0, ErrTruncated
+	}
+	payload := b[HeaderSize : HeaderSize+n]
+	crc := crc32.Update(0, crcTable, b[0:16])
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != binary.BigEndian.Uint32(b[16:20]) {
+		return Frame{}, 0, ErrChecksum
+	}
+	return Frame{
+		Op:      Op(b[5]),
+		ID:      binary.BigEndian.Uint64(b[8:16]),
+		Payload: payload,
+	}, HeaderSize + n, nil
+}
+
+// Reader decodes frames from a byte stream.
+type Reader struct {
+	r   io.Reader
+	max int
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewReader returns a Reader over r that rejects payloads larger than
+// maxPayload (DefaultMaxPayload when ≤ 0).
+func NewReader(r io.Reader, maxPayload int) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Reader{r: r, max: maxPayload}
+}
+
+// Next reads and verifies the next frame. The frame's payload aliases
+// the reader's internal buffer and is valid only until the following
+// Next call. A clean end of stream between frames is io.EOF; a stream
+// that ends inside a frame is io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	b := r.hdr[:]
+	if b[4] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, speak %d", ErrVersion, b[4], Version)
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return Frame{}, ErrFlags
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	if n > r.max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, r.max)
+	}
+	// The buffer grows to the largest payload seen, never past the limit:
+	// a hostile length prefix cannot make the reader balloon.
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	crc := crc32.Update(0, crcTable, b[0:16])
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != binary.BigEndian.Uint32(b[16:20]) {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{
+		Op:      Op(b[5]),
+		ID:      binary.BigEndian.Uint64(b[8:16]),
+		Payload: payload,
+	}, nil
+}

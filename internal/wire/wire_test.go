@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpGet, ID: 0, Payload: AppendGetReq(nil, []uint64{1, 2})},
+		{Op: OpPut, ID: 1, Payload: AppendPutReq(nil, []uint64{9}, 42)},
+		{Op: OpSync, ID: 1<<64 - 1, Payload: nil},
+		{Op: OpStats.Response(), ID: 7, Payload: AppendStatsResp(nil, Stats{Dims: 2, Records: 10})},
+	}
+	var stream []byte
+	for _, f := range frames {
+		stream = AppendFrame(stream, f)
+	}
+	// Slice decoding.
+	rest := stream
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d undecoded bytes", len(rest))
+	}
+	// Stream decoding.
+	r := NewReader(bytes.NewReader(stream), 0)
+	for i, want := range frames {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("stream frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := AppendFrame(nil, Frame{Op: OpGet, ID: 3, Payload: []byte{1, 0, 0, 0, 0, 0, 0, 0, 5}})
+
+	// Truncation at every length.
+	for n := 0; n < len(good); n++ {
+		if _, _, err := DecodeFrame(good[:n], 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated at %d: %v", n, err)
+		}
+		r := NewReader(bytes.NewReader(good[:n]), 0)
+		_, err := r.Next()
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: %v", err)
+			}
+		} else if err != io.ErrUnexpectedEOF {
+			t.Fatalf("stream truncated at %d: %v", n, err)
+		}
+	}
+
+	// Every flipped byte must be caught (checksum, version, flags or
+	// length validation — never a silently different frame).
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeFrame(bad, 0); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+		if f, err := NewReader(bytes.NewReader(bad), 0).Next(); err == nil {
+			t.Fatalf("stream: flipping byte %d went undetected (%+v)", i, f)
+		}
+	}
+
+	// Version skew.
+	skew := append([]byte(nil), good...)
+	skew[4] = Version + 1
+	if _, _, err := DecodeFrame(skew, 0); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: %v", err)
+	}
+
+	// Reserved flags.
+	fl := AppendFrame(nil, Frame{Op: OpGet, ID: 3})
+	fl[6] = 1
+	if _, _, err := DecodeFrame(fl, 0); !errors.Is(err, ErrFlags) {
+		t.Fatalf("flags: %v", err)
+	}
+
+	// Oversized length prefix against a small limit.
+	big := AppendFrame(nil, Frame{Op: OpPut, ID: 1, Payload: make([]byte, 100)})
+	if _, _, err := DecodeFrame(big, 64); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(big), 64).Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("stream oversize: %v", err)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	key := []uint64{7, 1 << 40, 0}
+	if got, err := DecodeGetReq(AppendGetReq(nil, key)); err != nil || !reflect.DeepEqual(got, key) {
+		t.Fatalf("get req: %v %v", got, err)
+	}
+	if k, v, err := DecodePutReq(AppendPutReq(nil, key, 99)); err != nil || v != 99 || !reflect.DeepEqual(k, key) {
+		t.Fatalf("put req: %v %d %v", k, v, err)
+	}
+	lo, hi := []uint64{1, 2}, []uint64{3, 4}
+	gl, gh, lim, err := DecodeRangeReq(AppendRangeReq(nil, lo, hi, 17))
+	if err != nil || lim != 17 || !reflect.DeepEqual(gl, lo) || !reflect.DeepEqual(gh, hi) {
+		t.Fatalf("range req: %v %v %d %v", gl, gh, lim, err)
+	}
+	kvs := []KV{{Key: []uint64{1}, Value: 2}, {Key: []uint64{3}, Value: 4}}
+	if got, err := DecodeBatchReq(AppendBatchReq(nil, kvs)); err != nil || !reflect.DeepEqual(got, kvs) {
+		t.Fatalf("batch req: %v %v", got, err)
+	}
+	if got, err := DecodeBatchReq(AppendBatchReq(nil, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch req: %v %v", got, err)
+	}
+
+	// Responses.
+	st, body, err := DecodeStatus(AppendGetResp(nil, 1234))
+	if err != nil || st != StatusOK {
+		t.Fatalf("get resp status: %v %v", st, err)
+	}
+	if v, err := DecodeGetRespBody(body); err != nil || v != 1234 {
+		t.Fatalf("get resp: %d %v", v, err)
+	}
+	st, body, err = DecodeStatus(AppendStatus(nil, StatusErr, "boom"))
+	if err != nil || st != StatusErr || string(body) != "boom" {
+		t.Fatalf("err resp: %v %q %v", st, body, err)
+	}
+	st, body, err = DecodeStatus(AppendRangeResp(nil, true, kvs))
+	if err != nil || st != StatusOK {
+		t.Fatalf("range resp status: %v %v", st, err)
+	}
+	rkvs, more, err := DecodeRangeRespBody(body)
+	if err != nil || !more || !reflect.DeepEqual(rkvs, kvs) {
+		t.Fatalf("range resp: %v %v %v", rkvs, more, err)
+	}
+	st, body, err = DecodeStatus(AppendBatchResp(nil, 5))
+	if err != nil || st != StatusOK {
+		t.Fatalf("batch resp status: %v %v", st, err)
+	}
+	if n, err := DecodeBatchRespBody(body); err != nil || n != 5 {
+		t.Fatalf("batch resp: %d %v", n, err)
+	}
+	s := Stats{
+		Scheme: 1, Dims: 3, Width: 32, DirectoryLevels: 4,
+		Records: 1 << 40, Reads: 7, Writes: 8, DirectoryElements: 9,
+		DataPages: 10, DirectoryPages: 11, LoadFactor: 0.625,
+	}
+	st, body, err = DecodeStatus(AppendStatsResp(nil, s))
+	if err != nil || st != StatusOK {
+		t.Fatalf("stats resp status: %v %v", st, err)
+	}
+	if got, err := DecodeStatsRespBody(body); err != nil || got != s {
+		t.Fatalf("stats resp: %+v %v", got, err)
+	}
+}
+
+func TestPayloadErrors(t *testing.T) {
+	bad := [][]byte{
+		{},           // missing key
+		{0},          // zero dims
+		{65},         // dims above MaxDims
+		{2, 0, 0, 0}, // key shorter than dims
+	}
+	for _, p := range bad {
+		if _, err := DecodeGetReq(p); !errors.Is(err, ErrPayload) {
+			t.Fatalf("get req %v: %v", p, err)
+		}
+	}
+	// Trailing bytes.
+	if _, err := DecodeGetReq(append(AppendGetReq(nil, []uint64{1}), 0)); !errors.Is(err, ErrPayload) {
+		t.Fatal("trailing bytes accepted")
+	}
+	// PUT without a value.
+	if _, _, err := DecodePutReq(AppendGetReq(nil, []uint64{1})); !errors.Is(err, ErrPayload) {
+		t.Fatal("PUT without value accepted")
+	}
+	// Range corners of different dimensionality.
+	p := AppendKey(nil, []uint64{1})
+	p = AppendKey(p, []uint64{1, 2})
+	p = append(p, 0, 0, 0, 0)
+	if _, _, _, err := DecodeRangeReq(p); !errors.Is(err, ErrPayload) {
+		t.Fatal("mismatched range corners accepted")
+	}
+	// Entry count larger than the bytes present must fail before any
+	// allocation proportional to the claimed count.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeBatchReq(huge); !errors.Is(err, ErrPayload) {
+		t.Fatal("hostile batch count accepted")
+	}
+}
