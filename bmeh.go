@@ -221,6 +221,38 @@ func requiredPageBytes(s Scheme, prm params.Params) int {
 	}
 }
 
+// loadImpl reconstructs the scheme implementation recorded in an index
+// header (the store's meta record). Open and the replication apply path
+// (which rebuilds the in-memory view after each replicated commit) share
+// it.
+func loadImpl(st pagestore.Store, meta []byte) (impl, Scheme, params.Params, error) {
+	if len(meta) == 0 {
+		return nil, 0, params.Params{}, errors.New("store holds no index header")
+	}
+	switch meta[0] {
+	case 'B':
+		tree, err := core.Load(st, meta)
+		if err != nil {
+			return nil, 0, params.Params{}, err
+		}
+		return tree, SchemeBMEH, tree.Params(), nil
+	case 'M':
+		tree, err := mehtree.Load(st, meta)
+		if err != nil {
+			return nil, 0, params.Params{}, err
+		}
+		return tree, SchemeMEH, tree.Params(), nil
+	case 'D':
+		tab, err := mdeh.Load(st, meta)
+		if err != nil {
+			return nil, 0, params.Params{}, err
+		}
+		return tab, SchemeMDEH, tab.Params(), nil
+	default:
+		return nil, 0, params.Params{}, fmt.Errorf("unknown index kind %q in header", meta[0])
+	}
+}
+
 func buildImpl(s Scheme, st pagestore.Store, prm params.Params) (impl, error) {
 	switch s {
 	case SchemeMDEH:
@@ -311,31 +343,10 @@ func Open(path string, cacheFrames int) (*Index, error) {
 		file.Close()
 		return nil, fmt.Errorf("bmeh: %s has no index header", path)
 	}
-	switch meta[0] {
-	case 'B':
-		tree, err := core.Load(st, meta[:n])
-		if err != nil {
-			file.Close()
-			return nil, err
-		}
-		ix.idx, ix.scheme, ix.prm = tree, SchemeBMEH, tree.Params()
-	case 'M':
-		tree, err := mehtree.Load(st, meta[:n])
-		if err != nil {
-			file.Close()
-			return nil, err
-		}
-		ix.idx, ix.scheme, ix.prm = tree, SchemeMEH, tree.Params()
-	case 'D':
-		tab, err := mdeh.Load(st, meta[:n])
-		if err != nil {
-			file.Close()
-			return nil, err
-		}
-		ix.idx, ix.scheme, ix.prm = tab, SchemeMDEH, tab.Params()
-	default:
+	ix.idx, ix.scheme, ix.prm, err = loadImpl(st, meta[:n])
+	if err != nil {
 		file.Close()
-		return nil, fmt.Errorf("bmeh: %s holds an unknown index kind %q", path, meta[0])
+		return nil, fmt.Errorf("bmeh: %s: %w", path, err)
 	}
 	ix.opts = Options{
 		Scheme:       ix.scheme,

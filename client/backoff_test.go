@@ -1,0 +1,42 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds: the jittered delay always lands in
+// (0, min(base·2^(fails-1), max)] — never zero, never past the cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	const base, max = 50 * time.Millisecond, 2 * time.Second
+	for fails := 1; fails <= 12; fails++ {
+		cap := base
+		for i := 1; i < fails && cap < max; i++ {
+			cap *= 2
+		}
+		if cap > max {
+			cap = max
+		}
+		for trial := 0; trial < 200; trial++ {
+			d := backoffDelay(base, max, fails)
+			if d <= 0 {
+				t.Fatalf("fails=%d: delay %v is not positive", fails, d)
+			}
+			if d > cap {
+				t.Fatalf("fails=%d: delay %v exceeds cap %v", fails, d, cap)
+			}
+		}
+	}
+}
+
+// TestBackoffDelayJitters: the delay is not a constant — full jitter
+// must spread attempts out.
+func TestBackoffDelayJitters(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[backoffDelay(time.Second, time.Second, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 draws produced %d distinct delays, want jitter", len(seen))
+	}
+}

@@ -16,7 +16,20 @@
 // Batch whose connection died mid-flight returns the *ConnError
 // unretried, because the server may or may not have applied it; the
 // caller owns that ambiguity. Application-level outcomes (key absent,
-// duplicate key, a server-side error message) are never retried.
+// duplicate key, a server-side error message) are never retried. A
+// StatusBusy response is the exception among retries: the server
+// guarantees a busy-rejected request was never executed, so the client
+// retries it with backoff regardless of idempotence.
+//
+// Topology: DialCluster takes a primary plus read replicas. Writes
+// (Put, Delete, Batch, Sync) are routed to the primary only; reads
+// (Get, Range, Stats) prefer a healthy replica and fall back to the
+// primary, so reads keep serving while the primary restarts and a
+// primary-down write fails fast with ErrPrimaryDown. A background
+// prober measures each replica's replication lag and demotes replicas
+// lagging beyond Options.MaxLag until they catch up. Every endpoint's
+// redial is gated by capped exponential backoff with full jitter, so a
+// dead node costs a bounded trickle of dial attempts, not a hammer.
 package client
 
 import (
@@ -24,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -50,6 +64,22 @@ type Options struct {
 	Retries int
 	// MaxPayload bounds response payloads (default wire.DefaultMaxPayload).
 	MaxPayload int
+	// Replicas lists read-replica addresses (Dial only; DialCluster
+	// takes them as an argument).
+	Replicas []string
+	// RedialBackoff is the base delay before redialing an endpoint whose
+	// dial failed (default 50ms). Successive failures double it, with
+	// full jitter, up to RedialBackoffMax.
+	RedialBackoff time.Duration
+	// RedialBackoffMax caps the redial delay (default 2s).
+	RedialBackoffMax time.Duration
+	// MaxLag is the replication lag (primary commits not yet applied)
+	// beyond which a replica is demoted from read routing until it
+	// catches up (default 4096).
+	MaxLag uint64
+	// HealthInterval is how often replica lag is probed (default 1s;
+	// < 0 disables the prober — ProbeNow still works).
+	HealthInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -68,7 +98,33 @@ func (o Options) withDefaults() Options {
 	if o.MaxPayload <= 0 {
 		o.MaxPayload = wire.DefaultMaxPayload
 	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 50 * time.Millisecond
+	}
+	if o.RedialBackoffMax <= 0 {
+		o.RedialBackoffMax = 2 * time.Second
+	}
+	if o.MaxLag == 0 {
+		o.MaxLag = 4096
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = time.Second
+	}
 	return o
+}
+
+// backoffDelay returns the capped-exponential, fully jittered delay for
+// the given consecutive failure count (1-based): uniform in
+// (0, min(base·2^(fails-1), max)].
+func backoffDelay(base, max time.Duration, fails int) time.Duration {
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(rand.Int64N(int64(d)) + 1)
 }
 
 // ConnError wraps a transport-level failure. Operations that return one
@@ -88,8 +144,24 @@ func (e RemoteError) Error() string { return "client: server: " + string(e) }
 // ErrClosed is returned by operations on a closed Client.
 var ErrClosed = errors.New("client: closed")
 
+// ErrPrimaryDown marks a write that failed because the primary is
+// unreachable (wrapped in a *ConnError). Writes never fail over to a
+// replica — replicas are read-only — so the caller decides whether to
+// wait and retry.
+var ErrPrimaryDown = errors.New("client: primary unavailable")
+
+// ErrBusy is a server's overload rejection (StatusBusy). The request
+// was not executed; the client retries it with backoff up to
+// Options.Retries before surfacing this.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrReadOnly reports a write sent to a read-only replica — the
+// configured primary address points at a replica.
+var ErrReadOnly = errors.New("client: server is a read-only replica")
+
 // Stats is the server's index snapshot (see bmeh.Stats), plus the
-// geometry a caller needs to build keys.
+// geometry a caller needs to build keys and the node's replication
+// position.
 type Stats struct {
 	Scheme            bmeh.Scheme
 	Dims              int
@@ -101,16 +173,47 @@ type Stats struct {
 	DataPages         int
 	DirectoryPages    int
 	LoadFactor        float64
+	// Role is wire.RolePrimary or wire.RoleReplica.
+	Role uint8
+	// Replicas is the primary's live subscriber count (0 on a replica).
+	Replicas int
+	// CommitSeq is the node's last durable commit; PrimarySeq is the
+	// primary's (as last observed, on a replica). Their difference is
+	// the replica's lag in commits.
+	CommitSeq  uint64
+	PrimarySeq uint64
 }
 
-// Client is a pooled, pipelined bmehserve client. Safe for concurrent
-// use.
+// Client is a pooled, pipelined, topology-aware bmehserve client. Safe
+// for concurrent use.
 type Client struct {
-	addr   string
-	opts   Options
-	slots  []slot
-	next   atomic.Uint64
-	closed atomic.Bool
+	opts     Options
+	primary  *endpoint
+	replicas []*endpoint
+	rr       atomic.Uint64 // read round-robin over replicas
+	closed   atomic.Bool
+
+	proberStop chan struct{}
+	proberDone chan struct{}
+}
+
+// endpoint is one server address with its connection pool, redial
+// backoff gate, and health state.
+type endpoint struct {
+	addr    string
+	primary bool
+	slots   []slot
+	next    atomic.Uint64
+
+	mu       sync.Mutex
+	fails    int       // consecutive dial failures
+	nextDial time.Time // redial gate; zero = dial freely
+	lastErr  error     // the failure the gate reports without dialing
+
+	dials atomic.Int64  // total dial attempts (observability, tests)
+	lag   atomic.Uint64 // last probed replication lag
+	stale atomic.Bool   // lag exceeded MaxLag; demoted from reads
+	live  atomic.Int64  // open connections
 }
 
 type slot struct {
@@ -118,96 +221,256 @@ type slot struct {
 	cn *netConn
 }
 
-// Dial connects to a bmehserve at addr ("host:port"). The first
-// connection is established eagerly so an unreachable server fails here
-// rather than on the first operation; the rest of the pool dials lazily.
+// Dial connects to a bmehserve at addr ("host:port"), the primary when
+// opts.Replicas is set. With no replicas the first connection is
+// established eagerly so an unreachable server fails here rather than
+// on the first operation; with replicas, any reachable node suffices.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
-	c.slots = make([]slot, c.opts.PoolSize)
-	if _, err := c.conn(0); err != nil {
+	return DialCluster(addr, opts.Replicas, opts)
+}
+
+// DialCluster connects to a primary and its read replicas. Reads are
+// served by healthy replicas (falling back to the primary); writes go
+// to the primary only.
+func DialCluster(primary string, replicas []string, opts Options) (*Client, error) {
+	opts.Replicas = nil
+	c := &Client{opts: opts.withDefaults()}
+	c.primary = c.newEndpoint(primary, true)
+	for _, addr := range replicas {
+		if addr == "" || addr == primary {
+			continue
+		}
+		c.replicas = append(c.replicas, c.newEndpoint(addr, false))
+	}
+	// Eager reachability check: the primary with no replicas configured;
+	// any node otherwise (the cluster is useful for reads even while the
+	// primary restarts).
+	_, err := c.endpointConn(c.primary)
+	if err != nil && len(c.replicas) == 0 {
 		return nil, err
 	}
+	if err != nil {
+		ok := false
+		for _, e := range c.replicas {
+			if _, rerr := c.endpointConn(e); rerr == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, err
+		}
+	}
+	if len(c.replicas) > 0 && c.opts.HealthInterval > 0 {
+		c.proberStop = make(chan struct{})
+		c.proberDone = make(chan struct{})
+		go c.proberLoop()
+	}
 	return c, nil
+}
+
+func (c *Client) newEndpoint(addr string, primary bool) *endpoint {
+	return &endpoint{addr: addr, primary: primary, slots: make([]slot, c.opts.PoolSize)}
 }
 
 // Close tears down every connection. In-flight calls fail with a
 // *ConnError.
 func (c *Client) Close() error {
-	c.closed.Store(true)
-	for i := range c.slots {
-		s := &c.slots[i]
-		s.mu.Lock()
-		if s.cn != nil {
-			s.cn.fail(&ConnError{Err: ErrClosed})
-			s.cn = nil
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.proberStop != nil {
+		close(c.proberStop)
+		<-c.proberDone
+	}
+	for _, e := range c.endpoints() {
+		for i := range e.slots {
+			s := &e.slots[i]
+			s.mu.Lock()
+			if s.cn != nil {
+				s.cn.fail(&ConnError{Err: ErrClosed})
+				s.cn = nil
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 	return nil
 }
 
-// conn returns slot i's connection, dialing if absent or broken.
-func (c *Client) conn(i int) (*netConn, error) {
+func (c *Client) endpoints() []*endpoint {
+	return append([]*endpoint{c.primary}, c.replicas...)
+}
+
+// endpointConn returns a connection to e from its pool (round-robin),
+// dialing if absent or broken. Redials are gated: after a dial failure
+// the endpoint rejects further attempts with the cached error until its
+// jittered backoff delay expires, so a dead node is probed at a bounded
+// rate no matter how hot the request path is.
+func (c *Client) endpointConn(e *endpoint) (*netConn, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	s := &c.slots[i]
+	i := int(e.next.Add(1)) % len(e.slots)
+	s := &e.slots[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cn != nil && !s.cn.broken() {
 		return s.cn, nil
 	}
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if s.cn != nil {
+		e.live.Add(-1)
+		s.cn = nil
+	}
+	e.mu.Lock()
+	if time.Now().Before(e.nextDial) {
+		err := e.lastErr
+		e.mu.Unlock()
+		return nil, &ConnError{Err: fmt.Errorf("%s: backing off: %w", e.addr, err)}
+	}
+	e.mu.Unlock()
+	e.dials.Add(1)
+	nc, err := net.DialTimeout("tcp", e.addr, c.opts.DialTimeout)
 	if err != nil {
+		e.mu.Lock()
+		e.fails++
+		e.lastErr = err
+		e.nextDial = time.Now().Add(backoffDelay(c.opts.RedialBackoff, c.opts.RedialBackoffMax, e.fails))
+		e.mu.Unlock()
 		return nil, &ConnError{Err: err}
 	}
+	e.mu.Lock()
+	e.fails, e.lastErr, e.nextDial = 0, nil, time.Time{}
+	e.mu.Unlock()
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	s.cn = newNetConn(nc, c.opts.MaxPayload)
+	e.live.Add(1)
 	return s.cn, nil
 }
 
-// pick returns a connection, round-robin over the pool.
-func (c *Client) pick() (*netConn, error) {
-	i := int(c.next.Add(1)) % len(c.slots)
-	return c.conn(i)
+// gated reports whether the endpoint is inside its redial backoff
+// window with no live connection to lean on.
+func (e *endpoint) gated() bool {
+	if e.live.Load() > 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Now().Before(e.nextDial)
 }
 
-// roundTrip sends one request and waits for its completion, retrying
-// transport failures when the operation is idempotent.
-func (c *Client) roundTrip(op wire.Op, payload []byte, idempotent bool) (*Call, error) {
-	attempts := 1
-	if idempotent {
-		attempts += c.opts.Retries
+// pickConn routes one request. Writes go to the primary only — a
+// gated primary fails fast with ErrPrimaryDown rather than sleeping.
+// Reads walk the healthy (non-stale, non-gated) replicas round-robin,
+// fall back to the primary, then — when everything is gated — to any
+// replica regardless of staleness, so reads degrade to stale-but-served
+// before they degrade to failing.
+func (c *Client) pickConn(write bool) (*netConn, error) {
+	if write {
+		if c.primary.gated() {
+			c.primary.mu.Lock()
+			err := c.primary.lastErr
+			c.primary.mu.Unlock()
+			return nil, &ConnError{Err: fmt.Errorf("%w: %v", ErrPrimaryDown, err)}
+		}
+		cn, err := c.endpointConn(c.primary)
+		if err != nil {
+			var ce *ConnError
+			if errors.As(err, &ce) {
+				return nil, &ConnError{Err: fmt.Errorf("%w: %v", ErrPrimaryDown, ce.Err)}
+			}
+			return nil, err
+		}
+		return cn, nil
 	}
 	var lastErr error
-	for a := 0; a < attempts; a++ {
-		cn, err := c.pick()
+	if n := len(c.replicas); n > 0 {
+		start := int(c.rr.Add(1))
+		for k := 0; k < n; k++ {
+			e := c.replicas[(start+k)%n]
+			if e.stale.Load() || e.gated() {
+				continue
+			}
+			cn, err := c.endpointConn(e)
+			if err == nil {
+				return cn, nil
+			}
+			lastErr = err
+		}
+	}
+	if !c.primary.gated() {
+		cn, err := c.endpointConn(c.primary)
 		if err == nil {
+			return cn, nil
+		}
+		lastErr = err
+	}
+	// Everything healthy is gated; a stale replica is still a better
+	// answer than none.
+	for _, e := range c.replicas {
+		if e.gated() {
+			continue
+		}
+		cn, err := c.endpointConn(e)
+		if err == nil {
+			return cn, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = &ConnError{Err: errors.New("all endpoints backing off")}
+	}
+	return nil, lastErr
+}
+
+// roundTrip sends one request and waits for its completion. Transport
+// failures are retried (on a re-picked connection) only when the
+// operation is idempotent; StatusBusy — which the server sends before
+// executing anything — is retried with backoff for every operation.
+func (c *Client) roundTrip(op wire.Op, payload []byte, write, idempotent bool) (*Call, error) {
+	var lastErr error
+	connRetries, busyRetries := 0, 0
+	for {
+		var err error
+		cn, perr := c.pickConn(write)
+		if perr == nil {
 			call := cn.send(op, payload, c.opts.RequestTimeout)
 			<-call.done
 			if call.Err == nil {
 				return call, nil
 			}
 			err = call.Err
+		} else {
+			err = perr
 		}
 		lastErr = err
-		var ce *ConnError
-		if !errors.As(err, &ce) {
-			return nil, err // application-level: never retried
-		}
 		if c.closed.Load() {
-			return nil, err
+			return nil, lastErr
+		}
+		var ce *ConnError
+		switch {
+		case errors.Is(err, ErrBusy):
+			if busyRetries >= c.opts.Retries {
+				return nil, lastErr
+			}
+			busyRetries++
+			time.Sleep(backoffDelay(c.opts.RedialBackoff, c.opts.RedialBackoffMax, busyRetries))
+		case errors.As(err, &ce):
+			if !idempotent || connRetries >= c.opts.Retries {
+				return nil, lastErr
+			}
+			connRetries++
+		default:
+			return nil, lastErr // application-level: never retried
 		}
 	}
-	return nil, lastErr
 }
 
 // Get returns the value stored under key on the server, and whether the
 // key was present. Idempotent: retried on transport failure.
 func (c *Client) Get(key bmeh.Key) (uint64, bool, error) {
-	call, err := c.roundTrip(wire.OpGet, wire.AppendGetReq(nil, key), true)
+	call, err := c.roundTrip(wire.OpGet, wire.AppendGetReq(nil, key), false, true)
 	if err != nil {
 		return 0, false, err
 	}
@@ -219,14 +482,14 @@ func (c *Client) Get(key bmeh.Key) (uint64, bool, error) {
 // returned as a *ConnError without retrying (the server may have applied
 // the write).
 func (c *Client) Put(key bmeh.Key, value uint64) error {
-	_, err := c.roundTrip(wire.OpPut, wire.AppendPutReq(nil, key, value), false)
+	_, err := c.roundTrip(wire.OpPut, wire.AppendPutReq(nil, key, value), true, false)
 	return err
 }
 
 // Delete removes key, reporting whether it was present. Not retried: a
 // replayed delete would misreport an already-removed key as absent.
 func (c *Client) Delete(key bmeh.Key) (bool, error) {
-	call, err := c.roundTrip(wire.OpDel, wire.AppendGetReq(nil, key), false)
+	call, err := c.roundTrip(wire.OpDel, wire.AppendGetReq(nil, key), true, false)
 	if err != nil {
 		return false, err
 	}
@@ -241,7 +504,7 @@ func (c *Client) Range(lo, hi bmeh.Key, limit int) ([]bmeh.KV, bool, error) {
 	if limit < 0 {
 		limit = 0
 	}
-	call, err := c.roundTrip(wire.OpRange, wire.AppendRangeReq(nil, lo, hi, uint32(limit)), true)
+	call, err := c.roundTrip(wire.OpRange, wire.AppendRangeReq(nil, lo, hi, uint32(limit)), false, true)
 	if err != nil {
 		return nil, false, err
 	}
@@ -255,23 +518,25 @@ func (c *Client) Batch(kvs []bmeh.KV) (int, error) {
 	for i, kv := range kvs {
 		enc[i] = wire.KV{Key: kv.Key, Value: kv.Value}
 	}
-	call, err := c.roundTrip(wire.OpBatch, wire.AppendBatchReq(nil, enc), false)
+	call, err := c.roundTrip(wire.OpBatch, wire.AppendBatchReq(nil, enc), true, false)
 	if err != nil {
 		return 0, err
 	}
 	return call.Inserted, nil
 }
 
-// Sync asks the server to commit everything it has acknowledged.
-// Idempotent: retried on transport failure.
+// Sync asks the server to commit everything it has acknowledged. A
+// write (it must reach the primary), but idempotent: retried on
+// transport failure.
 func (c *Client) Sync() error {
-	_, err := c.roundTrip(wire.OpSync, nil, true)
+	_, err := c.roundTrip(wire.OpSync, nil, true, true)
 	return err
 }
 
-// Stats returns the server's index statistics. Idempotent.
+// Stats returns a server's index statistics — from a replica when one
+// is serving reads. Idempotent.
 func (c *Client) Stats() (Stats, error) {
-	call, err := c.roundTrip(wire.OpStats, nil, true)
+	call, err := c.roundTrip(wire.OpStats, nil, false, true)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -292,7 +557,8 @@ func (c *Client) PutAsync(key bmeh.Key, value uint64) *Call {
 }
 
 func (c *Client) async(op wire.Op, payload []byte) *Call {
-	cn, err := c.pick()
+	write := op == wire.OpPut
+	cn, err := c.pickConn(write)
 	if err != nil {
 		call := &Call{op: op, done: make(chan struct{})}
 		call.Err = err
@@ -300,6 +566,81 @@ func (c *Client) async(op wire.Op, payload []byte) *Call {
 		return call
 	}
 	return cn.send(op, payload, c.opts.RequestTimeout)
+}
+
+// EndpointHealth is one node's routing state as the client sees it.
+type EndpointHealth struct {
+	Addr      string
+	Primary   bool
+	Connected bool // at least one live pooled connection
+	Backoff   bool // inside its redial backoff window
+	Stale     bool // demoted from reads for lagging past MaxLag
+	Lag       uint64
+	Dials     int64 // dial attempts so far (gated redials don't count)
+}
+
+// Health snapshots every endpoint's routing state, primary first.
+func (c *Client) Health() []EndpointHealth {
+	eps := c.endpoints()
+	out := make([]EndpointHealth, len(eps))
+	for i, e := range eps {
+		e.mu.Lock()
+		backoff := time.Now().Before(e.nextDial)
+		e.mu.Unlock()
+		out[i] = EndpointHealth{
+			Addr:      e.addr,
+			Primary:   e.primary,
+			Connected: e.live.Load() > 0,
+			Backoff:   backoff,
+			Stale:     e.stale.Load(),
+			Lag:       e.lag.Load(),
+			Dials:     e.dials.Load(),
+		}
+	}
+	return out
+}
+
+// ProbeNow runs one synchronous health probe round: each replica is
+// asked for STATS, its lag recorded, and its read eligibility updated.
+// The background prober does the same every Options.HealthInterval.
+func (c *Client) ProbeNow() {
+	for _, e := range c.replicas {
+		c.probe(e)
+	}
+}
+
+func (c *Client) probe(e *endpoint) {
+	cn, err := c.endpointConn(e)
+	if err != nil {
+		// Unreachable: the redial gate already keeps it out of routing;
+		// staleness is left as last measured.
+		return
+	}
+	call := cn.send(wire.OpStats, nil, c.opts.RequestTimeout)
+	<-call.done
+	if call.Err != nil {
+		return
+	}
+	var lag uint64
+	if call.Stats.PrimarySeq > call.Stats.CommitSeq {
+		lag = call.Stats.PrimarySeq - call.Stats.CommitSeq
+	}
+	e.lag.Store(lag)
+	e.stale.Store(lag > c.opts.MaxLag)
+}
+
+func (c *Client) proberLoop() {
+	defer close(c.proberDone)
+	t := time.NewTicker(c.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.proberStop:
+			return
+		case <-t.C:
+			c.ProbeNow()
+		}
+	}
 }
 
 // Call is one in-flight (or completed) pipelined request. Its result
@@ -473,6 +814,10 @@ func (ca *Call) decode(payload []byte) error {
 		return bmeh.ErrDuplicate
 	case wire.StatusErr:
 		return RemoteError(string(body))
+	case wire.StatusBusy:
+		return ErrBusy
+	case wire.StatusReadOnly:
+		return ErrReadOnly
 	case wire.StatusOK:
 	default:
 		return fmt.Errorf("client: unknown response status %d", st)
@@ -519,6 +864,10 @@ func (ca *Call) decode(payload []byte) error {
 			DataPages:         int(s.DataPages),
 			DirectoryPages:    int(s.DirectoryPages),
 			LoadFactor:        s.LoadFactor,
+			Role:              s.Role,
+			Replicas:          int(s.Replicas),
+			CommitSeq:         s.CommitSeq,
+			PrimarySeq:        s.PrimarySeq,
 		}
 	}
 	return nil

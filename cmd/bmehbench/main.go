@@ -34,8 +34,9 @@ func main() {
 		cache     = flag.Bool("cache", false, "run the buffer-pool (physical I/O) ablation")
 		conc      = flag.Bool("concurrent", false, "run the parallel get/insert/mixed sweep (1/4/16 goroutines)")
 		netBench  = flag.Bool("net", false, "run the loopback network serving benchmark (16 pipelined clients)")
-		jsonPath  = flag.String("json", "", "with -concurrent/-net: also write the report to this JSON file")
-		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net: measurement window per configuration")
+		replBench = flag.Bool("repl", false, "run the replication benchmark (catch-up + availability across a primary restart)")
+		jsonPath  = flag.String("json", "", "with -concurrent/-net/-repl: also write the report to this JSON file")
+		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net/-repl: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
 		all       = flag.Bool("all", false, "run every table, figure and extra experiment")
 		n         = flag.Int("n", 40000, "keys to insert per run (paper: 40000)")
@@ -135,6 +136,20 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runReplBench := func() {
+		ran = true
+		nn := *n
+		if nn > 20000 {
+			nn = 20000 // preload working set; larger N only lengthens setup
+		}
+		rep, err := runRepl(os.Stdout, nn, *window, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeReplJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -185,6 +200,9 @@ func main() {
 		}
 		if *netBench {
 			runNet()
+		}
+		if *replBench {
+			runReplBench()
 		}
 	}
 	if !ran {

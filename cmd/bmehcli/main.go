@@ -183,6 +183,10 @@ func runFsck(path string) int {
 		fmt.Printf("%s: %s, %d page(s) (%d free) of %d bytes, %d record(s)\n",
 			rep.Path, rep.Scheme, rep.Pages, rep.FreePages, rep.PageSize, rep.Records)
 	}
+	if rep.WALBatches > 0 || rep.WALTailBytes > 0 {
+		fmt.Printf("wal: %d committed batch(es), %d frame(s), %d torn tail byte(s)\n",
+			rep.WALBatches, rep.WALFrames, rep.WALTailBytes)
+	}
 	if rep.OK() {
 		fmt.Println("ok")
 		return 0

@@ -8,10 +8,17 @@
 // index Syncs — so the next open replays nothing from the WAL and
 // reports a clean shutdown. A second signal aborts the drain.
 //
+// A file-backed server is a replication primary: replicas subscribe
+// over the same port and receive every committed batch. Started with
+// -replica-of, the process is instead a read replica: it follows the
+// given primary (seeding itself with a snapshot when its local file
+// does not exist yet), serves reads, and refuses writes.
+//
 // Usage:
 //
 //	bmehserve -index cities.bmeh -addr :7707
 //	bmehserve -mem -dims 3 -addr 127.0.0.1:0
+//	bmehserve -index replica.bmeh -replica-of primary:7707 -addr :7708
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"bmeh"
+	"bmeh/internal/repl"
 	"bmeh/internal/server"
 )
 
@@ -45,6 +53,7 @@ type serveConfig struct {
 	coalesceMax  int
 	coalesceWait time.Duration
 	drainTimeout time.Duration
+	replicaOf    string // primary address; "" means this node is a primary
 }
 
 // runServer opens/creates the index, serves cfg.addr until a value
@@ -52,6 +61,9 @@ type serveConfig struct {
 // with the bound address once the listener is up — tests use it to learn
 // the port and to coordinate shutdown.
 func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw io.Writer) error {
+	if cfg.replicaOf != "" {
+		return runReplica(cfg, sig, ready, logw)
+	}
 	opts := bmeh.Options{
 		Dims:         cfg.dims,
 		PageCapacity: cfg.capacity,
@@ -87,9 +99,23 @@ func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw
 		}
 	}
 
+	// A file-backed primary publishes its commit stream so replicas can
+	// subscribe; an in-memory index has no commit sequence to ship.
+	var hub *repl.Hub
+	if !cfg.mem {
+		hub = repl.NewHub(ix, repl.HubOptions{})
+		if err := ix.SetReplPublisher(hub.Publish); err != nil {
+			return err
+		}
+		defer func() {
+			ix.SetReplPublisher(nil)
+			hub.Close()
+		}()
+	}
 	srv := server.New(ix, server.Config{
 		CoalesceMax:  cfg.coalesceMax,
 		CoalesceWait: cfg.coalesceWait,
+		Hub:          hub,
 		Logf:         func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -129,6 +155,83 @@ func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw
 	}
 }
 
+// runReplica follows a primary: seed (or reopen) the local store, apply
+// the replication stream, and serve reads only. Drain order on signal:
+// stop serving clients, stop the replication link, close the store —
+// so the last applied batch is durable and the WAL left clean.
+func runReplica(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw io.Writer) error {
+	if cfg.mem {
+		return errors.New("-replica-of needs a file-backed store, not -mem")
+	}
+	if cfg.indexPath == "" {
+		return errors.New("-replica-of requires -index")
+	}
+	target, err := bmeh.NewReplicaTarget(cfg.indexPath, cfg.cache)
+	if err != nil {
+		return err
+	}
+	defer target.Close()
+	rep := repl.NewReplica(target, cfg.replicaOf, repl.ReplicaOptions{
+		Logf: func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
+	})
+	rep.Start()
+	defer rep.Close()
+
+	// A replica with no local file yet cannot serve until the first
+	// snapshot lands; one with a file serves immediately and catches up.
+	select {
+	case <-target.Ready():
+	case s := <-sig:
+		fmt.Fprintf(logw, "bmehserve: %v before initial snapshot, exiting\n", s)
+		return nil
+	}
+	ix := target.Index()
+	fmt.Fprintf(logw, "bmehserve: replica of %s at seq %d, %d record(s)\n",
+		cfg.replicaOf, ix.ReplCommitSeq(), ix.Len())
+
+	srv := server.New(ix, server.Config{
+		ReadOnly: true,
+		ReplicaStatus: func() (primarySeq, appliedSeq uint64, connected bool) {
+			st := rep.Status()
+			return st.PrimarySeq, st.AppliedSeq, st.Connected
+		},
+		Logf: func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
+	})
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "bmehserve: replica serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		fmt.Fprintf(logw, "bmehserve: %v: draining replica (timeout %v)\n", s, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		go func() {
+			if s, ok := <-sig; ok {
+				fmt.Fprintf(logw, "bmehserve: %v: aborting drain\n", s)
+				cancel()
+			}
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			<-serveErr
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintf(logw, "bmehserve: replica drained cleanly\n")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
 func main() {
 	var cfg serveConfig
 	flag.StringVar(&cfg.addr, "addr", ":7707", "listen address")
@@ -143,6 +246,7 @@ func main() {
 	flag.IntVar(&cfg.coalesceMax, "coalesce-max", 0, "max PUTs folded into one InsertBatch (0 = server default)")
 	flag.DurationVar(&cfg.coalesceWait, "coalesce-wait", 0, "how long to hold a non-full PUT batch open (0 = don't wait)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.StringVar(&cfg.replicaOf, "replica-of", "", "follow this primary (host:port) as a read replica")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()

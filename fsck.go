@@ -1,7 +1,9 @@
 package bmeh
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 
 	"bmeh/internal/core"
 	"bmeh/internal/mdeh"
@@ -27,6 +29,16 @@ type FsckReport struct {
 	// Records is the record count recovered from the header, when the
 	// index loaded.
 	Records int
+	// WALBatches is the number of fully committed write-ahead-log batches
+	// found in the log before recovery (0 after a clean shutdown, whose
+	// final Reset empties the log).
+	WALBatches int
+	// WALFrames is the number of page frames those batches carried.
+	WALFrames int
+	// WALTailBytes counts log bytes after the last committed batch — the
+	// residue of a commit torn by a crash. Harmless (recovery discards
+	// it), reported for visibility.
+	WALTailBytes int
 	// Problems lists every finding, one line each. Empty means clean.
 	Problems []string
 }
@@ -47,8 +59,21 @@ func (r *FsckReport) problemf(format string, args ...any) {
 // Opening the store runs crash recovery first: a committed write-ahead-log
 // tail is replayed into the file (as any reopen would), so Fsck judges the
 // recovered state. The index must not be open elsewhere during the check.
+//
+// The WAL-chain check reads the raw log before recovery resets it and
+// verifies that the CRC chain of every committed, un-truncated batch
+// matches the applied page state: each page's final journaled image must
+// equal its home slot after replay. A mismatch means the file diverged
+// from its own log — the signature of replica divergence or an errant
+// writer — and is reported as a problem.
 func Fsck(path string) (*FsckReport, error) {
 	r := &FsckReport{Path: path}
+	// Capture the log's bytes first: opening the store replays and resets
+	// it.
+	walBytes, walErr := os.ReadFile(path + ".wal")
+	if walErr != nil && !os.IsNotExist(walErr) {
+		r.problemf("reading WAL: %v", walErr)
+	}
 	fd, err := pagestore.OpenFileDisk(path)
 	if err != nil {
 		r.problemf("opening store: %v", err)
@@ -62,6 +87,8 @@ func Fsck(path string) (*FsckReport, error) {
 	for _, e := range damaged {
 		r.problemf("page scan: %v", e)
 	}
+
+	r.checkWALChain(fd, walBytes)
 
 	meta := make([]byte, fd.PageSize())
 	n, err := fd.ReadMeta(meta)
@@ -100,4 +127,40 @@ func Fsck(path string) (*FsckReport, error) {
 		r.problemf("structural check: %v", err)
 	}
 	return r, nil
+}
+
+// checkWALChain verifies the captured log against the recovered store:
+// every committed batch's CRC chain must parse, and each page's final
+// journaled image must match its home slot. fd has already replayed the
+// log, so a clean store satisfies this by construction; a mismatch means
+// the main file and its log disagree about the same commit.
+func (r *FsckReport) checkWALChain(fd *pagestore.FileDisk, walBytes []byte) {
+	if len(walBytes) == 0 {
+		return
+	}
+	batches, frames, tail, err := pagestore.ScanWALBytes(walBytes)
+	r.WALBatches, r.WALFrames, r.WALTailBytes = batches, len(frames), tail
+	if err != nil {
+		r.problemf("WAL chain: %v", err)
+		return
+	}
+	// Later batches overwrite earlier ones: only each page's final image
+	// must match the applied state.
+	final := make(map[pagestore.PageID]pagestore.Frame, len(frames))
+	for _, fr := range frames {
+		final[fr.ID] = fr
+	}
+	for id, fr := range final {
+		got, kind, err := fd.RawPage(id)
+		if err != nil {
+			r.problemf("WAL chain: page %d journaled but unreadable: %v", id, err)
+			continue
+		}
+		if kind != fr.Kind {
+			r.problemf("WAL chain: page %d journaled as %v, stored as %v", id, fr.Kind, kind)
+		}
+		if !bytes.Equal(got, fr.Data) {
+			r.problemf("WAL chain: page %d diverges from its journaled image", id)
+		}
+	}
 }

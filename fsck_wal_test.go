@@ -1,0 +1,122 @@
+package bmeh
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bmeh/internal/pagestore"
+)
+
+// craftWAL builds a .wal image committing the given frames, optionally
+// followed by torn junk, and installs it next to path.
+func craftWAL(t *testing.T, path string, pageSize int, frames []pagestore.Frame, junk []byte) {
+	t.Helper()
+	mf := pagestore.NewMemFile()
+	w, err := pagestore.CreateWAL(mf, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) > 0 {
+		if err := w.Commit(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path+".wal", append(mf.Bytes(), junk...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walTestIndex creates a populated, cleanly closed index and returns its
+// path plus the durable image and kind of page 1.
+func walTestIndex(t *testing.T) (path string, pageSize int, page1 []byte, kind1 pagestore.Kind) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "ix.bmeh")
+	ix, err := Create(path, Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range randKeys(300, 2, 31) {
+		if err := ix.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := pagestore.OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageSize = fd.PageSize()
+	page1, kind1, err = fd.RawPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1 = append([]byte(nil), page1...)
+	if err := fd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, pageSize, page1, kind1
+}
+
+// TestFsckWALChainClean: a committed WAL batch whose frame matches the
+// applied page state is reported (batch/frame counts) with no problems.
+func TestFsckWALChainClean(t *testing.T) {
+	path, pageSize, page1, kind1 := walTestIndex(t)
+	craftWAL(t, path, pageSize, []pagestore.Frame{{ID: 1, Kind: kind1, Data: page1}}, nil)
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck with clean WAL chain: %v", rep.Problems)
+	}
+	if rep.WALBatches != 1 || rep.WALFrames != 1 || rep.WALTailBytes != 0 {
+		t.Fatalf("WAL accounting: batches=%d frames=%d tail=%d, want 1/1/0",
+			rep.WALBatches, rep.WALFrames, rep.WALTailBytes)
+	}
+}
+
+// TestFsckWALTornTail: garbage after the last commit is a torn write —
+// counted, not a problem (recovery discards it).
+func TestFsckWALTornTail(t *testing.T) {
+	path, pageSize, page1, kind1 := walTestIndex(t)
+	junk := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	craftWAL(t, path, pageSize, []pagestore.Frame{{ID: 1, Kind: kind1, Data: page1}}, junk)
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck with torn WAL tail: %v", rep.Problems)
+	}
+	if rep.WALBatches != 1 || rep.WALTailBytes != len(junk) {
+		t.Fatalf("WAL accounting: batches=%d tail=%d, want 1/%d",
+			rep.WALBatches, rep.WALTailBytes, len(junk))
+	}
+}
+
+// TestFsckWALChainOutOfRange: a committed frame journaling a page the
+// store does not have is flagged — the chain and the store disagree.
+func TestFsckWALChainOutOfRange(t *testing.T) {
+	path, pageSize, page1, kind1 := walTestIndex(t)
+	craftWAL(t, path, pageSize, []pagestore.Frame{{ID: 4096, Kind: kind1, Data: page1}}, nil)
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck accepted a WAL frame beyond the store's page count")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "WAL chain") && strings.Contains(p, "unreadable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems lack the WAL chain diagnosis: %v", rep.Problems)
+	}
+}

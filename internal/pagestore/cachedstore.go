@@ -96,6 +96,11 @@ func (c *CachedStore) Allocated() map[Kind]int { return c.inner.Allocated() }
 // Flush writes every dirty frame back to the inner store.
 func (c *CachedStore) Flush() error { return c.pool.Flush() }
 
+// Drop discards any cached frame for id without write-back. Replication
+// apply uses it to invalidate frames whose pages were rewritten in the
+// inner store underneath the cache.
+func (c *CachedStore) Drop(id PageID) { c.pool.Drop(id) }
+
 // HitRate reports the pool's cache hits and misses.
 func (c *CachedStore) HitRate() (hits, misses uint64) { return c.pool.HitRate() }
 

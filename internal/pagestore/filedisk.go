@@ -1,6 +1,7 @@
 package pagestore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -24,7 +25,7 @@ const fileVersion = 2
 // fileHeaderSize is the number of meta-page bytes reserved for the store's
 // own header; the remainder of the meta page is available to the client via
 // ReadMeta/WriteMeta.
-const fileHeaderSize = 32 // magic(8) version(4) pageSize(4) pageCount(4) freeHead(4) metaLen(4) reserved(4)
+const fileHeaderSize = 32 // magic(8) version(4) pageSize(4) pageCount(4) freeHead(4) metaLen(4) commitSeq(4)
 
 // pageTrailerSize is the per-slot trailer appended after each page's data:
 // crc32(4) over data+kind, kind(1), reserved(3). The trailer both detects
@@ -69,6 +70,17 @@ type FileDisk struct {
 	stats     Stats
 	recovered int // committed WAL batches replayed when the store was opened
 	closed    bool
+	// commitSeq numbers committed batches, starting at 1 for the creation
+	// commit. It is persisted in the meta header (as a uint32; ~4 billion
+	// commits before wraparound, far beyond this store's lifetime), so a
+	// reopened store resumes the sequence and a replica can tell exactly
+	// which commit its copy reflects.
+	commitSeq uint64
+	// hook, when set, observes every committed batch: it runs under mu,
+	// after the WAL has been reset, with the batch's sequence number and
+	// frames (meta page last). Frames are not reused afterwards, so the
+	// hook may retain them. See SetCommitHook.
+	hook func(seq uint64, frames []Frame)
 	// gc, when non-nil, coalesces Sync calls (group commit). Stored
 	// atomically so Sync can consult it without taking mu.
 	gc atomic.Pointer[GroupCommitter]
@@ -225,6 +237,7 @@ func OpenFileDiskFiles(main, walFile File) (*FileDisk, error) {
 		freeHead:  PageID(binary.BigEndian.Uint32(hdr[20:24])),
 		dirty:     make(map[PageID][]byte),
 		recovered: recovered,
+		commitSeq: uint64(binary.BigEndian.Uint32(hdr[28:32])),
 	}
 	metaPage, err := d.readSlot(0, KindMeta)
 	if err != nil {
@@ -334,8 +347,9 @@ func (d *FileDisk) readSlot(id PageID, want Kind) ([]byte, error) {
 }
 
 // composeMetaPage builds the meta page image: store header, then the
-// client meta record, zero-padded to pageSize.
-func (d *FileDisk) composeMetaPage() []byte {
+// client meta record, zero-padded to pageSize. seq is the commit sequence
+// number the page will belong to.
+func (d *FileDisk) composeMetaPage(seq uint64) []byte {
 	page := make([]byte, d.pageSize)
 	binary.BigEndian.PutUint64(page[0:8], fileMagic)
 	binary.BigEndian.PutUint32(page[8:12], fileVersion)
@@ -343,6 +357,7 @@ func (d *FileDisk) composeMetaPage() []byte {
 	binary.BigEndian.PutUint32(page[16:20], d.pageCount)
 	binary.BigEndian.PutUint32(page[20:24], uint32(d.freeHead))
 	binary.BigEndian.PutUint32(page[24:28], uint32(len(d.meta)))
+	binary.BigEndian.PutUint32(page[28:32], uint32(seq))
 	copy(page[fileHeaderSize:], d.meta)
 	return page
 }
@@ -494,7 +509,11 @@ func (d *FileDisk) ReadMeta(buf []byte) (int, error) {
 }
 
 // WriteMeta stages client metadata for the meta page; it is committed,
-// checksummed with the header, at the next Sync.
+// checksummed with the header, at the next Sync. Writing bytes identical
+// to the current record is a no-op: it stages nothing, so a redundant
+// meta write never forces a commit. Replicas depend on this — their
+// shutdown path writes back the meta they already hold, and a staged
+// commit there would advance the replica's sequence past the primary's.
 func (d *FileDisk) WriteMeta(data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -503,6 +522,9 @@ func (d *FileDisk) WriteMeta(data []byte) error {
 	}
 	if len(data) > d.pageSize-fileHeaderSize {
 		return ErrPageSize
+	}
+	if bytes.Equal(d.meta, data) {
+		return nil
 	}
 	d.meta = append(d.meta[:0], data...)
 	d.metaDirty = true
@@ -633,6 +655,16 @@ func (d *FileDisk) syncLocked() error {
 	if len(d.dirty) == 0 && !d.metaDirty {
 		return d.f.Sync()
 	}
+	// The sequence number is assigned only when the commit succeeds, so a
+	// failed Sync retried later does not skip a number.
+	return d.commitLocked(d.commitSeq + 1)
+}
+
+// commitLocked runs one atomic commit of the staged writes as batch seq:
+// WAL journal, fsync, home-slot writes, fsync, WAL reset. On success the
+// store's commit sequence becomes seq and the commit hook (if any)
+// observes the batch.
+func (d *FileDisk) commitLocked(seq uint64) error {
 	ids := make([]PageID, 0, len(d.dirty))
 	for id := range d.dirty {
 		ids = append(ids, id)
@@ -642,9 +674,10 @@ func (d *FileDisk) syncLocked() error {
 	for _, id := range ids {
 		frames = append(frames, Frame{ID: id, Kind: d.kinds[id], Data: d.dirty[id]})
 	}
-	// The meta page rides in every batch: pageCount and freeHead must
-	// commit atomically with the pages that made them change.
-	frames = append(frames, Frame{ID: 0, Kind: KindMeta, Data: d.composeMetaPage()})
+	// The meta page rides in every batch: pageCount, freeHead and the
+	// commit sequence must commit atomically with the pages that made
+	// them change.
+	frames = append(frames, Frame{ID: 0, Kind: KindMeta, Data: d.composeMetaPage(seq)})
 	if err := d.wal.Commit(frames); err != nil {
 		return err
 	}
@@ -661,6 +694,15 @@ func (d *FileDisk) syncLocked() error {
 	}
 	d.dirty = make(map[PageID][]byte)
 	d.metaDirty = false
+	d.commitSeq = seq
+	// The hook fires after the WAL reset, i.e. after the checkpoint
+	// barrier: by the time a subscriber sees the batch it is already home
+	// in the main file, so nothing the subscriber does can race the
+	// truncation. The frames are fresh allocations (the dirty map was
+	// just replaced), so the hook may keep them.
+	if d.hook != nil {
+		d.hook(seq, frames)
+	}
 	return nil
 }
 

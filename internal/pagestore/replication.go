@@ -1,0 +1,284 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file is the storage half of WAL shipping. A primary publishes every
+// committed batch — the exact frames its own WAL just journaled, tagged
+// with a monotonically increasing commit sequence number — through a hook
+// installed with SetCommitHook. A replica feeds those batches to
+// ApplyReplicated, which commits them through the replica's own WAL, so a
+// replica is crash-consistent by the same argument as a primary. A replica
+// that is too far behind for the primary's in-memory segment history is
+// reseeded with a full snapshot (SnapshotPages on the primary,
+// ApplySnapshot on the replica).
+//
+// Because both sides write identical page images at identical offsets,
+// re-encode the meta page from identical fields, and reset their WALs to a
+// bare header on clean close, a caught-up replica's file is byte-for-byte
+// equal to the primary's.
+
+// ErrReplicaGap reports a replicated batch whose sequence number does not
+// directly follow the store's commit sequence: one or more batches are
+// missing and the subscriber must resynchronize (replay from the primary's
+// segment history, or take a snapshot).
+var ErrReplicaGap = errors.New("pagestore: replication gap")
+
+// SetCommitHook installs fn as the store's commit observer. After every
+// successful commit, fn runs — under the store's lock, so strictly in
+// commit order and after the WAL checkpoint barrier — with the batch's
+// sequence number and frames (home pages first, meta page last). The
+// frames are not reused by the store afterwards; fn may retain them, but
+// must not call back into the store. A nil fn uninstalls the hook.
+func (d *FileDisk) SetCommitHook(fn func(seq uint64, frames []Frame)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook = fn
+}
+
+// CommitSeq returns the sequence number of the last committed batch.
+// Staged-but-unsynced writes are not reflected.
+func (d *FileDisk) CommitSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.commitSeq
+}
+
+// SnapshotPages streams a consistent image of the whole store — every
+// slot, free and allocated, the meta page included — to fn in page-id
+// order, and returns the commit sequence and page count the image belongs
+// to. Staged writes are committed first so the image is self-consistent;
+// callers that layer caches above the store must flush them before
+// calling. The page data passed to fn is only valid during the call.
+func (d *FileDisk) SnapshotPages(fn func(id PageID, kind Kind, data []byte) error) (seq uint64, pageCount uint32, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, 0, ErrClosed
+	}
+	if len(d.dirty) > 0 || d.metaDirty {
+		if err := d.commitLocked(d.commitSeq + 1); err != nil {
+			return 0, 0, err
+		}
+	}
+	for id := PageID(0); uint32(id) < d.pageCount; id++ {
+		page, err := d.readSlot(id, d.kinds[id])
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fn(id, d.kinds[id], page); err != nil {
+			return 0, 0, err
+		}
+	}
+	return d.commitSeq, d.pageCount, nil
+}
+
+// parseReplicatedMeta validates a replicated meta-page image against the
+// store's geometry and returns the header fields it carries.
+func (d *FileDisk) parseReplicatedMeta(meta []byte, wantSeq uint64) (pageCount uint32, freeHead PageID, record []byte, err error) {
+	if binary.BigEndian.Uint64(meta[0:8]) != fileMagic {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated meta page has bad magic: %w", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(meta[8:12]); v != fileVersion {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated meta page has format version %d (want %d): %w", v, fileVersion, ErrCorrupt)
+	}
+	if ps := int(binary.BigEndian.Uint32(meta[12:16])); ps != d.pageSize {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated page size %d, store page size %d: %w", ps, d.pageSize, ErrCorrupt)
+	}
+	if got := uint64(binary.BigEndian.Uint32(meta[28:32])); got != wantSeq&0xffffffff {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated meta page carries seq %d, batch claims %d: %w", got, wantSeq, ErrCorrupt)
+	}
+	pageCount = binary.BigEndian.Uint32(meta[16:20])
+	if pageCount < 1 {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated page count 0: %w", ErrCorrupt)
+	}
+	metaLen := int(binary.BigEndian.Uint32(meta[24:28]))
+	if metaLen > d.pageSize-fileHeaderSize {
+		return 0, 0, nil, fmt.Errorf("pagestore: replicated meta record length %d exceeds page: %w", metaLen, ErrCorrupt)
+	}
+	freeHead = PageID(binary.BigEndian.Uint32(meta[20:24]))
+	return pageCount, freeHead, meta[fileHeaderSize : fileHeaderSize+metaLen], nil
+}
+
+// stageReplicatedFrames stages every frame of a replicated batch and
+// returns the batch's meta-page image. The kind table grows as needed so
+// pages allocated by the batch exist before the commit.
+func (d *FileDisk) stageReplicatedFrames(frames []Frame) ([]byte, error) {
+	var meta []byte
+	for _, fr := range frames {
+		if len(fr.Data) != d.pageSize {
+			return nil, fmt.Errorf("pagestore: replicated frame for page %d has %d bytes, want %d", fr.ID, len(fr.Data), d.pageSize)
+		}
+		if fr.ID == 0 {
+			if fr.Kind != KindMeta {
+				return nil, fmt.Errorf("pagestore: replicated page 0 has kind %v: %w", fr.Kind, ErrCorrupt)
+			}
+			meta = fr.Data
+			continue
+		}
+		for uint32(fr.ID) >= uint32(len(d.kinds)) {
+			d.kinds = append(d.kinds, KindFree)
+		}
+		d.kinds[fr.ID] = fr.Kind
+		d.dirty[fr.ID] = append([]byte(nil), fr.Data...)
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("pagestore: replicated batch carries no meta page: %w", ErrCorrupt)
+	}
+	return meta, nil
+}
+
+// ApplyReplicated applies one replicated commit batch to the store. The
+// batch must directly follow the store's commit sequence; a batch at or
+// below the current sequence is skipped (duplicate delivery is harmless)
+// and a batch further ahead fails with an error wrapping ErrReplicaGap.
+// The batch commits through the store's own WAL, so a crash mid-apply is
+// recovered exactly like a local commit. It reports whether the batch was
+// applied (false for a duplicate).
+//
+// The store must be a replica: it must carry no local writes. Staged
+// state found here can only be the residue of a previously failed apply
+// and is discarded before the batch is staged fresh.
+func (d *FileDisk) ApplyReplicated(seq uint64, frames []Frame) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	switch {
+	case seq <= d.commitSeq:
+		return false, nil
+	case seq != d.commitSeq+1:
+		return false, fmt.Errorf("%w: store at seq %d, batch is %d", ErrReplicaGap, d.commitSeq, seq)
+	}
+	d.dirty = make(map[PageID][]byte)
+	d.metaDirty = false
+	meta, err := d.stageReplicatedFrames(frames)
+	if err != nil {
+		return false, err
+	}
+	pageCount, freeHead, record, err := d.parseReplicatedMeta(meta, seq)
+	if err != nil {
+		return false, err
+	}
+	if int(pageCount) > len(d.kinds) {
+		// Every page a batch allocates travels in that batch, so growth
+		// beyond the staged frames means a batch was lost upstream.
+		return false, fmt.Errorf("pagestore: replicated meta claims %d pages, batch reaches %d: %w", pageCount, len(d.kinds), ErrCorrupt)
+	}
+	d.pageCount = pageCount
+	d.freeHead = freeHead
+	d.meta = append(d.meta[:0], record...)
+	if err := d.commitLocked(seq); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ApplySnapshot replaces the store's entire contents with a snapshot
+// taken by SnapshotPages on another store of the same page size: frames
+// must hold every page of the source, the meta page included, and seq is
+// the commit sequence the snapshot belongs to. The replacement commits
+// through the store's own WAL; afterwards the file is truncated to
+// exactly the snapshot's length, so a caught-up replica matches the
+// primary byte for byte.
+func (d *FileDisk) ApplySnapshot(seq uint64, frames []Frame) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.dirty = make(map[PageID][]byte)
+	d.metaDirty = false
+	d.kinds = d.kinds[:1]
+	meta, err := d.stageReplicatedFrames(frames)
+	if err != nil {
+		return err
+	}
+	pageCount, freeHead, record, err := d.parseReplicatedMeta(meta, seq)
+	if err != nil {
+		return err
+	}
+	if int(pageCount) != len(d.kinds) || len(d.dirty) != int(pageCount)-1 {
+		return fmt.Errorf("pagestore: snapshot claims %d pages, carries %d: %w", pageCount, len(d.dirty)+1, ErrCorrupt)
+	}
+	d.pageCount = pageCount
+	d.freeHead = freeHead
+	d.meta = append(d.meta[:0], record...)
+	if err := d.commitLocked(seq); err != nil {
+		return err
+	}
+	// Shrink away any slots beyond the snapshot (the store may have been
+	// larger before the reseed). A crash between the commit and the
+	// truncate leaves harmless bytes past the last page, which the next
+	// snapshot or open ignores.
+	want := int64(d.pageCount) * d.slotSize()
+	if size, err := d.f.Size(); err != nil {
+		return err
+	} else if size > want {
+		if err := d.f.Truncate(want); err != nil {
+			return err
+		}
+		if err := d.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RawPage reads and checksum-verifies one slot — any slot, the meta page
+// and free pages included — returning the page image and its recorded
+// kind. Staged writes are not consulted: the read judges durable state.
+// Offline inspection (fsck's WAL-chain check) uses it; it does not count
+// toward Stats.
+func (d *FileDisk) RawPage(id PageID) ([]byte, Kind, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, KindFree, ErrClosed
+	}
+	if uint32(id) >= d.pageCount {
+		return nil, KindFree, ErrOutOfRange
+	}
+	page, err := d.readSlot(id, d.kinds[id])
+	if err != nil {
+		return nil, KindFree, err
+	}
+	return page, d.kinds[id], nil
+}
+
+// ScanWALBytes parses a raw write-ahead-log image (the bytes of a ".wal"
+// file) without touching the store it belongs to. It returns the number
+// of fully committed batches, every frame of those batches in order, and
+// how many trailing bytes fall after the last committed batch (a torn
+// commit's residue; 0 for a cleanly reset log). Fsck uses it to check the
+// log's CRC chain against the applied page state before recovery resets
+// the log.
+func ScanWALBytes(b []byte) (batches int, frames []Frame, tailBytes int, err error) {
+	if len(b) == 0 {
+		return 0, nil, 0, nil
+	}
+	if len(b) < walHeaderSize {
+		// A crash during WAL creation: nothing durable can depend on it.
+		return 0, nil, len(b), nil
+	}
+	mf := NewMemFile()
+	if _, err := mf.WriteAt(b, 0); err != nil {
+		return 0, nil, 0, err
+	}
+	w, err := OpenWAL(mf, 0)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	batches, err = w.Recover(func(fr Frame) error {
+		frames = append(frames, fr)
+		return nil
+	})
+	if err != nil {
+		return batches, frames, 0, err
+	}
+	return batches, frames, len(b) - int(w.tail), nil
+}

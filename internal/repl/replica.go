@@ -1,0 +1,390 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bmeh/internal/pagestore"
+	"bmeh/internal/wire"
+)
+
+// Target is the replica-side store segments and snapshots are applied
+// to. bmeh.ReplicaTarget implements it (bootstrapping the local file from
+// the first snapshot); a bare pagestore.FileDisk can be adapted in tests.
+type Target interface {
+	// ReplCommitSeq returns the last commit sequence the target holds
+	// durably; the replica subscribes from here.
+	ReplCommitSeq() uint64
+	// ApplyReplSegment applies one complete committed batch.
+	ApplyReplSegment(seq uint64, frames []pagestore.Frame) error
+	// ApplyReplSnapshot replaces the target's contents with a full image.
+	ApplyReplSnapshot(seq uint64, pageSize int, pageCount uint32, frames []pagestore.Frame) error
+}
+
+// ReplicaOptions configures the streaming loop. The zero value picks
+// defaults suited to tests and small deployments.
+type ReplicaOptions struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// HeartbeatInterval is how often the replica reports its applied
+	// sequence upstream (default 250ms).
+	HeartbeatInterval time.Duration
+	// StallTimeout is how long the stream may stay silent — no segments,
+	// no heartbeats — before the connection is declared dead (default 3s).
+	// It must comfortably exceed the primary hub's heartbeat interval.
+	StallTimeout time.Duration
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between redials (defaults 100ms and 3s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxPayload bounds accepted frame payloads (wire.DefaultMaxPayload
+	// when 0).
+	MaxPayload int
+	// Dial overrides the dialer (tests inject partitions and proxies).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 3 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 3 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// ReplicaStatus is an observability snapshot of the streaming loop.
+type ReplicaStatus struct {
+	Connected  bool
+	AppliedSeq uint64
+	PrimarySeq uint64
+}
+
+// Lag is the replica's distance behind the primary, in commits.
+func (s ReplicaStatus) Lag() uint64 {
+	if s.PrimarySeq <= s.AppliedSeq {
+		return 0
+	}
+	return s.PrimarySeq - s.AppliedSeq
+}
+
+// Replica maintains one replication stream: dial, subscribe from the
+// target's durable sequence, apply whatever arrives, and on any error —
+// disconnect, stall, gap, torn frame — redial with jittered exponential
+// backoff and resubscribe. Because subscription always restarts from the
+// target's durable sequence and the target skips duplicates, every
+// failure mode converges.
+type Replica struct {
+	target Target
+	addr   string
+	opts   ReplicaOptions
+
+	appliedSeq atomic.Uint64
+	primarySeq atomic.Uint64
+	connected  atomic.Bool
+	sessions   atomic.Uint64 // connection attempts, for tests
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewReplica returns an unstarted replica streaming from addr into
+// target.
+func NewReplica(target Target, addr string, opts ReplicaOptions) *Replica {
+	return &Replica{
+		target: target,
+		addr:   addr,
+		opts:   opts.withDefaults(),
+		closed: make(chan struct{}),
+	}
+}
+
+// Start launches the streaming loop.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go r.run()
+}
+
+// Close stops the loop and waits for it to exit.
+func (r *Replica) Close() {
+	r.closeOnce.Do(func() { close(r.closed) })
+	r.wg.Wait()
+}
+
+// Status returns a snapshot of the stream's progress.
+func (r *Replica) Status() ReplicaStatus {
+	return ReplicaStatus{
+		Connected:  r.connected.Load(),
+		AppliedSeq: r.appliedSeq.Load(),
+		PrimarySeq: r.primarySeq.Load(),
+	}
+}
+
+// Sessions returns how many connection attempts the loop has made.
+func (r *Replica) Sessions() uint64 { return r.sessions.Load() }
+
+// AwaitSeq polls until the replica has applied at least seq, the timeout
+// expires, or the replica is closed; it reports success.
+func (r *Replica) AwaitSeq(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if r.appliedSeq.Load() >= seq {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-r.closed:
+			return r.appliedSeq.Load() >= seq
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+func (r *Replica) run() {
+	defer r.wg.Done()
+	fails := 0
+	for {
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		r.sessions.Add(1)
+		err := r.session()
+		r.connected.Store(false)
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		fails++
+		d := backoffDelay(r.opts.BackoffBase, r.opts.BackoffMax, fails)
+		r.logf("repl: stream from %s failed (attempt %d, next in %v): %v", r.addr, fails, d, err)
+		select {
+		case <-r.closed:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// backoffDelay is the capped exponential backoff with full jitter: the
+// delay after the n-th consecutive failure is uniform in
+// (0, min(base·2ⁿ⁻¹, max)], so a herd of reconnecting replicas (or
+// client slots) spreads out instead of thundering.
+func backoffDelay(base, max time.Duration, fails int) time.Duration {
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// session runs one connection: subscribe, then apply the stream until it
+// breaks. Always returns a non-nil error (the stream has no clean end
+// except Close, which interrupts the read via the dial's Close below).
+func (r *Replica) session() error {
+	conn, err := r.opts.Dial(r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Close() must unblock a session stuck in a read: watch for it.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		select {
+		case <-r.closed:
+			conn.Close()
+		case <-sessionDone:
+		}
+	}()
+
+	from := r.target.ReplCommitSeq()
+	r.appliedSeq.Store(from)
+	var wmu sync.Mutex
+	bw := bufio.NewWriter(conn)
+	send := func(op wire.Op, id uint64, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		buf := wire.AppendFrame(nil, wire.Frame{Op: op, ID: id, Payload: payload})
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := send(wire.OpReplSubscribe, 1, wire.AppendSeq(nil, from)); err != nil {
+		return err
+	}
+
+	rd := wire.NewReader(bufio.NewReader(conn), r.opts.MaxPayload)
+	next := func() (wire.Frame, error) {
+		conn.SetReadDeadline(time.Now().Add(r.opts.StallTimeout))
+		return rd.Next()
+	}
+
+	fr, err := next()
+	if err != nil {
+		return err
+	}
+	if fr.Op != wire.OpReplSubscribe.Response() {
+		return fmt.Errorf("repl: expected subscribe response, got %v", fr.Op)
+	}
+	seq, err := decodeSeqResp(fr.Payload)
+	if err != nil {
+		return err
+	}
+	r.observePrimary(seq)
+	r.connected.Store(true)
+	r.logf("repl: subscribed to %s from seq %d (primary at %d)", r.addr, from, seq)
+
+	// Heartbeats report the applied sequence upstream; a write failure
+	// kills the connection, which unblocks the read loop.
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		t := time.NewTicker(r.opts.HeartbeatInterval)
+		defer t.Stop()
+		for hbID := uint64(2); ; hbID++ {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				if err := send(wire.OpReplHeartbeat, hbID, wire.AppendSeq(nil, r.appliedSeq.Load())); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+
+	// Apply loop. Delta chunks accumulate until Final; snapshots
+	// accumulate between SnapBegin and SnapEnd.
+	var pendSeq uint64
+	var pendFrames []pagestore.Frame
+	var snap *Snapshot
+	for {
+		fr, err := next()
+		if err != nil {
+			return err
+		}
+		switch fr.Op {
+		case wire.OpReplHeartbeat.Response():
+			seq, err := decodeSeqResp(fr.Payload)
+			if err != nil {
+				return err
+			}
+			r.observePrimary(seq)
+		case wire.OpReplRecords.Response():
+			st, body, err := wire.DecodeStatus(fr.Payload)
+			if err != nil {
+				return err
+			}
+			if st != wire.StatusOK {
+				return fmt.Errorf("repl: records push carries status %d", st)
+			}
+			m, err := wire.DecodeReplMsgBody(body)
+			if err != nil {
+				return err
+			}
+			switch m.Kind {
+			case wire.ReplDelta:
+				r.observePrimary(m.Seq)
+				if m.Seq <= r.appliedSeq.Load() {
+					continue // duplicate delivery is harmless
+				}
+				if pendFrames != nil && m.Seq != pendSeq {
+					return fmt.Errorf("repl: chunked batch %d interrupted by batch %d", pendSeq, m.Seq)
+				}
+				pendSeq = m.Seq
+				pendFrames = append(pendFrames, toStoreFrames(m.Frames)...)
+				if !m.Final {
+					continue
+				}
+				frames := pendFrames
+				pendFrames = nil
+				if err := r.target.ApplyReplSegment(pendSeq, frames); err != nil {
+					return err
+				}
+				r.appliedSeq.Store(pendSeq)
+			case wire.ReplSnapBegin:
+				snap = &Snapshot{Seq: m.Seq, PageSize: int(m.PageSize), PageCount: m.PageCount}
+			case wire.ReplSnapPages:
+				if snap == nil || m.Seq != snap.Seq {
+					return errors.New("repl: snapshot pages outside a snapshot")
+				}
+				snap.Frames = append(snap.Frames, toStoreFrames(m.Frames)...)
+			case wire.ReplSnapEnd:
+				if snap == nil || m.Seq != snap.Seq {
+					return errors.New("repl: snapshot end outside a snapshot")
+				}
+				s := snap
+				snap = nil
+				if err := r.target.ApplyReplSnapshot(s.Seq, s.PageSize, s.PageCount, s.Frames); err != nil {
+					return err
+				}
+				r.appliedSeq.Store(s.Seq)
+				r.observePrimary(s.Seq)
+				r.logf("repl: reseeded from snapshot at seq %d (%d pages)", s.Seq, s.PageCount)
+			}
+		default:
+			return fmt.Errorf("repl: unexpected frame %v on replication stream", fr.Op)
+		}
+	}
+}
+
+// observePrimary ratchets the primary's known sequence upward.
+func (r *Replica) observePrimary(seq uint64) {
+	for {
+		cur := r.primarySeq.Load()
+		if seq <= cur || r.primarySeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+func decodeSeqResp(payload []byte) (uint64, error) {
+	st, body, err := wire.DecodeStatus(payload)
+	if err != nil {
+		return 0, err
+	}
+	if st != wire.StatusOK {
+		return 0, fmt.Errorf("repl: subscribe/heartbeat refused with status %d: %s", st, body)
+	}
+	return wire.DecodeSeqRespBody(body)
+}

@@ -1,0 +1,87 @@
+package repl
+
+import (
+	"bmeh/internal/pagestore"
+	"bmeh/internal/wire"
+)
+
+// Conversions and chunking between in-memory segments/snapshots and the
+// wire's ReplMsg. Large batches are split so no single frame exceeds the
+// receiver's payload limit; a split delta keeps its sequence number on
+// every chunk and marks only the last one Final, and the receiver applies
+// the accumulated frames atomically when Final arrives.
+
+// DefaultChunkBytes bounds the page data carried by one REPL_RECORDS
+// frame. Half the wire's default payload cap leaves generous room for
+// framing.
+const DefaultChunkBytes = wire.DefaultMaxPayload / 2
+
+func toWireFrames(frames []pagestore.Frame) []wire.ReplFrame {
+	out := make([]wire.ReplFrame, len(frames))
+	for i, fr := range frames {
+		out[i] = wire.ReplFrame{ID: uint32(fr.ID), Kind: uint8(fr.Kind), Data: fr.Data}
+	}
+	return out
+}
+
+func toStoreFrames(frames []wire.ReplFrame) []pagestore.Frame {
+	out := make([]pagestore.Frame, len(frames))
+	for i, fr := range frames {
+		out[i] = pagestore.Frame{ID: pagestore.PageID(fr.ID), Kind: pagestore.Kind(fr.Kind), Data: fr.Data}
+	}
+	return out
+}
+
+// chunkFrames splits frames into runs of at most maxBytes of page data
+// (each run holds at least one frame).
+func chunkFrames(frames []pagestore.Frame, maxBytes int) [][]pagestore.Frame {
+	if maxBytes <= 0 {
+		maxBytes = DefaultChunkBytes
+	}
+	var out [][]pagestore.Frame
+	start, run := 0, 0
+	for i, fr := range frames {
+		if i > start && run+len(fr.Data) > maxBytes {
+			out = append(out, frames[start:i])
+			start, run = i, 0
+		}
+		run += len(fr.Data)
+	}
+	out = append(out, frames[start:])
+	return out
+}
+
+// EncodeSegment renders one committed segment as REPL_RECORDS message
+// bodies, splitting at maxBytes (DefaultChunkBytes when ≤ 0).
+func EncodeSegment(seg *Segment, maxBytes int) []wire.ReplMsg {
+	chunks := chunkFrames(seg.Frames, maxBytes)
+	msgs := make([]wire.ReplMsg, len(chunks))
+	for i, ch := range chunks {
+		msgs[i] = wire.ReplMsg{
+			Kind:   wire.ReplDelta,
+			Final:  i == len(chunks)-1,
+			Seq:    seg.Seq,
+			Frames: toWireFrames(ch),
+		}
+	}
+	return msgs
+}
+
+// EncodeSnapshot renders a full-store snapshot as REPL_RECORDS message
+// bodies: SnapBegin, page chunks, SnapEnd.
+func EncodeSnapshot(snap *Snapshot, maxBytes int) []wire.ReplMsg {
+	msgs := []wire.ReplMsg{{
+		Kind:      wire.ReplSnapBegin,
+		Seq:       snap.Seq,
+		PageSize:  uint32(snap.PageSize),
+		PageCount: snap.PageCount,
+	}}
+	for _, ch := range chunkFrames(snap.Frames, maxBytes) {
+		msgs = append(msgs, wire.ReplMsg{
+			Kind:   wire.ReplSnapPages,
+			Seq:    snap.Seq,
+			Frames: toWireFrames(ch),
+		})
+	}
+	return append(msgs, wire.ReplMsg{Kind: wire.ReplSnapEnd, Seq: snap.Seq, Final: true})
+}

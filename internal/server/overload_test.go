@@ -1,0 +1,208 @@
+package server_test
+
+// Overload protection: the connection cap and the per-connection
+// in-flight cap both answer with the retryable StatusBusy instead of
+// hanging or silently dropping work, and a ReadOnly server fences every
+// mutating op with StatusReadOnly.
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"bmeh"
+	"bmeh/internal/server"
+	"bmeh/internal/wire"
+)
+
+// rawConn is a minimal single-goroutine wire client for poking at the
+// server's edges without the real client's retry machinery.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+	r  *wire.Reader
+	id uint64
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	return &rawConn{t: t, nc: nc, r: wire.NewReader(bufio.NewReader(nc), 0)}
+}
+
+// write queues one request frame; the response is read separately so
+// tests can pipeline.
+func (rc *rawConn) write(op wire.Op, payload []byte) uint64 {
+	rc.t.Helper()
+	rc.id++
+	buf := wire.AppendFrame(nil, wire.Frame{Op: op, ID: rc.id, Payload: payload})
+	if _, err := rc.nc.Write(buf); err != nil {
+		rc.t.Fatal(err)
+	}
+	return rc.id
+}
+
+// next reads one response frame and returns its id and status.
+func (rc *rawConn) next() (uint64, wire.Status) {
+	rc.t.Helper()
+	fr, err := rc.r.Next()
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	st, _, err := wire.DecodeStatus(fr.Payload)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return fr.ID, st
+}
+
+// roundTrip is write + next for the non-pipelined cases.
+func (rc *rawConn) roundTrip(op wire.Op, payload []byte) wire.Status {
+	rc.t.Helper()
+	id := rc.write(op, payload)
+	gotID, st := rc.next()
+	if gotID != id {
+		rc.t.Fatalf("response id %d for request %d", gotID, id)
+	}
+	return st
+}
+
+// TestMaxConnsBusy: connection #MaxConns+1 gets its first request
+// answered StatusBusy and the socket closed; existing connections keep
+// working.
+func TestMaxConnsBusy(t *testing.T) {
+	ix := newIndex(t, "mem")
+	defer ix.Close()
+	_, addr := startServer(t, ix, server.Config{MaxConns: 1})
+
+	c1 := dialRaw(t, addr)
+	if st := c1.roundTrip(wire.OpGet, wire.AppendGetReq(nil, []uint64{1, 2})); st != wire.StatusNotFound {
+		t.Fatalf("conn 1 get: status %v", st)
+	}
+
+	c2 := dialRaw(t, addr)
+	if st := c2.roundTrip(wire.OpGet, wire.AppendGetReq(nil, []uint64{1, 2})); st != wire.StatusBusy {
+		t.Fatalf("over-cap conn get: status %v, want Busy", st)
+	}
+	// The rejected socket is closed server-side after the Busy answer.
+	if _, err := c2.r.Next(); err == nil {
+		t.Fatal("over-cap conn still open after Busy")
+	}
+
+	// The in-cap connection is unaffected.
+	if st := c1.roundTrip(wire.OpGet, wire.AppendGetReq(nil, []uint64{3, 4})); st != wire.StatusNotFound {
+		t.Fatalf("conn 1 get after rejection: status %v", st)
+	}
+}
+
+// TestMaxInflightBusy: pipelined PUTs past the per-connection in-flight
+// cap bounce with StatusBusy while the capped amount completes OK.
+func TestMaxInflightBusy(t *testing.T) {
+	ix := newIndex(t, "mem")
+	defer ix.Close()
+	// A long coalesce hold keeps the first PUT in flight while the rest
+	// of the pipeline arrives.
+	_, addr := startServer(t, ix, server.Config{
+		MaxInflight:  1,
+		CoalesceMax:  64,
+		CoalesceWait: 150 * time.Millisecond,
+	})
+
+	rc := dialRaw(t, addr)
+	const n = 8
+	for i := 0; i < n; i++ {
+		rc.write(wire.OpPut, wire.AppendPutReq(nil, []uint64{uint64(i), 1}, uint64(i)))
+	}
+	var ok, busy int
+	for i := 0; i < n; i++ {
+		_, st := rc.next()
+		switch st {
+		case wire.StatusOK:
+			ok++
+		case wire.StatusBusy:
+			busy++
+		default:
+			t.Fatalf("pipelined put %d: status %v", i, st)
+		}
+	}
+	if ok == 0 || busy == 0 || ok+busy != n {
+		t.Fatalf("pipelined puts past cap: %d ok, %d busy, want both nonzero", ok, busy)
+	}
+	// BUSY guarantees non-execution: only the OK'd PUTs are stored.
+	if got := ix.Len(); got != ok {
+		t.Fatalf("index holds %d records, %d puts were acknowledged OK", got, ok)
+	}
+}
+
+// TestReadOnlyFencesWrites: every mutating op on a ReadOnly server
+// answers StatusReadOnly; reads and STATS serve normally and STATS
+// reports the replica role.
+func TestReadOnlyFencesWrites(t *testing.T) {
+	ix := newIndex(t, "mem")
+	defer ix.Close()
+	if err := ix.Insert(bmeh.Key{1, 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, ix, server.Config{
+		ReadOnly: true,
+		ReplicaStatus: func() (uint64, uint64, bool) {
+			return 42, 40, true
+		},
+	})
+	rc := dialRaw(t, addr)
+
+	for _, req := range []struct {
+		op      wire.Op
+		payload []byte
+	}{
+		{wire.OpPut, wire.AppendPutReq(nil, []uint64{9, 9}, 1)},
+		{wire.OpDel, wire.AppendKey(nil, []uint64{1, 2})},
+		{wire.OpBatch, wire.AppendBatchReq(nil, []wire.KV{{Key: []uint64{9, 9}, Value: 1}})},
+		{wire.OpSync, nil},
+	} {
+		if st := rc.roundTrip(req.op, req.payload); st != wire.StatusReadOnly {
+			t.Fatalf("%v on read-only server: status %v, want ReadOnly", req.op, st)
+		}
+	}
+	if got := ix.Len(); got != 1 {
+		t.Fatalf("read-only index mutated: %d records", got)
+	}
+
+	id := rc.write(wire.OpGet, wire.AppendGetReq(nil, []uint64{1, 2}))
+	fr, err := rc.r.Next()
+	if err != nil || fr.ID != id {
+		t.Fatalf("get on read-only server: %v", err)
+	}
+	st, body, err := wire.DecodeStatus(fr.Payload)
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("get status: %v err=%v", st, err)
+	}
+	if v, err := wire.DecodeGetRespBody(body); err != nil || v != 7 {
+		t.Fatalf("get value: %d err=%v", v, err)
+	}
+
+	id = rc.write(wire.OpStats, nil)
+	fr, err = rc.r.Next()
+	if err != nil || fr.ID != id {
+		t.Fatalf("stats on read-only server: %v", err)
+	}
+	if st, body, err = wire.DecodeStatus(fr.Payload); err != nil || st != wire.StatusOK {
+		t.Fatalf("stats status: %v err=%v", st, err)
+	}
+	stats, err := wire.DecodeStatsRespBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Role != wire.RoleReplica {
+		t.Fatalf("stats role %d, want replica", stats.Role)
+	}
+	if stats.CommitSeq != 40 || stats.PrimarySeq != 42 {
+		t.Fatalf("stats seqs commit=%d primary=%d, want 40/42", stats.CommitSeq, stats.PrimarySeq)
+	}
+}

@@ -25,6 +25,18 @@
 // stops reading but finishes and flushes its in-flight responses, the
 // coalescer commits its tail, and the index is Synced — so a subsequent
 // open finds a clean shutdown (bmeh.RecoveryInfo.CleanShutdown).
+//
+// Replication: with Config.Hub set (a primary), a connection may issue
+// REPL_SUBSCRIBE; the server answers with its commit sequence, then
+// pushes REPL_RECORDS frames — snapshot first if the subscriber is too
+// far behind, live segments after — until the connection drops. With
+// Config.ReadOnly set (a replica), mutating operations are refused with
+// StatusReadOnly while GET/RANGE/STATS keep serving.
+//
+// Overload protection: connections beyond MaxConns are answered with one
+// StatusBusy response and closed; a connection with MaxInflight
+// asynchronous requests outstanding gets StatusBusy for further writes
+// until its pipeline drains. StatusBusy is retryable by contract.
 package server
 
 import (
@@ -34,9 +46,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bmeh"
+	"bmeh/internal/repl"
 	"bmeh/internal/wire"
 )
 
@@ -60,6 +74,26 @@ type Config struct {
 	// A connection that cannot accept bytes for this long is dropped so
 	// a stalled client cannot pin the drain path or the coalescer.
 	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections (default 4096). A
+	// connection over the cap receives one StatusBusy response and is
+	// closed; clients treat that as retryable.
+	MaxConns int
+	// MaxInflight caps one connection's outstanding asynchronous
+	// requests (PUT/BATCH/SYNC awaiting commit; default 1024). Further
+	// writes on that connection answer StatusBusy until the pipeline
+	// drains.
+	MaxInflight int
+	// ReadOnly refuses mutating operations (PUT, DEL, BATCH, SYNC) with
+	// StatusReadOnly. Replica servers set it; reads keep serving.
+	ReadOnly bool
+	// Hub, when non-nil, serves REPL_SUBSCRIBE: this server is a primary
+	// and streams its commit batches to subscribed replicas.
+	Hub *repl.Hub
+	// ReplicaStatus, when non-nil, marks this server a replica and
+	// supplies the lag numbers STATS reports: the primary's last
+	// observed commit sequence, the locally applied sequence, and
+	// whether the replication link is currently up.
+	ReplicaStatus func() (primarySeq, appliedSeq uint64, connected bool)
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4096
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -169,6 +209,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			nc.Close()
 			continue
 		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			go s.rejectBusy(nc)
+			continue
+		}
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -226,6 +271,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return forced
 }
 
+// rejectBusy answers one over-the-cap connection: read a single request,
+// reply StatusBusy (retryable), close. The deadline bounds how long a
+// silent dialer can hold the socket.
+func (s *Server) rejectBusy(nc net.Conn) {
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	fr, err := wire.NewReader(newBufReader(nc), s.cfg.MaxPayload).Next()
+	if err != nil {
+		return
+	}
+	nc.Write(wire.AppendFrame(nil, wire.Frame{
+		Op:      fr.Op.Response(),
+		ID:      fr.ID,
+		Payload: wire.AppendStatus(nil, wire.StatusBusy, ""),
+	}))
+}
+
 // conn is one client connection.
 type conn struct {
 	srv *Server
@@ -236,8 +298,16 @@ type conn struct {
 	out        chan []byte
 	writerDone chan struct{}
 	// pending counts requests whose response is not yet queued on out
-	// (asynchronously completed PUT/BATCH/SYNC).
+	// (asynchronously completed PUT/BATCH/SYNC, plus the replication
+	// streamer).
 	pending sync.WaitGroup
+	// inflight counts asynchronous requests outstanding; at
+	// Config.MaxInflight further writes answer StatusBusy.
+	inflight atomic.Int64
+	// replSub is this connection's hub subscription, set by the reader
+	// goroutine on REPL_SUBSCRIBE and read by run() after the reader
+	// exits (same-goroutine ordering, no lock needed).
+	replSub *repl.Sub
 }
 
 // bufPool recycles frame encode buffers across connections.
@@ -247,8 +317,12 @@ func (c *conn) run() {
 	defer c.srv.wg.Done()
 	go c.writeLoop()
 	c.readLoop()
-	// Wait for every in-flight asynchronous response to be queued, then
-	// let the writer flush the channel and exit.
+	// Closing the subscription ends the replication streamer; then wait
+	// for every in-flight asynchronous response to be queued and let the
+	// writer flush the channel and exit.
+	if c.replSub != nil {
+		c.srv.cfg.Hub.Unsubscribe(c.replSub)
+	}
 	c.pending.Wait()
 	close(c.out)
 	<-c.writerDone
@@ -319,6 +393,20 @@ func errStatus(err error) (wire.Status, string) {
 
 func (c *conn) dispatch(fr wire.Frame) {
 	switch fr.Op {
+	case wire.OpPut, wire.OpDel, wire.OpBatch, wire.OpSync:
+		if c.srv.cfg.ReadOnly {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusReadOnly, "")
+			return
+		}
+		// Writes either commit asynchronously (holding a pipeline slot)
+		// or, past the cap, answer a retryable StatusBusy so one
+		// connection cannot queue unbounded commit work.
+		if fr.Op != wire.OpDel && c.inflight.Load() >= int64(c.srv.cfg.MaxInflight) {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusBusy, "")
+			return
+		}
+	}
+	switch fr.Op {
 	case wire.OpGet:
 		key, err := wire.DecodeGetReq(fr.Payload)
 		if err != nil {
@@ -361,11 +449,13 @@ func (c *conn) dispatch(fr wire.Frame) {
 		// decoded after this one may well answer first (pipelining).
 		id := fr.ID
 		c.pending.Add(1)
+		c.inflight.Add(1)
 		c.srv.co.enqueue(putReq{
 			kv: bmeh.KV{Key: bmeh.Key(key), Value: val},
 			done: func(err error) {
 				st, msg := errStatus(err)
 				c.sendStatus(wire.OpPut, id, st, msg)
+				c.inflight.Add(-1)
 				c.pending.Done()
 			},
 		})
@@ -412,8 +502,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 		// reader, or pipelined lookups behind it would wait a disk flush.
 		id := fr.ID
 		c.pending.Add(1)
+		c.inflight.Add(1)
 		go func() {
 			defer c.pending.Done()
+			defer c.inflight.Add(-1)
 			n, err := c.srv.ix.InsertBatch(batch)
 			if err != nil {
 				c.sendStatus(wire.OpBatch, id, wire.StatusErr, err.Error())
@@ -425,8 +517,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 	case wire.OpSync:
 		id := fr.ID
 		c.pending.Add(1)
+		c.inflight.Add(1)
 		go func() {
 			defer c.pending.Done()
+			defer c.inflight.Add(-1)
 			st, msg := errStatus(c.srv.ix.Sync())
 			c.sendStatus(wire.OpSync, id, st, msg)
 		}()
@@ -434,6 +528,22 @@ func (c *conn) dispatch(fr wire.Frame) {
 	case wire.OpStats:
 		st := c.srv.ix.Stats()
 		opts := c.srv.ix.Options()
+		role := wire.RolePrimary
+		var replicas uint32
+		commitSeq := c.srv.ix.ReplCommitSeq()
+		primarySeq := commitSeq
+		if c.srv.cfg.ReplicaStatus != nil {
+			role = wire.RoleReplica
+			p, a, _ := c.srv.cfg.ReplicaStatus()
+			commitSeq, primarySeq = a, p
+			if primarySeq < commitSeq {
+				// The link is down and the last observation is stale;
+				// never report negative lag.
+				primarySeq = commitSeq
+			}
+		} else if c.srv.cfg.Hub != nil {
+			replicas = uint32(c.srv.cfg.Hub.Status().Subscribers)
+		}
 		c.send(fr.Op, fr.ID, wire.AppendStatsResp(nil, wire.Stats{
 			Scheme:            uint8(opts.Scheme),
 			Dims:              uint8(opts.Dims),
@@ -446,10 +556,83 @@ func (c *conn) dispatch(fr wire.Frame) {
 			DataPages:         uint32(st.DataPages),
 			DirectoryPages:    uint32(st.DirectoryPages),
 			LoadFactor:        st.LoadFactor,
+			Role:              role,
+			Replicas:          replicas,
+			CommitSeq:         commitSeq,
+			PrimarySeq:        primarySeq,
 		}))
+
+	case wire.OpReplSubscribe:
+		lastSeq, err := wire.DecodeSeq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		if c.srv.cfg.Hub == nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, "replication not enabled")
+			return
+		}
+		if c.replSub != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, "already subscribed")
+			return
+		}
+		sub, snap, err := c.srv.cfg.Hub.Subscribe(lastSeq)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		c.replSub = sub
+		// The acknowledgment leaves before any REPL_RECORDS: both travel
+		// c.out, and the streamer starts after this enqueue.
+		c.send(fr.Op, fr.ID, wire.AppendSeqResp(nil, c.srv.ix.ReplCommitSeq()))
+		c.pending.Add(1)
+		go c.streamRepl(sub, snap)
+
+	case wire.OpReplHeartbeat:
+		seq, err := wire.DecodeSeq(fr.Payload)
+		if err != nil {
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		if c.srv.cfg.Hub != nil {
+			c.srv.cfg.Hub.Ack(c.replSub, seq)
+		}
+		c.send(fr.Op, fr.ID, wire.AppendSeqResp(nil, c.srv.ix.ReplCommitSeq()))
 
 	default:
 		c.sendStatus(fr.Op, fr.ID, wire.StatusErr, fmt.Sprintf("unknown opcode %v", fr.Op))
+	}
+}
+
+// streamRepl pushes the replication stream to one subscribed connection:
+// the seed snapshot if the hub issued one, then every live segment and
+// heartbeat from the subscription, deduplicated by sequence (snapshot
+// catch-up and the queue may overlap). It ends when the subscription's
+// channel closes — on connection teardown, hub close, or when the hub
+// drops a subscriber that cannot keep up; the replica then redials and
+// resubscribes from its applied sequence.
+func (c *conn) streamRepl(sub *repl.Sub, snap *repl.Snapshot) {
+	defer c.pending.Done()
+	chunk := c.srv.cfg.MaxPayload / 2
+	var lastSent uint64
+	if snap != nil {
+		lastSent = snap.Seq
+		for _, m := range repl.EncodeSnapshot(snap, chunk) {
+			c.send(wire.OpReplRecords, 0, wire.AppendReplMsgResp(nil, m))
+		}
+	}
+	for msg := range sub.C {
+		if msg.Seg == nil {
+			c.send(wire.OpReplHeartbeat, 0, wire.AppendSeqResp(nil, msg.Heartbeat))
+			continue
+		}
+		if msg.Seg.Seq <= lastSent {
+			continue
+		}
+		lastSent = msg.Seg.Seq
+		for _, m := range repl.EncodeSegment(msg.Seg, chunk) {
+			c.send(wire.OpReplRecords, 0, wire.AppendReplMsgResp(nil, m))
+		}
 	}
 }
 

@@ -244,9 +244,18 @@ func DecodeBatchRespBody(body []byte) (uint32, error) {
 	return binary.BigEndian.Uint32(body), nil
 }
 
+// Server roles reported in Stats.Role.
+const (
+	RolePrimary uint8 = 0
+	RoleReplica uint8 = 1
+)
+
 // Stats is the STATS response body: the index's Stats snapshot plus the
 // geometry a client needs to build keys (dimensionality, component
-// width) and the directory scheme being served.
+// width), the directory scheme being served, and the server's place in
+// the replication topology. On a primary, CommitSeq and PrimarySeq are
+// equal; on a replica, PrimarySeq is the newest sequence the replica has
+// heard of, so PrimarySeq − CommitSeq is its lag in commits.
 type Stats struct {
 	Scheme            uint8
 	Dims              uint8
@@ -259,10 +268,14 @@ type Stats struct {
 	DataPages         uint32
 	DirectoryPages    uint32
 	LoadFactor        float64
+	Role              uint8
+	Replicas          uint32
+	CommitSeq         uint64
+	PrimarySeq        uint64
 }
 
 // statsSize is the fixed encoded size of Stats.
-const statsSize = 4 + 4*8 + 2*4 + 8
+const statsSize = 4 + 4*8 + 2*4 + 8 + 1 + 4 + 2*8
 
 // AppendStatsResp appends a STATS response: StatusOK plus the snapshot.
 func AppendStatsResp(dst []byte, s Stats) []byte {
@@ -274,7 +287,11 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.DirectoryElements)
 	dst = binary.BigEndian.AppendUint32(dst, s.DataPages)
 	dst = binary.BigEndian.AppendUint32(dst, s.DirectoryPages)
-	return binary.BigEndian.AppendUint64(dst, math.Float64bits(s.LoadFactor))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.LoadFactor))
+	dst = append(dst, s.Role)
+	dst = binary.BigEndian.AppendUint32(dst, s.Replicas)
+	dst = binary.BigEndian.AppendUint64(dst, s.CommitSeq)
+	return binary.BigEndian.AppendUint64(dst, s.PrimarySeq)
 }
 
 // DecodeStatsRespBody parses the body of a StatusOK STATS response.
@@ -295,5 +312,9 @@ func DecodeStatsRespBody(body []byte) (Stats, error) {
 	s.DataPages = binary.BigEndian.Uint32(body[36:])
 	s.DirectoryPages = binary.BigEndian.Uint32(body[40:])
 	s.LoadFactor = math.Float64frombits(binary.BigEndian.Uint64(body[44:]))
+	s.Role = body[52]
+	s.Replicas = binary.BigEndian.Uint32(body[53:])
+	s.CommitSeq = binary.BigEndian.Uint64(body[57:])
+	s.PrimarySeq = binary.BigEndian.Uint64(body[65:])
 	return s, nil
 }

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication payloads.
+//
+// REPL_SUBSCRIBE and REPL_HEARTBEAT requests carry one big-endian uint64:
+// the sender's last applied commit sequence. Their responses carry a
+// status byte and, on StatusOK, the responder's commit sequence.
+//
+// REPL_RECORDS frames are pushed by the primary: a status byte (always
+// StatusOK) followed by one ReplMsg. A commit batch whose pages exceed
+// the chunk budget travels as several ReplDelta messages with the same
+// sequence number; only the last has Final set, and the receiver applies
+// the accumulated frames atomically when it arrives. A snapshot travels
+// as ReplSnapBegin, any number of ReplSnapPages, then ReplSnapEnd.
+
+// ReplMsg kinds.
+const (
+	// ReplDelta carries (a chunk of) one committed batch's frames.
+	ReplDelta uint8 = 0
+	// ReplSnapBegin opens a full-store snapshot: Seq, PageSize and
+	// PageCount describe the image; Frames is empty.
+	ReplSnapBegin uint8 = 1
+	// ReplSnapPages carries a chunk of snapshot pages.
+	ReplSnapPages uint8 = 2
+	// ReplSnapEnd closes the snapshot; the receiver applies it atomically.
+	ReplSnapEnd uint8 = 3
+)
+
+// ReplFrame is one page image on the wire.
+type ReplFrame struct {
+	ID   uint32
+	Kind uint8
+	Data []byte
+}
+
+// ReplMsg is the body of a REPL_RECORDS push.
+type ReplMsg struct {
+	Kind      uint8
+	Final     bool   // ReplDelta: this chunk completes the batch
+	Seq       uint64 // commit sequence of the batch or snapshot
+	PageSize  uint32 // ReplSnapBegin only
+	PageCount uint32 // ReplSnapBegin only
+	Frames    []ReplFrame
+}
+
+// replMsgHeader is the fixed prefix of an encoded ReplMsg:
+// kind(1) final(1) seq(8) pageSize(4) pageCount(4) frameCount(4).
+const replMsgHeader = 1 + 1 + 8 + 4 + 4 + 4
+
+// replFrameHeader is the fixed prefix of an encoded ReplFrame:
+// id(4) kind(1) dataLen(4).
+const replFrameHeader = 4 + 1 + 4
+
+// AppendSeq appends a subscribe/heartbeat request payload (one sequence
+// number) to dst.
+func AppendSeq(dst []byte, seq uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// DecodeSeq parses a subscribe/heartbeat request payload.
+func DecodeSeq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: sequence wants 8 bytes, has %d", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendSeqResp appends a subscribe/heartbeat response: StatusOK plus the
+// responder's commit sequence.
+func AppendSeqResp(dst []byte, seq uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// DecodeSeqRespBody parses the body of a StatusOK subscribe/heartbeat
+// response.
+func DecodeSeqRespBody(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: sequence wants 8 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// AppendReplMsgResp appends a REPL_RECORDS push payload: StatusOK plus
+// the encoded message.
+func AppendReplMsgResp(dst []byte, m ReplMsg) []byte {
+	dst = append(dst, byte(StatusOK))
+	dst = append(dst, m.Kind)
+	if m.Final {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.PageSize)
+	dst = binary.BigEndian.AppendUint32(dst, m.PageCount)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Frames)))
+	for _, fr := range m.Frames {
+		dst = binary.BigEndian.AppendUint32(dst, fr.ID)
+		dst = append(dst, fr.Kind)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(fr.Data)))
+		dst = append(dst, fr.Data...)
+	}
+	return dst
+}
+
+// DecodeReplMsgBody parses the body of a StatusOK REPL_RECORDS push. The
+// frame count is validated against the bytes present before anything is
+// allocated, and every frame's data is copied out of body, so the result
+// stays valid after the reader's buffer is reused.
+func DecodeReplMsgBody(body []byte) (ReplMsg, error) {
+	if len(body) < replMsgHeader {
+		return ReplMsg{}, fmt.Errorf("%w: REPL message wants %d header bytes, has %d", ErrPayload, replMsgHeader, len(body))
+	}
+	m := ReplMsg{
+		Kind:      body[0],
+		Final:     body[1] != 0,
+		Seq:       binary.BigEndian.Uint64(body[2:]),
+		PageSize:  binary.BigEndian.Uint32(body[10:]),
+		PageCount: binary.BigEndian.Uint32(body[14:]),
+	}
+	if m.Kind > ReplSnapEnd {
+		return ReplMsg{}, fmt.Errorf("%w: REPL message kind %d", ErrPayload, m.Kind)
+	}
+	n := int(binary.BigEndian.Uint32(body[18:]))
+	p := body[replMsgHeader:]
+	if n > len(p)/replFrameHeader {
+		return ReplMsg{}, fmt.Errorf("%w: %d frames cannot fit %d bytes", ErrPayload, n, len(p))
+	}
+	m.Frames = make([]ReplFrame, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < replFrameHeader {
+			return ReplMsg{}, fmt.Errorf("%w: frame %d truncated", ErrPayload, i)
+		}
+		fr := ReplFrame{
+			ID:   binary.BigEndian.Uint32(p),
+			Kind: p[4],
+		}
+		dataLen := int(binary.BigEndian.Uint32(p[5:]))
+		p = p[replFrameHeader:]
+		if dataLen > len(p) {
+			return ReplMsg{}, fmt.Errorf("%w: frame %d claims %d data bytes, %d remain", ErrPayload, i, dataLen, len(p))
+		}
+		fr.Data = append([]byte(nil), p[:dataLen]...)
+		p = p[dataLen:]
+		m.Frames = append(m.Frames, fr)
+	}
+	if len(p) != 0 {
+		return ReplMsg{}, fmt.Errorf("%w: %d trailing bytes", ErrPayload, len(p))
+	}
+	return m, nil
+}

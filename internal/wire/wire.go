@@ -60,10 +60,23 @@ const (
 	OpBatch Op = 5 // payload: entries → status + inserted count
 	OpSync  Op = 6 // empty → status
 	OpStats Op = 7 // empty → status + Stats
+
+	// Replication opcodes. A replica sends one REPL_SUBSCRIBE on a
+	// dedicated connection; the primary answers with its commit sequence
+	// and from then on pushes REPL_RECORDS responses (commit batches and
+	// snapshot chunks) and REPL_HEARTBEAT responses on its own initiative.
+	// The replica sends REPL_HEARTBEAT requests carrying its applied
+	// sequence so the primary can score its lag.
+	OpReplSubscribe Op = 8  // payload: last applied seq → status + primary seq
+	OpReplRecords   Op = 9  // push only: status + ReplMsg
+	OpReplHeartbeat Op = 10 // payload: applied seq → status + primary seq
 )
 
-// IsRequest reports whether op is a known request opcode.
-func (op Op) IsRequest() bool { return op >= OpGet && op <= OpStats }
+// IsRequest reports whether op is a known request opcode. OpReplRecords
+// is excluded: record batches are pushed by the primary, never requested.
+func (op Op) IsRequest() bool {
+	return (op >= OpGet && op <= OpStats) || op == OpReplSubscribe || op == OpReplHeartbeat
+}
 
 // Response returns the response opcode for a request.
 func (op Op) Response() Op { return op | Resp }
@@ -73,6 +86,8 @@ func (op Op) String() string {
 	name := map[Op]string{
 		OpGet: "GET", OpPut: "PUT", OpDel: "DEL", OpRange: "RANGE",
 		OpBatch: "BATCH", OpSync: "SYNC", OpStats: "STATS",
+		OpReplSubscribe: "REPL_SUBSCRIBE", OpReplRecords: "REPL_RECORDS",
+		OpReplHeartbeat: "REPL_HEARTBEAT",
 	}
 	if s, ok := name[op&^Resp]; ok {
 		if op&Resp != 0 {
@@ -96,6 +111,13 @@ const (
 	// StatusErr: the operation failed; the rest of the payload is a
 	// human-readable message.
 	StatusErr Status = 3
+	// StatusBusy: the server is over its connection or in-flight request
+	// cap. The request was not executed; an idempotent request may be
+	// retried after a backoff.
+	StatusBusy Status = 4
+	// StatusReadOnly: a mutating request reached a read replica. The
+	// request was not executed; the client should address the primary.
+	StatusReadOnly Status = 5
 )
 
 // Protocol errors. Decoders return these (possibly wrapped); they never
