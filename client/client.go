@@ -659,6 +659,13 @@ type Call struct {
 	Inserted int
 	// Stats holds a STATS result.
 	Stats Stats
+	// Session and NextSeq hold a LOAD_BEGIN result; AckSeq a LOAD_CHUNK
+	// acknowledgment; Loaded and Duplicates a LOAD_COMMIT result.
+	Session    uint64
+	NextSeq    uint64
+	AckSeq     uint64
+	Loaded     uint64
+	Duplicates uint64
 
 	op    wire.Op
 	done  chan struct{}
@@ -847,6 +854,24 @@ func (ca *Call) decode(payload []byte) error {
 			return err
 		}
 		ca.Inserted = int(n)
+	case wire.OpLoadBegin:
+		s, seq, err := wire.DecodeLoadBeginRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Session, ca.NextSeq = s, seq
+	case wire.OpLoadChunk:
+		seq, err := wire.DecodeLoadChunkRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.AckSeq = seq
+	case wire.OpLoadCommit:
+		loaded, dups, err := wire.DecodeLoadCommitRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Loaded, ca.Duplicates = loaded, dups
 	case wire.OpStats:
 		s, err := wire.DecodeStatsRespBody(body)
 		if err != nil {

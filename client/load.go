@@ -1,0 +1,291 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"bmeh"
+	"bmeh/internal/wire"
+)
+
+// LoadOptions tunes Client.Load.
+type LoadOptions struct {
+	// ChunkSize is how many records travel in one LOAD_CHUNK frame
+	// (default 1024).
+	ChunkSize int
+	// Window is how many chunks may be in flight unacknowledged
+	// (default 8). Together with the server's bounded intake queue this
+	// is the stream's end-to-end backpressure: a slow builder stalls the
+	// sender instead of buffering without bound.
+	Window int
+	// CommitTimeout bounds the LOAD_COMMIT round trip — the server
+	// answers it only after the whole sort-and-build finishes and the
+	// root swap is durable, so it needs far more headroom than an
+	// ordinary request (default 5m).
+	CommitTimeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1024
+	}
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.CommitTimeout <= 0 {
+		o.CommitTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// LoadStats reports what a Load did.
+type LoadStats struct {
+	// Loaded and Duplicates are the server's commit totals: records
+	// stored, and records dropped because their key was already present.
+	Loaded     uint64
+	Duplicates uint64
+	// Chunks is how many distinct chunks were acknowledged; Resumes how
+	// many times the stream survived a connection loss by resuming its
+	// server-side session.
+	Chunks  uint64
+	Resumes int
+}
+
+// ErrLoadAmbiguous reports a connection loss during LOAD_COMMIT after
+// which the session was gone on reconnect: the load either committed
+// fully or was reclaimed, and the caller must check the index to learn
+// which. Nothing partial was kept either way.
+var ErrLoadAmbiguous = errors.New("client: load commit outcome unknown")
+
+// outChunk is one sent-but-unacknowledged chunk. The encoded payload is
+// kept so a resume can retransmit it verbatim.
+type outChunk struct {
+	seq     uint64
+	payload []byte
+	call    *Call
+}
+
+// Load streams every record the iterator yields to the primary's bulk
+// loader: LOAD_BEGIN opens a server-side session, records travel in
+// CRC-guarded chunks with at most Window outstanding, and LOAD_COMMIT
+// returns once the server's bottom-up build is durably committed — one
+// atomic root swap, so a crash or an abort leaves the pre-load index,
+// never a partial one.
+//
+// The stream rides a dedicated connection outside the request pool. If
+// that connection dies mid-stream the client redials, resumes the
+// session by ID, learns which chunks the server already consumed, and
+// retransmits only the rest; the iterator is never rewound. next returns
+// one record per call and ok=false at end of stream; an iterator error
+// aborts the session server-side and is returned.
+func (c *Client) Load(next func() (bmeh.KV, bool, error), opts LoadOptions) (LoadStats, error) {
+	opts = opts.withDefaults()
+	var stats LoadStats
+	if c.closed.Load() {
+		return stats, ErrClosed
+	}
+
+	cn, err := c.dialDirect()
+	if err != nil {
+		return stats, err
+	}
+	defer func() { cn.fail(&ConnError{Err: ErrClosed}) }()
+
+	begin := cn.send(wire.OpLoadBegin, wire.AppendLoadBeginReq(nil, 0), c.opts.RequestTimeout)
+	if err := begin.Wait(); err != nil {
+		return stats, err
+	}
+	session := begin.Session
+
+	// resume redials and re-opens the session after a transport failure,
+	// retransmitting whatever the server has not consumed. It returns the
+	// surviving window (acknowledged entries dropped, the rest re-sent on
+	// the new connection).
+	resume := func(window []outChunk) ([]outChunk, error) {
+		cn.fail(&ConnError{Err: errors.New("resuming load session")})
+		var lastErr error
+		for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoffDelay(c.opts.RedialBackoff, c.opts.RedialBackoffMax, attempt))
+			}
+			nc, err := c.dialDirect()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			begin := nc.send(wire.OpLoadBegin, wire.AppendLoadBeginReq(nil, session), c.opts.RequestTimeout)
+			if err := begin.Wait(); err != nil {
+				nc.fail(&ConnError{Err: ErrClosed})
+				lastErr = err
+				var ce *ConnError
+				if errors.As(err, &ce) {
+					continue
+				}
+				return window, err // the session is gone server-side
+			}
+			cn = nc
+			stats.Resumes++
+			// Drop chunks the server already consumed, retransmit the rest.
+			kept := window[:0]
+			for _, oc := range window {
+				if oc.seq < begin.NextSeq {
+					stats.Chunks++
+					continue
+				}
+				oc.call = cn.send(wire.OpLoadChunk, oc.payload, opts.CommitTimeout)
+				kept = append(kept, oc)
+			}
+			return kept, nil
+		}
+		return window, lastErr
+	}
+
+	// waitOldest blocks on the window's head; on a transport failure it
+	// resumes the session and blocks on the (possibly retransmitted) head
+	// again.
+	var window []outChunk
+	waitOldest := func() error {
+		for {
+			oc := window[0]
+			err := oc.call.Wait()
+			if err == nil {
+				stats.Chunks++
+				window = window[1:]
+				return nil
+			}
+			var ce *ConnError
+			if !errors.As(err, &ce) {
+				return err // server refused the chunk; not recoverable
+			}
+			if window, err = resume(window); err != nil {
+				return err
+			}
+			if len(window) == 0 {
+				return nil
+			}
+		}
+	}
+
+	abort := func() {
+		// Best effort: free the server-side session right away rather
+		// than waiting for its idle expiry.
+		if !cn.broken() {
+			ab := cn.send(wire.OpLoadAbort, wire.AppendLoadAbortReq(nil, session), c.opts.RequestTimeout)
+			ab.Wait()
+		}
+	}
+
+	batch := make([]wire.KV, 0, opts.ChunkSize)
+	seq := uint64(1)
+	sendBatch := func() error {
+		payload := wire.AppendLoadChunkReq(nil, session, seq, batch)
+		for len(window) >= opts.Window {
+			if err := waitOldest(); err != nil {
+				return err
+			}
+		}
+		// Chunk sends use the commit timeout: a full server-side queue
+		// legitimately stalls the stream (that is the backpressure), and a
+		// dead connection fails fast through the read loop regardless.
+		window = append(window, outChunk{
+			seq:     seq,
+			payload: payload,
+			call:    cn.send(wire.OpLoadChunk, payload, opts.CommitTimeout),
+		})
+		seq++
+		batch = batch[:0]
+		return nil
+	}
+
+	for {
+		kv, ok, err := next()
+		if err != nil {
+			abort()
+			return stats, fmt.Errorf("client: load iterator: %w", err)
+		}
+		if !ok {
+			break
+		}
+		// The key must be copied: the iterator may reuse its backing array.
+		key := make([]uint64, len(kv.Key))
+		copy(key, kv.Key)
+		batch = append(batch, wire.KV{Key: key, Value: kv.Value})
+		if len(batch) == opts.ChunkSize {
+			if err := sendBatch(); err != nil {
+				abort()
+				return stats, err
+			}
+		}
+	}
+	if len(batch) > 0 {
+		if err := sendBatch(); err != nil {
+			abort()
+			return stats, err
+		}
+	}
+	for len(window) > 0 {
+		if err := waitOldest(); err != nil {
+			abort()
+			return stats, err
+		}
+	}
+
+	// Everything is consumed server-side; commit. A transport failure
+	// here is retried through resume — the server tolerates a repeated
+	// commit on a session it is still building. If the session is gone on
+	// reconnect the outcome is ambiguous (the commit may have landed);
+	// that is surfaced, never guessed.
+	for {
+		commit := cn.send(wire.OpLoadCommit, wire.AppendLoadCommitReq(nil, session), opts.CommitTimeout)
+		err := commit.Wait()
+		if err == nil {
+			stats.Loaded = commit.Loaded
+			stats.Duplicates = commit.Duplicates
+			return stats, nil
+		}
+		var ce *ConnError
+		if !errors.As(err, &ce) {
+			return stats, err
+		}
+		var rerr error
+		if window, rerr = resume(window); rerr != nil {
+			if !errors.As(rerr, &ce) {
+				return stats, fmt.Errorf("%w: %v", ErrLoadAmbiguous, rerr)
+			}
+			return stats, rerr
+		}
+	}
+}
+
+// dialDirect opens one dedicated connection to the primary, outside the
+// request pool — a load stream should neither hold a pool slot for its
+// whole run nor have its backpressure stalls interleave with regular
+// traffic.
+func (c *Client) dialDirect() (*netConn, error) {
+	e := c.primary
+	if e.gated() {
+		e.mu.Lock()
+		err := e.lastErr
+		e.mu.Unlock()
+		return nil, &ConnError{Err: fmt.Errorf("%w: %v", ErrPrimaryDown, err)}
+	}
+	e.dials.Add(1)
+	nc, err := net.DialTimeout("tcp", e.addr, c.opts.DialTimeout)
+	if err != nil {
+		e.mu.Lock()
+		e.fails++
+		e.lastErr = err
+		e.nextDial = time.Now().Add(backoffDelay(c.opts.RedialBackoff, c.opts.RedialBackoffMax, e.fails))
+		e.mu.Unlock()
+		return nil, &ConnError{Err: err}
+	}
+	e.mu.Lock()
+	e.fails, e.lastErr, e.nextDial = 0, nil, time.Time{}
+	e.mu.Unlock()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return newNetConn(nc, c.opts.MaxPayload), nil
+}

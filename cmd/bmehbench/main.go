@@ -35,6 +35,7 @@ func main() {
 		conc      = flag.Bool("concurrent", false, "run the parallel get/insert/mixed sweep (1/4/16 goroutines)")
 		netBench  = flag.Bool("net", false, "run the loopback network serving benchmark (16 pipelined clients)")
 		replBench = flag.Bool("repl", false, "run the replication benchmark (catch-up + availability across a primary restart)")
+		bulkload  = flag.Bool("bulkload", false, "run the bulk-load vs incremental-batch comparison (file backend)")
 		jsonPath  = flag.String("json", "", "with -concurrent/-net/-repl: also write the report to this JSON file")
 		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net/-repl: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
@@ -150,6 +151,16 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runBulkloadBench := func() {
+		ran = true
+		rep, err := runBulkload(os.Stdout, *n, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeBulkloadJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -203,6 +214,9 @@ func main() {
 		}
 		if *replBench {
 			runReplBench()
+		}
+		if *bulkload {
+			runBulkloadBench()
 		}
 	}
 	if !ran {

@@ -122,6 +122,38 @@ func (cs *colSpecs) Set(s string) error {
 // consistent — just partial.
 var errStopped = errors.New("load interrupted")
 
+// countingReader counts source bytes as they are consumed, for the
+// bytes/sec figure in the completion report.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// encodeRow maps one CSV record to a key, reporting malformed rows to
+// errw. ok is false when the row must be skipped.
+func encodeRow(cols []colSpec, rec []string, row int, errw io.Writer) (bmeh.Key, bool) {
+	key := make(bmeh.Key, len(cols))
+	for j, c := range cols {
+		if c.index >= len(rec) {
+			fmt.Fprintf(errw, "row %d: only %d fields (need column %d); skipped\n", row, len(rec), c.index)
+			return nil, false
+		}
+		v, err := c.encode(rec[c.index])
+		if err != nil {
+			fmt.Fprintf(errw, "row %d: %v; skipped\n", row, err)
+			return nil, false
+		}
+		key[j] = v
+	}
+	return key, true
+}
+
 // loadCSV streams rows from r into ix in batches of batchSize (1 falls
 // back to per-row Insert); returns rows indexed, duplicates skipped and
 // malformed rows skipped. Batches go through InsertBatch: one write lock
@@ -165,22 +197,7 @@ func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize
 		if header && row == 0 {
 			continue
 		}
-		key := make(bmeh.Key, len(cols))
-		ok := true
-		for j, c := range cols {
-			if c.index >= len(rec) {
-				fmt.Fprintf(errw, "row %d: only %d fields (need column %d); skipped\n", row, len(rec), c.index)
-				ok = false
-				break
-			}
-			v, err := c.encode(rec[c.index])
-			if err != nil {
-				fmt.Fprintf(errw, "row %d: %v; skipped\n", row, err)
-				ok = false
-				break
-			}
-			key[j] = v
-		}
+		key, ok := encodeRow(cols, rec, row, errw)
 		if !ok {
 			bad++
 			continue
@@ -194,6 +211,65 @@ func loadCSV(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, batchSize
 	}
 }
 
+// loadBulk streams rows through Index.BulkLoad: sort by pseudo-key,
+// carve pages, build the directory bottom-up, one commit. If stop is
+// closed mid-stream the iterator simply ends early — the rows already
+// read commit as a partial (but fully consistent) load.
+func loadBulk(ix *bmeh.Index, r io.Reader, cols []colSpec, header bool, errw io.Writer, stop <-chan struct{}) (loaded, dups, bad int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	row := -1
+	stopped := false
+	st, lerr := ix.BulkLoad(func() (bmeh.KV, bool, error) {
+		for {
+			select {
+			case <-stop:
+				stopped = true
+				return bmeh.KV{}, false, nil
+			default:
+			}
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return bmeh.KV{}, false, nil
+			}
+			if err != nil {
+				return bmeh.KV{}, false, err
+			}
+			row++
+			if header && row == 0 {
+				continue
+			}
+			key, ok := encodeRow(cols, rec, row, errw)
+			if !ok {
+				bad++
+				continue
+			}
+			return bmeh.KV{Key: key, Value: uint64(row)}, true, nil
+		}
+	}, bmeh.BulkOptions{})
+	loaded, dups = int(st.Loaded), int(st.Duplicates)
+	if lerr != nil {
+		return loaded, dups, bad, lerr
+	}
+	if stopped {
+		return loaded, dups, bad, errStopped
+	}
+	return loaded, dups, bad, nil
+}
+
+// fmtBytes renders a byte count with a binary-prefix unit.
+func fmtBytes(n float64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", n/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", n/(1<<10))
+	}
+	return fmt.Sprintf("%.0f B", n)
+}
+
 func main() {
 	var cols colSpecs
 	var (
@@ -202,6 +278,7 @@ func main() {
 		header   = flag.Bool("header", true, "skip the first CSV row")
 		cacheN   = flag.Int("cache", 1024, "page cache frames")
 		batchN   = flag.Int("batch", 1024, "rows per InsertBatch (1 = per-row inserts)")
+		bulk     = flag.Bool("bulk", false, "build bottom-up with BulkLoad (sort, carve pages, one commit)")
 	)
 	flag.Var(&cols, "col", "key column spec TYPE:INDEX[:LO:HI] (repeatable, in dimension order)")
 	flag.Parse()
@@ -228,9 +305,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	// SIGINT/SIGTERM stop the load at the next batch boundary; the batch
-	// in hand is flushed and the index closed cleanly, so the partial
-	// file opens without WAL replay.
+	// SIGINT/SIGTERM stop the load at the next row boundary; what is in
+	// hand is flushed (batch mode) or committed as read so far (bulk
+	// mode) and the index closed cleanly, so the partial file opens
+	// without WAL replay.
 	stop := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -240,8 +318,14 @@ func main() {
 		close(stop)
 		signal.Stop(sigc) // a second signal kills us the default way
 	}()
+	src := &countingReader{r: in}
 	start := time.Now()
-	loaded, dups, bad, err := loadCSV(ix, in, cols, *header, *batchN, os.Stderr, stop)
+	var loaded, dups, bad int
+	if *bulk {
+		loaded, dups, bad, err = loadBulk(ix, src, cols, *header, os.Stderr, stop)
+	} else {
+		loaded, dups, bad, err = loadCSV(ix, src, cols, *header, *batchN, os.Stderr, stop)
+	}
 	stopped := errors.Is(err, errStopped)
 	if err != nil && !stopped {
 		ix.Close()
@@ -250,13 +334,20 @@ func main() {
 	if err := ix.Close(); err != nil {
 		fail(err)
 	}
+	elapsed := time.Since(start)
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
 	st, _ := os.Stat(*out)
 	note := ""
 	if stopped {
 		note = " [interrupted: partial load]"
 	}
 	fmt.Printf("indexed %d rows (%d duplicates, %d malformed) in %v → %s (%d KiB)%s\n",
-		loaded, dups, bad, time.Since(start).Round(time.Millisecond), *out, st.Size()/1024, note)
+		loaded, dups, bad, elapsed.Round(time.Millisecond), *out, st.Size()/1024, note)
+	fmt.Printf("rate: %.0f rows/s, %s/s (%s read)\n",
+		float64(loaded)/secs, fmtBytes(float64(src.n)/secs), fmtBytes(float64(src.n)))
 	if stopped {
 		os.Exit(130)
 	}

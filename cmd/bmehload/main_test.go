@@ -192,3 +192,97 @@ func (s *stoppingReader) Read(p []byte) (int, error) {
 	}
 	return n, err
 }
+
+// TestLoadBulkEndToEnd runs the same fixture through the bottom-up bulk
+// path and expects identical counts and query results.
+func TestLoadBulkEndToEnd(t *testing.T) {
+	csvData := `name,lon,lat,pop
+London,-0.13,51.51,9540
+Paris,2.35,48.86,11100
+Tokyo,139.69,35.69,37400
+broken,not-a-number,1,2
+Paris,2.35,48.86,11100
+Sydney,151.21,-33.87,4990
+short-row
+`
+	path := filepath.Join(t.TempDir(), "bulk.bmeh")
+	ix, err := bmeh.Create(path, bmeh.Options{Dims: 2, PageCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []colSpec{
+		{kind: "f64", index: 1, lo: -180, hi: 180},
+		{kind: "f64", index: 2, lo: -90, hi: 90},
+	}
+	var errlog bytes.Buffer
+	loaded, dups, bad, err := loadBulk(ix, strings.NewReader(csvData), cols, true, &errlog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 4 || dups != 1 || bad != 2 {
+		t.Fatalf("loaded=%d dups=%d bad=%d, want 4/1/2 (%s)", loaded, dups, bad, errlog.String())
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := bmeh.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rows := map[uint64]bool{}
+	err = re.Range(
+		bmeh.Key{bmeh.Bounded(-11, -180, 180), bmeh.Bounded(35, -90, 90)},
+		bmeh.Key{bmeh.Bounded(40, -180, 180), bmeh.Bounded(66, -90, 90)},
+		func(k bmeh.Key, v uint64) bool { rows[v] = true; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || !rows[1] || !rows[2] {
+		t.Fatalf("Europe box rows = %v, want {1,2}", rows)
+	}
+}
+
+// TestLoadBulkStop: stopping a bulk load commits the rows read so far as
+// one consistent partial index.
+func TestLoadBulkStop(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a,b\n")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i*131)
+	}
+	path := filepath.Join(t.TempDir(), "bulkstop.bmeh")
+	ix, err := bmeh.Create(path, bmeh.Options{Dims: 2, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []colSpec{{kind: "u32", index: 0}, {kind: "u32", index: 1}}
+	stop := make(chan struct{})
+	var once sync.Once
+	var errlog bytes.Buffer
+	r := io.Reader(&stoppingReader{r: strings.NewReader(sb.String()), after: 2000, fire: func() { once.Do(func() { close(stop) }) }})
+	loaded, _, _, err := loadBulk(ix, r, cols, true, &errlog, stop)
+	if !errors.Is(err, errStopped) {
+		t.Fatalf("stopped bulk load error = %v, want errStopped", err)
+	}
+	if loaded == 0 || loaded >= 1000 {
+		t.Fatalf("partial bulk load kept %d rows, want 0 < n < 1000", loaded)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := bmeh.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Recovery().CleanShutdown() {
+		t.Fatalf("interrupted bulk load left a dirty WAL: %+v", re.Recovery())
+	}
+	if got := re.Len(); got != loaded {
+		t.Fatalf("reopened index has %d records, loader reported %d", got, loaded)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -137,6 +137,12 @@ type Server struct {
 	conns    map[*conn]struct{}
 	draining bool
 	wg       sync.WaitGroup // live connection handlers
+
+	// Streaming bulk-load sessions (see load.go). Sessions outlive the
+	// connection that opened them so a client can resume after a redial.
+	loadMu  sync.Mutex
+	loads   map[uint64]*loadSession
+	loadSeq uint64
 }
 
 // New returns an unstarted Server for ix.
@@ -147,6 +153,7 @@ func New(ix *bmeh.Index, cfg Config) *Server {
 		cfg:   cfg,
 		co:    newCoalescer(ix, cfg.CoalesceMax, cfg.CoalesceWait),
 		conns: make(map[*conn]struct{}),
+		loads: make(map[uint64]*loadSession),
 	}
 }
 
@@ -262,8 +269,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
-	// All producers are gone; commit whatever the coalescer still holds,
-	// then leave the WAL reset so the next open sees a clean shutdown.
+	// All producers are gone; tear down any load session still open (its
+	// staged pages are freed, the pre-load state stands), commit whatever
+	// the coalescer still holds, then leave the WAL reset so the next
+	// open sees a clean shutdown.
+	s.abortAllLoads()
 	s.co.close()
 	if err := s.ix.Sync(); err != nil {
 		return err
@@ -587,6 +597,9 @@ func (c *conn) dispatch(fr wire.Frame) {
 		c.send(fr.Op, fr.ID, wire.AppendSeqResp(nil, c.srv.ix.ReplCommitSeq()))
 		c.pending.Add(1)
 		go c.streamRepl(sub, snap)
+
+	case wire.OpLoadBegin, wire.OpLoadChunk, wire.OpLoadCommit, wire.OpLoadAbort:
+		c.dispatchLoad(fr)
 
 	case wire.OpReplHeartbeat:
 		seq, err := wire.DecodeSeq(fr.Payload)

@@ -18,6 +18,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 4, Payload: AppendBatchReq(nil, []KV{{Key: []uint64{1}, Value: 2}})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpSync, ID: 5}))
 	f.Add(AppendFrame(nil, Frame{Op: OpStats.Response(), ID: 6, Payload: AppendStatsResp(nil, Stats{Dims: 2})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpLoadBegin, ID: 10, Payload: AppendLoadBeginReq(nil, 0)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpLoadChunk, ID: 11, Payload: AppendLoadChunkReq(nil, 3, 1, []KV{{Key: []uint64{4, 5}, Value: 6}})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpLoadCommit, ID: 12, Payload: AppendLoadCommitReq(nil, 3)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpLoadBegin.Response(), ID: 13, Payload: AppendLoadBeginResp(nil, 3, 7)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpLoadCommit.Response(), ID: 14, Payload: AppendLoadCommitResp(nil, 100, 2)}))
 	// Truncated, bad-CRC and version-skew seeds.
 	good := AppendFrame(nil, Frame{Op: OpGet, ID: 7, Payload: AppendGetReq(nil, []uint64{3})})
 	f.Add(good[:len(good)-1])
@@ -56,6 +61,14 @@ func FuzzDecodeFrame(f *testing.F) {
 				_, _, _, _ = DecodeRangeReq(fr.Payload)
 			case OpBatch:
 				_, _ = DecodeBatchReq(fr.Payload)
+			case OpLoadBegin:
+				_, _ = DecodeLoadBeginReq(fr.Payload)
+			case OpLoadChunk:
+				_, _, _, _ = DecodeLoadChunkReq(fr.Payload)
+			case OpLoadCommit:
+				_, _ = DecodeLoadCommitReq(fr.Payload)
+			case OpLoadAbort:
+				_, _ = DecodeLoadAbortReq(fr.Payload)
 			}
 			if fr.Op&Resp != 0 {
 				if st, body, err := DecodeStatus(fr.Payload); err == nil && st == StatusOK {
@@ -68,6 +81,12 @@ func FuzzDecodeFrame(f *testing.F) {
 						_, _ = DecodeBatchRespBody(body)
 					case OpStats:
 						_, _ = DecodeStatsRespBody(body)
+					case OpLoadBegin:
+						_, _, _ = DecodeLoadBeginRespBody(body)
+					case OpLoadChunk:
+						_, _ = DecodeLoadChunkRespBody(body)
+					case OpLoadCommit:
+						_, _, _ = DecodeLoadCommitRespBody(body)
 					}
 				}
 			}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Streaming bulk-load payloads. A load session survives the connection
+// that opened it: the session ID returned by LOAD_BEGIN names server-side
+// state, so a client that loses its connection mid-stream redials, sends
+// LOAD_BEGIN with the old ID, learns the next expected chunk sequence,
+// and resumes from there. Chunks are numbered from 1 and each carries its
+// own CRC-32C over the encoded entry bytes — the frame checksum guards
+// the envelope, the chunk checksum guards the cargo across retries and
+// reassembly, so a torn or corrupted chunk is refused before any of its
+// records reach the builder.
+
+// AppendLoadBeginReq appends a LOAD_BEGIN request payload. Session 0 asks
+// the server to open a new load session; a nonzero ID resumes that one.
+func AppendLoadBeginReq(dst []byte, session uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, session)
+}
+
+// DecodeLoadBeginReq parses a LOAD_BEGIN request payload.
+func DecodeLoadBeginReq(p []byte) (session uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: LOAD_BEGIN wants 8 bytes, has %d", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendLoadBeginResp appends a LOAD_BEGIN response: StatusOK, the
+// session ID, and the next chunk sequence the server expects (1 for a
+// fresh session).
+func AppendLoadBeginResp(dst []byte, session, nextSeq uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	dst = binary.BigEndian.AppendUint64(dst, session)
+	return binary.BigEndian.AppendUint64(dst, nextSeq)
+}
+
+// DecodeLoadBeginRespBody parses the body of a StatusOK LOAD_BEGIN
+// response.
+func DecodeLoadBeginRespBody(body []byte) (session, nextSeq uint64, err error) {
+	if len(body) != 16 {
+		return 0, 0, fmt.Errorf("%w: LOAD_BEGIN response wants 16 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint64(body[8:]), nil
+}
+
+// AppendLoadChunkReq appends a LOAD_CHUNK request payload: session, chunk
+// sequence (from 1), a CRC-32C over the encoded entries, then the
+// entries themselves.
+func AppendLoadChunkReq(dst []byte, session, seq uint64, kvs []KV) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, session)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	// Reserve the checksum slot, encode the entries after it, then fill
+	// the slot with the CRC over exactly those bytes.
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendEntries(dst, kvs)
+	crc := crc32.Checksum(dst[crcAt+4:], crcTable)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc)
+	return dst
+}
+
+// DecodeLoadChunkReq parses a LOAD_CHUNK request payload, verifying the
+// chunk checksum before any entry is decoded. A mismatch is ErrChecksum.
+func DecodeLoadChunkReq(p []byte) (session, seq uint64, kvs []KV, err error) {
+	if len(p) < 20 {
+		return 0, 0, nil, fmt.Errorf("%w: LOAD_CHUNK header wants 20 bytes, has %d", ErrPayload, len(p))
+	}
+	session = binary.BigEndian.Uint64(p)
+	seq = binary.BigEndian.Uint64(p[8:])
+	want := binary.BigEndian.Uint32(p[16:])
+	body := p[20:]
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: LOAD_CHUNK %d", ErrChecksum, seq)
+	}
+	kvs, rest, err := decodeEntries(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrPayload, len(rest))
+	}
+	return session, seq, kvs, nil
+}
+
+// AppendLoadChunkResp appends a LOAD_CHUNK response: StatusOK plus the
+// acknowledged chunk sequence.
+func AppendLoadChunkResp(dst []byte, seq uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// DecodeLoadChunkRespBody parses the body of a StatusOK LOAD_CHUNK
+// response.
+func DecodeLoadChunkRespBody(body []byte) (seq uint64, err error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: LOAD_CHUNK ack wants 8 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// AppendLoadCommitReq appends a LOAD_COMMIT request payload.
+func AppendLoadCommitReq(dst []byte, session uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, session)
+}
+
+// DecodeLoadCommitReq parses a LOAD_COMMIT request payload.
+func DecodeLoadCommitReq(p []byte) (session uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: LOAD_COMMIT wants 8 bytes, has %d", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendLoadCommitResp appends a LOAD_COMMIT response: StatusOK, how many
+// records the load stored, and how many it dropped as duplicates.
+func AppendLoadCommitResp(dst []byte, loaded, duplicates uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	dst = binary.BigEndian.AppendUint64(dst, loaded)
+	return binary.BigEndian.AppendUint64(dst, duplicates)
+}
+
+// DecodeLoadCommitRespBody parses the body of a StatusOK LOAD_COMMIT
+// response.
+func DecodeLoadCommitRespBody(body []byte) (loaded, duplicates uint64, err error) {
+	if len(body) != 16 {
+		return 0, 0, fmt.Errorf("%w: LOAD_COMMIT response wants 16 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint64(body[8:]), nil
+}
+
+// AppendLoadAbortReq appends a LOAD_ABORT request payload.
+func AppendLoadAbortReq(dst []byte, session uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, session)
+}
+
+// DecodeLoadAbortReq parses a LOAD_ABORT request payload.
+func DecodeLoadAbortReq(p []byte) (session uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: LOAD_ABORT wants 8 bytes, has %d", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}

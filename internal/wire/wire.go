@@ -70,12 +70,25 @@ const (
 	OpReplSubscribe Op = 8  // payload: last applied seq → status + primary seq
 	OpReplRecords   Op = 9  // push only: status + ReplMsg
 	OpReplHeartbeat Op = 10 // payload: applied seq → status + primary seq
+
+	// Streaming bulk-load opcodes. A client opens a load session with
+	// LOAD_BEGIN (session 0 = new; a prior session ID resumes it after a
+	// reconnect), streams numbered LOAD_CHUNK frames — each carrying its
+	// own CRC-32C over the entry bytes so a torn chunk is rejected before
+	// it reaches the builder — and finishes with LOAD_COMMIT, which
+	// answers only once the bottom-up build's root swap is durable.
+	// LOAD_ABORT discards the session.
+	OpLoadBegin  Op = 11 // payload: session (0 = new) → status + session + next seq
+	OpLoadChunk  Op = 12 // payload: session + seq + crc + entries → status + acked seq
+	OpLoadCommit Op = 13 // payload: session → status + loaded + duplicates
+	OpLoadAbort  Op = 14 // payload: session → status
 )
 
 // IsRequest reports whether op is a known request opcode. OpReplRecords
 // is excluded: record batches are pushed by the primary, never requested.
 func (op Op) IsRequest() bool {
-	return (op >= OpGet && op <= OpStats) || op == OpReplSubscribe || op == OpReplHeartbeat
+	return (op >= OpGet && op <= OpStats) || op == OpReplSubscribe || op == OpReplHeartbeat ||
+		(op >= OpLoadBegin && op <= OpLoadAbort)
 }
 
 // Response returns the response opcode for a request.
@@ -88,6 +101,8 @@ func (op Op) String() string {
 		OpBatch: "BATCH", OpSync: "SYNC", OpStats: "STATS",
 		OpReplSubscribe: "REPL_SUBSCRIBE", OpReplRecords: "REPL_RECORDS",
 		OpReplHeartbeat: "REPL_HEARTBEAT",
+		OpLoadBegin:     "LOAD_BEGIN", OpLoadChunk: "LOAD_CHUNK",
+		OpLoadCommit: "LOAD_COMMIT", OpLoadAbort: "LOAD_ABORT",
 	}
 	if s, ok := name[op&^Resp]; ok {
 		if op&Resp != 0 {
