@@ -53,10 +53,11 @@ type LoadStats struct {
 	Resumes int
 }
 
-// ErrLoadAmbiguous reports a connection loss during LOAD_COMMIT after
-// which the session was gone on reconnect: the load either committed
-// fully or was reclaimed, and the caller must check the index to learn
-// which. Nothing partial was kept either way.
+// ErrLoadAmbiguous reports a connection loss after LOAD_COMMIT was sent
+// that resuming could not resolve — the session was gone on reconnect,
+// or every redial failed: the load either committed fully or was
+// reclaimed, and the caller must check the index to learn which.
+// Nothing partial was kept either way.
 var ErrLoadAmbiguous = errors.New("client: load commit outcome unknown")
 
 // outChunk is one sent-but-unacknowledged chunk. The encoded payload is
@@ -249,12 +250,13 @@ func (c *Client) Load(next func() (bmeh.KV, bool, error), opts LoadOptions) (Loa
 		if !errors.As(err, &ce) {
 			return stats, err
 		}
+		// The commit frame was already sent, so any terminal resume
+		// failure — session gone server-side or every redial exhausted —
+		// leaves the outcome unknown: the commit may have landed. Always
+		// ambiguous from here, never a bare transport error.
 		var rerr error
 		if window, rerr = resume(window); rerr != nil {
-			if !errors.As(rerr, &ce) {
-				return stats, fmt.Errorf("%w: %v", ErrLoadAmbiguous, rerr)
-			}
-			return stats, rerr
+			return stats, fmt.Errorf("%w: %v", ErrLoadAmbiguous, rerr)
 		}
 	}
 }

@@ -1,0 +1,100 @@
+package client_test
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"bmeh"
+	"bmeh/client"
+	"bmeh/internal/wire"
+)
+
+// startCommitKillServer speaks just enough of the wire protocol to
+// carry a load stream to its commit: LOAD_BEGIN opens session 1, chunks
+// are acked, and the first LOAD_COMMIT kills both the connection and the
+// listener — so the commit's fate is unknowable and every resume redial
+// fails.
+func startCommitKillServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				r := wire.NewReader(bufio.NewReader(nc), 0)
+				for {
+					fr, err := r.Next()
+					if err != nil {
+						return
+					}
+					var resp []byte
+					switch fr.Op {
+					case wire.OpLoadBegin:
+						resp = wire.AppendLoadBeginResp(nil, 1, 1)
+					case wire.OpLoadChunk:
+						_, seq, _, err := wire.DecodeLoadChunkReq(fr.Payload)
+						if err != nil {
+							return
+						}
+						resp = wire.AppendLoadChunkResp(nil, seq)
+					case wire.OpLoadCommit:
+						ln.Close()
+						return
+					default:
+						resp = wire.AppendStatus(nil, wire.StatusOK, "")
+					}
+					out := wire.AppendFrame(nil, wire.Frame{
+						Op: fr.Op.Response(), ID: fr.ID, Payload: resp,
+					})
+					if _, err := nc.Write(out); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestLoadCommitAmbiguousOnRedialFailure: once the commit frame is on
+// the wire, losing the connection and then failing every resume redial
+// must surface ErrLoadAmbiguous — the commit may have landed server-side,
+// so a bare transport error would break the "surfaced, never guessed"
+// contract.
+func TestLoadCommitAmbiguousOnRedialFailure(t *testing.T) {
+	addr := startCommitKillServer(t)
+	cl, err := client.Dial(addr, client.Options{
+		Retries:          2,
+		DialTimeout:      time.Second,
+		RequestTimeout:   2 * time.Second,
+		RedialBackoff:    time.Millisecond,
+		RedialBackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	i := uint64(0)
+	_, err = cl.Load(func() (bmeh.KV, bool, error) {
+		if i >= 100 {
+			return bmeh.KV{}, false, nil
+		}
+		i++
+		return bmeh.KV{Key: bmeh.Key{i, i}, Value: i}, true, nil
+	}, client.LoadOptions{ChunkSize: 32})
+	if !errors.Is(err, client.ErrLoadAmbiguous) {
+		t.Fatalf("want ErrLoadAmbiguous, got %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"bmeh"
@@ -51,6 +52,12 @@ type loadSession struct {
 	done    chan struct{}  // closed when the builder goroutine exits
 	result  loadResult     // valid once done is closed
 	aborted bool           // abort already closed (guarded by loadMu)
+
+	// sendMu serializes chunk sends into recs against LOAD_COMMIT's
+	// close(recs): a sender holds it across the committed check and the
+	// blocking send, commit takes it before closing, so a late chunk is
+	// rejected instead of panicking on a closed channel.
+	sendMu sync.Mutex
 }
 
 // errLoadAborted is what the builder's iterator returns after an abort;
@@ -85,7 +92,21 @@ func (s *Server) openLoadSession() *loadSession {
 					}
 					batch, i = b, 0
 				case <-ls.abort:
-					return bmeh.KV{}, false, errLoadAborted
+					s.loadMu.Lock()
+					committed := ls.committed
+					s.loadMu.Unlock()
+					if !committed {
+						return bmeh.KV{}, false, errLoadAborted
+					}
+					// LOAD_COMMIT already won this race: recs is closed
+					// (or about to be, with no further senders admitted),
+					// so drain it to EOF — a sweep or shutdown abort must
+					// not fail a load whose data is fully received.
+					b, ok := <-ls.recs
+					if !ok {
+						return bmeh.KV{}, false, nil
+					}
+					batch, i = b, 0
 				}
 			}
 			kv := batch[i]
@@ -127,14 +148,22 @@ func (s *Server) abortLoad(ls *loadSession) {
 	}
 }
 
-// sweepLoads aborts sessions idle past the expiry. Called from LOAD_BEGIN
-// so an abandoned session cannot pin its builder goroutine (and the
-// write gate it will eventually want) forever.
+// sweepLoads aborts sessions idle past the expiry, so an abandoned
+// session cannot pin its builder goroutine (and the write gate it will
+// eventually want) forever. Called from LOAD_BEGIN and from the timer
+// loop below.
 func (s *Server) sweepLoads() {
 	now := time.Now()
 	s.loadMu.Lock()
 	var stale []*loadSession
 	for id, ls := range s.loads {
+		if ls.committed {
+			// The commit goroutine owns this session now: it is draining
+			// its buffered chunks and building, and will drop it when
+			// done. Expiring it here would abort a load whose data was
+			// fully received.
+			continue
+		}
 		if now.Sub(ls.lastActive) > loadIdleExpiry {
 			stale = append(stale, ls)
 			delete(s.loads, id)
@@ -143,6 +172,24 @@ func (s *Server) sweepLoads() {
 	s.loadMu.Unlock()
 	for _, ls := range stale {
 		s.abortLoad(ls)
+	}
+}
+
+// sweepLoadsLoop expires idle sessions on a timer, so an abandoned
+// session's builder goroutine and buffered chunks are reclaimed even if
+// no further LOAD_BEGIN ever arrives. Serve starts it; Shutdown closes
+// loadSweepStop and waits for done before tearing down what remains.
+func (s *Server) sweepLoadsLoop(done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(loadIdleExpiry / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.sweepLoads()
+		case <-s.loadSweepStop:
+			return
+		}
 	}
 }
 
@@ -204,16 +251,30 @@ func (c *conn) dispatchLoad(fr wire.Frame) {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, fmt.Sprintf("unknown load session %d", id))
 			return
 		}
+		// sendMu makes the committed check and the send one atomic step
+		// with respect to LOAD_COMMIT's close(recs): without it a chunk
+		// racing the commit could send on the closed channel and panic
+		// the process.
+		ls.sendMu.Lock()
 		s.loadMu.Lock()
 		next := ls.nextSeq
+		committed := ls.committed
 		s.loadMu.Unlock()
+		if committed && seq >= next {
+			ls.sendMu.Unlock()
+			c.sendStatus(fr.Op, fr.ID, wire.StatusErr,
+				fmt.Sprintf("load session %d: chunk %d after commit", id, seq))
+			return
+		}
 		if seq < next {
 			// A retransmit of a chunk the builder already consumed —
 			// normal after a resume; acknowledge it again.
+			ls.sendMu.Unlock()
 			c.send(fr.Op, fr.ID, wire.AppendLoadChunkResp(nil, seq))
 			return
 		}
 		if seq > next {
+			ls.sendMu.Unlock()
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr,
 				fmt.Sprintf("load session %d: chunk gap: got %d, want %d", id, seq, next))
 			return
@@ -229,6 +290,7 @@ func (c *conn) dispatchLoad(fr wire.Frame) {
 		case <-ls.done:
 			// The builder died early (abort or error); surface that
 			// instead of queueing into nowhere.
+			ls.sendMu.Unlock()
 			msg := "load session ended"
 			if ls.result.err != nil {
 				msg = ls.result.err.Error()
@@ -239,6 +301,7 @@ func (c *conn) dispatchLoad(fr wire.Frame) {
 		s.loadMu.Lock()
 		ls.nextSeq = seq + 1
 		s.loadMu.Unlock()
+		ls.sendMu.Unlock()
 		c.send(fr.Op, fr.ID, wire.AppendLoadChunkResp(nil, seq))
 
 	case wire.OpLoadCommit:
@@ -257,7 +320,13 @@ func (c *conn) dispatchLoad(fr wire.Frame) {
 		ls.committed = true
 		s.loadMu.Unlock()
 		if first {
+			// Fence out any chunk send in flight: a sender holds sendMu
+			// across its committed check and send, so once we hold it no
+			// sender can be mid-send and none will start (the flag above
+			// rejects them).
+			ls.sendMu.Lock()
 			close(ls.recs)
+			ls.sendMu.Unlock()
 		}
 		// The build's sort-and-swap (and its durable Sync) can take a
 		// while; answer asynchronously like BATCH so pipelined lookups on

@@ -11,6 +11,7 @@ import (
 	"bmeh"
 	"bmeh/client"
 	"bmeh/internal/server"
+	"bmeh/internal/wire"
 )
 
 // loadIter yields n distinct records.
@@ -189,6 +190,72 @@ func TestLoadIteratorErrorAborts(t *testing.T) {
 	st, err := cl.Load(loadIter(1000), client.LoadOptions{})
 	if err != nil || st.Loaded != 1000 {
 		t.Fatalf("fresh load after abort: %+v %v", st, err)
+	}
+}
+
+// nextLoadFrame reads one response frame, returning its id, status, and
+// the body after the status byte (LOAD responses carry payload there).
+func (rc *rawConn) nextLoadFrame() (uint64, wire.Status, []byte) {
+	rc.t.Helper()
+	fr, err := rc.r.Next()
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	st, body, err := wire.DecodeStatus(fr.Payload)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return fr.ID, st, body
+}
+
+// TestLoadChunkAfterCommitRejected pipelines a chunk with the next
+// expected sequence behind LOAD_COMMIT. The server must refuse the late
+// chunk with StatusErr — before the fix it sent on the channel the
+// commit had closed and panicked the whole process.
+func TestLoadChunkAfterCommitRejected(t *testing.T) {
+	ix := newIndex(t, "mem")
+	defer ix.Close()
+	_, addr := startServer(t, ix, server.Config{})
+	rc := dialRaw(t, addr)
+
+	id := rc.write(wire.OpLoadBegin, wire.AppendLoadBeginReq(nil, 0))
+	gotID, st, body := rc.nextLoadFrame()
+	if gotID != id || st != wire.StatusOK {
+		t.Fatalf("begin: id %d status %v", gotID, st)
+	}
+	session, _, err := wire.DecodeLoadBeginRespBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kvs := []wire.KV{{Key: []uint64{1, 2}, Value: 3}}
+	chunk1 := rc.write(wire.OpLoadChunk, wire.AppendLoadChunkReq(nil, session, 1, kvs))
+	if gotID, st, _ := rc.nextLoadFrame(); gotID != chunk1 || st != wire.StatusOK {
+		t.Fatalf("chunk 1: id %d status %v", gotID, st)
+	}
+
+	// The reader dispatches frames in order: the commit closes the
+	// session's intake, then the late chunk (seq 2 == nextSeq) arrives.
+	commitID := rc.write(wire.OpLoadCommit, wire.AppendLoadCommitReq(nil, session))
+	lateID := rc.write(wire.OpLoadChunk, wire.AppendLoadChunkReq(nil, session, 2, kvs))
+
+	// The commit responds asynchronously, so the two responses may
+	// arrive in either order.
+	got := map[uint64]wire.Status{}
+	for len(got) < 2 {
+		id, st, _ := rc.nextLoadFrame()
+		got[id] = st
+	}
+	if got[commitID] != wire.StatusOK {
+		t.Fatalf("commit status %v", got[commitID])
+	}
+	if got[lateID] != wire.StatusErr {
+		t.Fatalf("late chunk status %v, want StatusErr", got[lateID])
+	}
+
+	// The server survived and committed the load.
+	if st := rc.roundTrip(wire.OpGet, wire.AppendGetReq(nil, []uint64{1, 2})); st != wire.StatusOK {
+		t.Fatalf("get after late chunk: %v", st)
 	}
 }
 

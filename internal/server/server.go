@@ -143,17 +143,24 @@ type Server struct {
 	loadMu  sync.Mutex
 	loads   map[uint64]*loadSession
 	loadSeq uint64
+	// loadSweepStop ends the timer-driven session sweeper; loadSweepDone
+	// (set under mu when Serve starts the sweeper, nil before) is closed
+	// when it has exited, so Shutdown can wait for it before tearing down
+	// the remaining sessions.
+	loadSweepStop chan struct{}
+	loadSweepDone chan struct{}
 }
 
 // New returns an unstarted Server for ix.
 func New(ix *bmeh.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		ix:    ix,
-		cfg:   cfg,
-		co:    newCoalescer(ix, cfg.CoalesceMax, cfg.CoalesceWait),
-		conns: make(map[*conn]struct{}),
-		loads: make(map[uint64]*loadSession),
+		ix:            ix,
+		cfg:           cfg,
+		co:            newCoalescer(ix, cfg.CoalesceMax, cfg.CoalesceWait),
+		conns:         make(map[*conn]struct{}),
+		loads:         make(map[uint64]*loadSession),
+		loadSweepStop: make(chan struct{}),
 	}
 }
 
@@ -192,6 +199,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		return errors.New("server: Serve called twice")
 	}
 	s.ln = ln
+	s.loadSweepDone = make(chan struct{})
+	go s.sweepLoadsLoop(s.loadSweepDone)
 	s.mu.Unlock()
 	for {
 		nc, err := ln.Accept()
@@ -269,10 +278,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
-	// All producers are gone; tear down any load session still open (its
-	// staged pages are freed, the pre-load state stands), commit whatever
-	// the coalescer still holds, then leave the WAL reset so the next
-	// open sees a clean shutdown.
+	// All producers are gone; stop the session sweeper (so it cannot
+	// reap a session out from under the teardown below), tear down any
+	// load session still open (its staged pages are freed, the pre-load
+	// state stands), commit whatever the coalescer still holds, then
+	// leave the WAL reset so the next open sees a clean shutdown.
+	if !already {
+		close(s.loadSweepStop)
+	}
+	s.mu.Lock()
+	sweepDone := s.loadSweepDone
+	s.mu.Unlock()
+	if sweepDone != nil {
+		<-sweepDone
+	}
 	s.abortAllLoads()
 	s.co.close()
 	if err := s.ix.Sync(); err != nil {
