@@ -71,6 +71,40 @@ func (s Scheme) String() string {
 	}
 }
 
+// Backend selects the storage engine of a file-backed Index.
+type Backend int
+
+const (
+	// BackendFile (default) is the pread/pwrite engine: page reads copy
+	// through a pooled buffer (and the optional CacheFrames byte pool).
+	BackendFile Backend = iota
+	// BackendMmap maps the page file into memory and serves reads as
+	// zero-copy slices straight out of the mapping, with msync at the
+	// commit barrier. The on-disk format and crash-consistency protocol
+	// are identical to BackendFile — a file created by one backend opens
+	// under the other — but the byte pool is bypassed entirely (the OS
+	// page cache is the byte cache), so CacheFrames is ignored. On
+	// platforms without mmap support it degrades to the pread path.
+	BackendMmap
+)
+
+// MmapAvailable reports whether this platform actually maps page files
+// into memory. Where false, BackendMmap still works — it runs on the
+// pread fallback and ReadSlice-equivalent reads return verified copies.
+func MmapAvailable() bool { return pagestore.MmapSupported }
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendFile:
+		return "file"
+	case BackendMmap:
+		return "mmap"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
 // Key is a d-dimensional key vector. Components compare numerically; use
 // the encoding helpers to map other attribute types order-preservingly.
 type Key []uint64
@@ -104,8 +138,12 @@ type Options struct {
 	// between the index and its store (0 disables caching). The cache is
 	// lock-striped with CLOCK eviction, so concurrent lookups on a warm
 	// cache do not serialize. With a cache, Stats reports physical I/O
-	// only; call Sync to force dirty pages out.
+	// only; call Sync to force dirty pages out. Ignored by BackendMmap,
+	// which bypasses the byte pool (the OS page cache fills that role).
 	CacheFrames int
+	// Backend selects the storage engine for file-backed indexes
+	// (default BackendFile); in-memory indexes (New) ignore it.
+	Backend Backend
 	// SyncPolicy enables commit coalescing (group commit) for Sync: the
 	// zero value commits each Sync individually; a non-zero policy batches
 	// concurrent and back-to-back Sync calls into one WAL commit + fsync
@@ -196,6 +234,10 @@ type Index struct {
 	store  pagestore.Store
 	cached *pagestore.CachedStore
 	file   *pagestore.FileDisk
+	// mdisk is set when the index runs on BackendMmap; file then aliases
+	// mdisk's embedded FileDisk, so the commit/replication/fsck paths are
+	// shared between backends.
+	mdisk *pagestore.MmapDisk
 	// recovered is the number of committed WAL batches replayed when the
 	// index was opened (0 for New/Create and after a clean shutdown).
 	recovered int
@@ -295,16 +337,31 @@ func Create(path string, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	file, err := pagestore.CreateFileDisk(path, requiredPageBytes(opts.Scheme, prm))
-	if err != nil {
-		return nil, err
+	ix := &Index{opts: opts, prm: prm, scheme: opts.Scheme}
+	var st pagestore.Store
+	if opts.Backend == BackendMmap {
+		md, err := pagestore.CreateMmapDisk(path, requiredPageBytes(opts.Scheme, prm))
+		if err != nil {
+			return nil, err
+		}
+		ix.mdisk, ix.file = md, md.FileDisk
+		// No byte pool over mmap: the decoded-node cache sits directly on
+		// the zero-copy slice path.
+		ix.opts.CacheFrames = 0
+		st = md
+	} else {
+		file, err := pagestore.CreateFileDisk(path, requiredPageBytes(opts.Scheme, prm))
+		if err != nil {
+			return nil, err
+		}
+		ix.file = file
+		st = file
+		if opts.CacheFrames > 0 {
+			ix.cached = pagestore.NewCachedStore(st, opts.CacheFrames)
+			st = ix.cached
+		}
 	}
-	ix := &Index{opts: opts, prm: prm, scheme: opts.Scheme, file: file}
-	var st pagestore.Store = file
-	if opts.CacheFrames > 0 {
-		ix.cached = pagestore.NewCachedStore(st, opts.CacheFrames)
-		st = ix.cached
-	}
+	file := ix.file
 	ix.store = st
 	ix.idx, err = buildImpl(opts.Scheme, st, prm)
 	if err != nil {
@@ -322,21 +379,41 @@ func Create(path string, opts Options) (*Index, error) {
 // Open opens a file-backed Index previously written by Create.
 // cacheFrames > 0 enables a page cache as in Options.CacheFrames.
 func Open(path string, cacheFrames int) (*Index, error) {
-	file, err := pagestore.OpenFileDisk(path)
-	if err != nil {
-		return nil, err
+	return OpenBackend(path, cacheFrames, BackendFile)
+}
+
+// OpenBackend is Open with an explicit storage engine. The backend is a
+// property of the process, not the file: either backend opens any index
+// file (the on-disk format is shared), so a store written under
+// BackendFile can be served mmap'd and vice versa.
+func OpenBackend(path string, cacheFrames int, backend Backend) (*Index, error) {
+	ix := &Index{}
+	var st pagestore.Store
+	if backend == BackendMmap {
+		md, err := pagestore.OpenMmapDisk(path)
+		if err != nil {
+			return nil, err
+		}
+		ix.mdisk, ix.file = md, md.FileDisk
+		st = md
+	} else {
+		fd, err := pagestore.OpenFileDisk(path)
+		if err != nil {
+			return nil, err
+		}
+		ix.file = fd
+		st = fd
+		if cacheFrames > 0 {
+			ix.cached = pagestore.NewCachedStore(st, cacheFrames)
+			st = ix.cached
+		}
 	}
+	file := ix.file
 	meta := make([]byte, 256)
 	n, err := file.ReadMeta(meta)
 	if err != nil {
 		file.Close()
 		return nil, err
-	}
-	ix := &Index{file: file}
-	var st pagestore.Store = file
-	if cacheFrames > 0 {
-		ix.cached = pagestore.NewCachedStore(st, cacheFrames)
-		st = ix.cached
 	}
 	ix.store = st
 	if n == 0 {
@@ -348,6 +425,9 @@ func Open(path string, cacheFrames int) (*Index, error) {
 		file.Close()
 		return nil, fmt.Errorf("bmeh: %s: %w", path, err)
 	}
+	if backend == BackendMmap {
+		cacheFrames = 0 // no byte pool over mmap
+	}
 	ix.opts = Options{
 		Scheme:       ix.scheme,
 		Dims:         ix.prm.Dims,
@@ -355,6 +435,7 @@ func Open(path string, cacheFrames int) (*Index, error) {
 		NodeBits:     ix.prm.Xi,
 		Width:        ix.prm.Width,
 		CacheFrames:  cacheFrames,
+		Backend:      backend,
 	}
 	ix.recovered = file.RecoveredCommits()
 	return ix, nil
@@ -787,6 +868,91 @@ func (ix *Index) SetSyncPolicy(p SyncPolicy) {
 		}
 		return ix.syncLocked()
 	}))
+}
+
+// AccessPattern is a storage access-pattern hint for Advise.
+type AccessPattern int
+
+const (
+	// AdviseNormal restores the backend's default readahead.
+	AdviseNormal AccessPattern = iota
+	// AdviseRandom disables readahead — right for point-read (Get)
+	// workloads, where readahead only pollutes the page cache.
+	AdviseRandom
+	// AdviseSequential enables aggressive readahead — right for Range,
+	// Scan and BulkLoad sweeps.
+	AdviseSequential
+)
+
+// Advise hints the expected access pattern to the storage backend
+// (madvise on BackendMmap; a no-op on every other backend). Purely
+// advisory: correctness never depends on it.
+func (ix *Index) Advise(p AccessPattern) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.closed {
+		return pagestore.ErrClosed
+	}
+	if ix.mdisk == nil {
+		return nil
+	}
+	var pp pagestore.AccessPattern
+	switch p {
+	case AdviseNormal:
+		pp = pagestore.AdviseNormal
+	case AdviseRandom:
+		pp = pagestore.AdviseRandom
+	case AdviseSequential:
+		pp = pagestore.AdviseSequential
+	default:
+		return fmt.Errorf("bmeh: unknown access pattern %d", int(p))
+	}
+	return ix.mdisk.Advise(pp)
+}
+
+// MmapStats is a snapshot of the mmap backend's read-path counters.
+type MmapStats struct {
+	// ZeroCopyReads were served as slices straight out of the mapping.
+	ZeroCopyReads uint64
+	// CopiedReads fell back to an allocated copy (platforms or files
+	// where the mapping could not be established).
+	CopiedReads uint64
+	// StagedReads were served from staged-but-uncommitted page images.
+	StagedReads uint64
+	// ZeroCopy reports whether the store is actually mapped.
+	ZeroCopy bool
+}
+
+// MmapStats reports the mmap backend's read-path counters; ok is false
+// when the index does not run on BackendMmap.
+func (ix *Index) MmapStats() (stats MmapStats, ok bool) {
+	if ix.mdisk == nil {
+		return MmapStats{}, false
+	}
+	s := ix.mdisk.MmapStats()
+	return MmapStats{
+		ZeroCopyReads: s.ZeroCopyReads,
+		CopiedReads:   s.CopiedReads,
+		StagedReads:   s.StagedReads,
+		ZeroCopy:      ix.mdisk.ZeroCopy(),
+	}, true
+}
+
+// SetDecodedCacheCapacity resizes the BMEH core's decoded-object caches
+// (directory nodes and data pages), rebuilding them empty; zero disables
+// the respective cache. Benchmarks use it to isolate the store-level read
+// path; production callers can use it to bound decoded-cache memory. A
+// no-op for the comparison schemes, which have no decoded caches.
+func (ix *Index) SetDecodedCacheCapacity(nodes, pages int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return pagestore.ErrClosed
+	}
+	if tr, ok := ix.idx.(*core.Tree); ok {
+		return tr.SetDecodedCacheCapacity(nodes, pages)
+	}
+	return nil
 }
 
 // PoolStats reports the page cache's counters; ok is false when the index

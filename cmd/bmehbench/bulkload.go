@@ -46,22 +46,24 @@ type BulkloadResult struct {
 
 // BulkloadReport is the full comparison as written by -json.
 type BulkloadReport struct {
-	Records        int     `json:"records"`
-	BatchSize      int     `json:"insert_batch_size"`
-	BatchNsPerRec  float64 `json:"insert_batch_ns_per_record"`
-	BestBulkNsNs   float64 `json:"best_bulk_ns_per_record"`
-	BestSpeedup    float64 `json:"best_speedup_vs_batch"`
-	ReferenceNs    float64 `json:"reference_batch_ns_per_record"`
-	SpeedupVsRef   float64 `json:"best_speedup_vs_reference"`
-	PageCapacity   int     `json:"page_capacity"`
-	NumCPU         int     `json:"num_cpu"`
+	Records       int     `json:"records"`
+	BatchSize     int     `json:"insert_batch_size"`
+	BatchNsPerRec float64 `json:"insert_batch_ns_per_record"`
+	BestBulkNsNs  float64 `json:"best_bulk_ns_per_record"`
+	BestSpeedup   float64 `json:"best_speedup_vs_batch"`
+	ReferenceNs   float64 `json:"reference_batch_ns_per_record"`
+	SpeedupVsRef  float64 `json:"best_speedup_vs_reference"`
+	PageCapacity  int     `json:"page_capacity"`
+	NumCPU        int     `json:"num_cpu"`
 	// SingleCPU flags runs on a one-core machine, where worker counts
 	// above 1 time-slice a single core and the worker sweep says nothing
 	// about parallel scaling.
-	SingleCPU  bool             `json:"single_cpu"`
-	GoMaxProcs int              `json:"gomaxprocs"`
-	GoVersion  string           `json:"go_version"`
-	Results    []BulkloadResult `json:"results"`
+	SingleCPU      bool             `json:"single_cpu"`
+	GoMaxProcs     int              `json:"gomaxprocs"`
+	GoVersion      string           `json:"go_version"`
+	Backend        string           `json:"backend"`
+	KernelPageSize int              `json:"kernel_page_size"`
+	Results        []BulkloadResult `json:"results"`
 }
 
 func newBulkBenchIndex(dir string, name string) (*bmeh.Index, error) {
@@ -81,14 +83,16 @@ func runBulkload(w io.Writer, n int, progress func(string, ...interface{})) (*Bu
 
 	const batchSize = 1024
 	rep := &BulkloadReport{
-		Records:      n,
-		BatchSize:    batchSize,
-		ReferenceNs:  refBatchNsPerRec,
-		PageCapacity: 32,
-		NumCPU:       runtime.NumCPU(),
-		SingleCPU:    runtime.NumCPU() == 1,
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		GoVersion:    runtime.Version(),
+		Records:        n,
+		BatchSize:      batchSize,
+		ReferenceNs:    refBatchNsPerRec,
+		PageCapacity:   32,
+		NumCPU:         runtime.NumCPU(),
+		SingleCPU:      runtime.NumCPU() == 1,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Backend:        "file",
+		KernelPageSize: os.Getpagesize(),
 	}
 
 	// Baseline: the incremental path, 1024-record group-committed batches.

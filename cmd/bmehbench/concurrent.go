@@ -57,11 +57,13 @@ type ConcurrentReport struct {
 	// SingleCPU flags sweeps run on a one-core machine, where goroutine
 	// counts above 1 only time-slice a single core and speedup_vs_1 says
 	// nothing about scalability.
-	SingleCPU   bool               `json:"single_cpu"`
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	GoVersion   string             `json:"go_version"`
-	CacheFrames int                `json:"cache_frames"`
-	Results     []ConcurrentResult `json:"results"`
+	SingleCPU      bool               `json:"single_cpu"`
+	GoMaxProcs     int                `json:"gomaxprocs"`
+	GoVersion      string             `json:"go_version"`
+	Backend        string             `json:"backend"`
+	KernelPageSize int                `json:"kernel_page_size"`
+	CacheFrames    int                `json:"cache_frames"`
+	Results        []ConcurrentResult `json:"results"`
 }
 
 func newConcIndex(n int) (*bmeh.Index, error) {
@@ -136,13 +138,15 @@ func concHitRate(ix *bmeh.Index, before bmeh.PoolStats) float64 {
 // report for optional -json serialization.
 func runConcurrent(w io.Writer, n int, window time.Duration, progress func(string, ...interface{})) (*ConcurrentReport, error) {
 	rep := &ConcurrentReport{
-		Keys:        n,
-		WindowMS:    window.Milliseconds(),
-		NumCPU:      runtime.NumCPU(),
-		SingleCPU:   runtime.NumCPU() == 1,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		GoVersion:   runtime.Version(),
-		CacheFrames: 8192,
+		Keys:           n,
+		WindowMS:       window.Milliseconds(),
+		NumCPU:         runtime.NumCPU(),
+		SingleCPU:      runtime.NumCPU() == 1,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Backend:        "memory",
+		KernelPageSize: os.Getpagesize(),
+		CacheFrames:    8192,
 	}
 	fmt.Fprintf(w, "concurrent sweep (N=%d, window=%v, NumCPU=%d)\n", n, window, rep.NumCPU)
 	if rep.SingleCPU {

@@ -36,6 +36,7 @@ func main() {
 		netBench  = flag.Bool("net", false, "run the loopback network serving benchmark (16 pipelined clients)")
 		replBench = flag.Bool("repl", false, "run the replication benchmark (catch-up + availability across a primary restart)")
 		bulkload  = flag.Bool("bulkload", false, "run the bulk-load vs incremental-batch comparison (file backend)")
+		backend   = flag.Bool("backend", false, "run the storage-backend comparison (pread vs mmap: bulk load, cold/warm-miss gets, range scan)")
 		jsonPath  = flag.String("json", "", "with -concurrent/-net/-repl: also write the report to this JSON file")
 		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net/-repl: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
@@ -161,6 +162,16 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runBackendBench := func() {
+		ran = true
+		rep, err := runBackend(os.Stdout, *n, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeBackendJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -217,6 +228,9 @@ func main() {
 		}
 		if *bulkload {
 			runBulkloadBench()
+		}
+		if *backend {
+			runBackendBench()
 		}
 	}
 	if !ran {

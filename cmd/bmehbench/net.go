@@ -39,14 +39,15 @@ const (
 
 // NetReport is the BENCH_server.json schema.
 type NetReport struct {
-	Keys       int    `json:"keys"`
-	Clients    int    `json:"clients"`
-	Depth      int    `json:"pipeline_depth"`
-	WindowMS   int64  `json:"window_ms_per_run"`
-	NumCPU     int    `json:"num_cpu"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
-	Backend    string `json:"backend"`
+	Keys           int    `json:"keys"`
+	Clients        int    `json:"clients"`
+	Depth          int    `json:"pipeline_depth"`
+	WindowMS       int64  `json:"window_ms_per_run"`
+	NumCPU         int    `json:"num_cpu"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	GoVersion      string `json:"go_version"`
+	Backend        string `json:"backend"`
+	KernelPageSize int    `json:"kernel_page_size"`
 
 	GetOpsPerSec          float64 `json:"get_ops_per_sec"`
 	PutSingleOpsPerSec    float64 `json:"put_single_ops_per_sec"`
@@ -137,14 +138,15 @@ func runNet(w io.Writer, n int, window time.Duration, progress func(string, ...i
 	addr := ln.Addr().String()
 
 	rep := &NetReport{
-		Keys:       n,
-		Clients:    netClients,
-		Depth:      netDepth,
-		WindowMS:   window.Milliseconds(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		Backend:    "file",
+		Keys:           n,
+		Clients:        netClients,
+		Depth:          netDepth,
+		WindowMS:       window.Milliseconds(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Backend:        "file",
+		KernelPageSize: os.Getpagesize(),
 	}
 	fmt.Fprintf(w, "network serving benchmark (N=%d, %d clients × depth %d, window=%v)\n",
 		n, netClients, netDepth, window)

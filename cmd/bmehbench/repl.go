@@ -34,11 +34,13 @@ import (
 
 // ReplReport is the BENCH_repl.json schema.
 type ReplReport struct {
-	Keys       int    `json:"keys"`
-	WindowMS   int64  `json:"window_ms"`
-	NumCPU     int    `json:"num_cpu"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
+	Keys           int    `json:"keys"`
+	WindowMS       int64  `json:"window_ms"`
+	NumCPU         int    `json:"num_cpu"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	GoVersion      string `json:"go_version"`
+	Backend        string `json:"backend"`
+	KernelPageSize int    `json:"kernel_page_size"`
 
 	CatchupSeconds    float64 `json:"catchup_seconds"`
 	CatchupKeysPerSec float64 `json:"catchup_keys_per_sec"`
@@ -117,11 +119,13 @@ func runRepl(w io.Writer, n int, window time.Duration, progress func(string, ...
 	primaryAddr := ln.Addr().String()
 
 	rep := &ReplReport{
-		Keys:       n,
-		WindowMS:   window.Milliseconds(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
+		Keys:           n,
+		WindowMS:       window.Milliseconds(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Backend:        "file",
+		KernelPageSize: os.Getpagesize(),
 	}
 	fmt.Fprintf(w, "replication benchmark (N=%d, window=%v)\n", n, window)
 

@@ -48,12 +48,25 @@ type serveConfig struct {
 	dims         int // new indexes only
 	capacity     int // new indexes only
 	cache        int
+	backend      string // storage engine: "file" (pread) or "mmap"
 	syncInterval time.Duration
 	syncBatch    int
 	coalesceMax  int
 	coalesceWait time.Duration
 	drainTimeout time.Duration
 	replicaOf    string // primary address; "" means this node is a primary
+}
+
+// parseBackend maps the -backend flag to a storage engine.
+func parseBackend(s string) (bmeh.Backend, error) {
+	switch s {
+	case "", "file":
+		return bmeh.BackendFile, nil
+	case "mmap":
+		return bmeh.BackendMmap, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want file or mmap)", s)
+	}
 }
 
 // runServer opens/creates the index, serves cfg.addr until a value
@@ -70,17 +83,19 @@ func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw
 		CacheFrames:  cfg.cache,
 		SyncPolicy:   bmeh.SyncPolicy{Interval: cfg.syncInterval, MaxBatch: cfg.syncBatch},
 	}
-	var (
-		ix  *bmeh.Index
-		err error
-	)
+	backend, err := parseBackend(cfg.backend)
+	if err != nil {
+		return err
+	}
+	opts.Backend = backend
+	var ix *bmeh.Index
 	switch {
 	case cfg.mem:
 		ix, err = bmeh.New(opts)
 	case cfg.indexPath == "":
 		return errors.New("either -index or -mem is required")
 	default:
-		ix, err = bmeh.Open(cfg.indexPath, cfg.cache)
+		ix, err = bmeh.OpenBackend(cfg.indexPath, cfg.cache, backend)
 		if cfg.create && errors.Is(err, os.ErrNotExist) {
 			ix, err = bmeh.Create(cfg.indexPath, opts)
 		}
@@ -240,7 +255,8 @@ func main() {
 	flag.BoolVar(&cfg.mem, "mem", false, "serve a fresh in-memory index instead of a file")
 	flag.IntVar(&cfg.dims, "dims", 2, "key dimensions (new indexes only)")
 	flag.IntVar(&cfg.capacity, "b", 32, "data page capacity (new indexes only)")
-	flag.IntVar(&cfg.cache, "cache", 4096, "page cache frames")
+	flag.IntVar(&cfg.cache, "cache", 4096, "page cache frames (ignored by -backend mmap)")
+	flag.StringVar(&cfg.backend, "backend", "file", "storage engine: file (pread) or mmap (zero-copy reads)")
 	flag.DurationVar(&cfg.syncInterval, "sync-interval", 200*time.Microsecond, "group-commit window (0 = commit-in-flight coalescing only)")
 	flag.IntVar(&cfg.syncBatch, "sync-batch", 64, "group-commit max batch (0 = unbounded)")
 	flag.IntVar(&cfg.coalesceMax, "coalesce-max", 0, "max PUTs folded into one InsertBatch (0 = server default)")

@@ -1,0 +1,71 @@
+// Command checkbench gates CI on the invariants a benchmark report is
+// supposed to prove, as opposed to its machine-dependent timings. Timing
+// ratios on shared runners jitter too much to fail a build over; the
+// structural claims — "every mmap read in the measured phases was served
+// zero-copy" — do not.
+//
+// Usage:
+//
+//	checkbench -mmap BENCH_mmap.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// mmapReport is the slice of the BENCH_mmap.json schema the checks need.
+type mmapReport struct {
+	MmapSupported bool               `json:"mmap_supported"`
+	ZeroCopyReads uint64             `json:"mmap_zero_copy_reads"`
+	CopiedReads   uint64             `json:"mmap_copied_reads"`
+	ZeroCopyOK    bool               `json:"zero_copy_ok"`
+	SpeedupMmap   map[string]float64 `json:"speedup_mmap_vs_file"`
+}
+
+func checkMmap(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep mmapReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if !rep.MmapSupported {
+		// Non-Linux runner: the sweep measured the copying fallback, and
+		// there is no zero-copy property to assert.
+		fmt.Printf("%s: platform has no mmap; nothing to assert\n", path)
+		return nil
+	}
+	if !rep.ZeroCopyOK {
+		return fmt.Errorf("%s: zero_copy_ok=false (%d zero-copy reads, %d copied): the mmap read path made per-read page copies",
+			path, rep.ZeroCopyReads, rep.CopiedReads)
+	}
+	if rep.ZeroCopyReads == 0 {
+		return fmt.Errorf("%s: no zero-copy reads recorded; the sweep did not exercise the mmap read path", path)
+	}
+	fmt.Printf("%s: ok — %d reads, all zero-copy", path, rep.ZeroCopyReads)
+	for _, phase := range []string{"cold_get", "warm_miss_get", "range_scan", "bulk_load"} {
+		if s, ok := rep.SpeedupMmap[phase]; ok {
+			fmt.Printf("; %s %.2fx", phase, s)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func main() {
+	mmapPath := flag.String("mmap", "", "BENCH_mmap.json to check")
+	flag.Parse()
+	if *mmapPath == "" || flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := checkMmap(*mmapPath); err != nil {
+		fmt.Fprintln(os.Stderr, "checkbench:", err)
+		os.Exit(1)
+	}
+}

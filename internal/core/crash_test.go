@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"bmeh/internal/pagestore"
@@ -22,7 +25,7 @@ type crashOp struct {
 // Validate and every record acknowledged (synced) before the crash must
 // be retrievable, with acknowledged deletes staying deleted.
 func TestCrashMatrix(t *testing.T) {
-	testCrashMatrix(t, pagestore.SyncPolicy{}, 240)
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, false)
 }
 
 // TestCrashMatrixGroupCommit re-runs the sweep with WAL group commit
@@ -30,10 +33,33 @@ func TestCrashMatrix(t *testing.T) {
 // atomicity as the direct one. (Fewer points than the direct sweep; the
 // commit machinery under test is identical at every point.)
 func TestCrashMatrixGroupCommit(t *testing.T) {
-	testCrashMatrix(t, pagestore.SyncPolicy{MaxBatch: 4}, 60)
+	testCrashMatrix(t, pagestore.SyncPolicy{MaxBatch: 4}, 60, false)
 }
 
-func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
+// TestCrashMatrixMmap runs the full sweep against the mmap backend: real
+// mapped files (tmpfs when available) behind the same CrashDisk, so crash
+// points land on msync-era home-slot applies and the recovery path runs
+// over a remapped store serving zero-copy reads. Where the platform has
+// no mmap, OpenMappedFile degrades to a pread file and the sweep still
+// exercises the MmapDisk wrapper's copying fallback.
+func TestCrashMatrixMmap(t *testing.T) {
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, true)
+}
+
+// crashTempDir prefers tmpfs so the sweep's per-operation fsync/msync
+// traffic does not grind a physical disk.
+func crashTempDir(t *testing.T) string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		dir, err := os.MkdirTemp("/dev/shm", "bmeh-crash-*")
+		if err == nil {
+			t.Cleanup(func() { os.RemoveAll(dir) })
+			return dir
+		}
+	}
+	return t.TempDir()
+}
+
+func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64, mmap bool) {
 	if testing.Short() {
 		t.Skip("crash matrix is a sweep; skipped in -short")
 	}
@@ -48,17 +74,64 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 		}
 	}
 
-	// run executes the workload over a FileDisk on crash-wrapped memory
-	// files, committing (meta + pages) after every operation. It returns
-	// the acknowledged state — key index → present — as of the last
-	// successful commit, and the operation in flight when the run died.
-	run := func(cd *pagestore.CrashDisk, main, wal *pagestore.MemFile, armAt int64, mode pagestore.CrashMode) (acked map[int]bool, pending *crashOp, err error) {
-		fd, err := pagestore.CreateFileDiskFiles(cd.File(main), cd.File(wal), ps)
+	// File construction differs per backend: the pread sweep runs over
+	// MemFiles; the mmap sweep over real mapped files, reused across the
+	// crash and the reboot exactly as MemFiles are (the mapping survives
+	// the simulated power loss the way the platters survive a real one).
+	var dir string
+	if mmap {
+		dir = crashTempDir(t)
+	}
+	makeFiles := func(name string) (main, wal pagestore.File, cleanup func()) {
+		if !mmap {
+			return pagestore.NewMemFile(), pagestore.NewMemFile(), func() {}
+		}
+		path := filepath.Join(dir, name)
+		mf, err := pagestore.OpenMappedFile(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The WAL stays a MemFile: it is an ordinary appended file under
+		// both backends, and keeping it in memory keeps the sweep fast.
+		return mf, pagestore.NewMemFile(), func() {
+			mf.Close()
+			os.Remove(path)
+		}
+	}
+	createDisk := func(main, wal pagestore.File) (pagestore.Store, *pagestore.FileDisk, error) {
+		if mmap {
+			md, err := pagestore.CreateMmapDiskFiles(main, wal, ps)
+			if err != nil {
+				return nil, nil, err
+			}
+			return md, md.FileDisk, nil
+		}
+		fd, err := pagestore.CreateFileDiskFiles(main, wal, ps)
+		return fd, fd, err
+	}
+	openDisk := func(main, wal pagestore.File) (pagestore.Store, *pagestore.FileDisk, error) {
+		if mmap {
+			md, err := pagestore.OpenMmapDiskFiles(main, wal)
+			if err != nil {
+				return nil, nil, err
+			}
+			return md, md.FileDisk, nil
+		}
+		fd, err := pagestore.OpenFileDiskFiles(main, wal)
+		return fd, fd, err
+	}
+
+	// run executes the workload over a crash-wrapped store, committing
+	// (meta + pages) after every operation. It returns the acknowledged
+	// state — key index → present — as of the last successful commit, and
+	// the operation in flight when the run died.
+	run := func(cd *pagestore.CrashDisk, main, wal pagestore.File, armAt int64, mode pagestore.CrashMode) (acked map[int]bool, pending *crashOp, err error) {
+		st, fd, err := createDisk(cd.File(main), cd.File(wal))
 		if err != nil {
 			return nil, nil, err
 		}
 		fd.SetSyncPolicy(policy)
-		tr, err := New(fd, prm)
+		tr, err := New(st, prm)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -103,7 +176,9 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 
 	// Disarmed pass: measure how many crash points the workload exposes.
 	clean := pagestore.NewCrashDisk()
-	cleanAcked, _, err := run(clean, pagestore.NewMemFile(), pagestore.NewMemFile(), -1, 0)
+	cmain, cwal, ccleanup := makeFiles("clean")
+	cleanAcked, _, err := run(clean, cmain, cwal, -1, 0)
+	ccleanup()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,15 +187,16 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 	var base int64
 	{
 		cd := pagestore.NewCrashDisk()
-		m, w := pagestore.NewMemFile(), pagestore.NewMemFile()
-		if fd, err := pagestore.CreateFileDiskFiles(cd.File(m), cd.File(w), ps); err != nil {
+		m, w, cleanup := makeFiles("base")
+		if st, fd, err := createDisk(cd.File(m), cd.File(w)); err != nil {
 			t.Fatal(err)
 		} else {
-			tr, _ := New(fd, prm)
+			tr, _ := New(st, prm)
 			fd.WriteMeta(tr.MarshalMeta())
 			fd.Sync()
 		}
 		base = cd.Writes()
+		cleanup()
 	}
 	total := clean.Writes() - base // crash points within the workload proper
 	if total < 50 {
@@ -135,7 +211,7 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 			mode = pagestore.CrashTorn
 		}
 		cd := pagestore.NewCrashDisk()
-		main, wal := pagestore.NewMemFile(), pagestore.NewMemFile()
+		main, wal, cleanup := makeFiles(fmt.Sprintf("pt%d", p))
 		acked, pending, err := run(cd, main, wal, armAt, mode)
 		if !cd.Crashed() {
 			t.Fatalf("point %d (+%d): crash never fired (err=%v)", p, armAt, err)
@@ -145,7 +221,7 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 		}
 
 		// "Reboot": reopen the surviving bytes through recovery.
-		fd, err := pagestore.OpenFileDiskFiles(main, wal)
+		st, fd, err := openDisk(main, wal)
 		if err != nil {
 			t.Fatalf("point %d (+%d, %v): recovery open failed: %v", p, armAt, mode, err)
 		}
@@ -154,7 +230,7 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 		if err != nil {
 			t.Fatalf("point %d: reading meta: %v", p, err)
 		}
-		tr, err := Load(fd, meta[:n])
+		tr, err := Load(st, meta[:n])
 		if err != nil {
 			t.Fatalf("point %d (+%d, %v): loading tree: %v", p, armAt, mode, err)
 		}
@@ -184,6 +260,7 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64) {
 		// with the recovered bytes.
 		checkCacheCoherence(t, tr)
 		fd.Close()
+		cleanup()
 	}
 
 	// Sanity: the clean pass acknowledged the whole workload.

@@ -1,5 +1,7 @@
 package pagestore
 
+import "fmt"
+
 // PagePool is the page-cache contract CachedStore is built on: a pinned
 // write-back frame cache over a Store. ShardedPool (lock-striped, CLOCK)
 // and BufferPool (single mutex, LRU) both implement it.
@@ -70,8 +72,18 @@ func (c *CachedStore) Free(id PageID) error {
 	return c.inner.Free(id)
 }
 
-// Read implements Store.
+// Read implements Store. A buffer shorter than the page size fails with
+// ErrShortBuffer (it used to slice out of range and panic).
+//
+// CachedStore deliberately does not implement SliceReader: a pool frame
+// can be evicted and reused the moment its pin drops, so a zero-copy
+// window onto it has no usable lifetime. The mmap backend therefore
+// bypasses the byte pool entirely — the OS page cache is its byte cache —
+// and only the decoded-node cache sits above it.
 func (c *CachedStore) Read(id PageID, buf []byte) error {
+	if ps := c.inner.PageSize(); len(buf) < ps {
+		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d: %w", len(buf), ps, ErrShortBuffer)
+	}
 	return c.pool.ReadInto(id, buf[:c.inner.PageSize()])
 }
 

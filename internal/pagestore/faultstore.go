@@ -131,6 +131,25 @@ func (f *FaultStore) Read(id PageID, buf []byte) error {
 	return f.inner.Read(id, buf)
 }
 
+// ReadSlice implements SliceReader, so fault injection covers the
+// zero-copy read path: the countdown ticks exactly as for Read, and the
+// slice comes from the inner store's own SliceReader when it has one (a
+// freshly read copy otherwise, keeping the wrapper usable over any
+// Store). Slice-lifetime rules are the inner store's.
+func (f *FaultStore) ReadSlice(id PageID) ([]byte, error) {
+	if fire, _ := f.tick(f.kindOf(id)); fire {
+		return nil, ErrInjected
+	}
+	if sr, ok := f.inner.(SliceReader); ok {
+		return sr.ReadSlice(id)
+	}
+	buf := make([]byte, f.inner.PageSize())
+	if err := f.inner.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // AccountRead implements ReadAccounter: a logical read consumes the
 // countdown and can fault exactly like a physical one, so decoded-cache
 // hits stay inside the fault-injection envelope.

@@ -84,6 +84,17 @@ type FileDisk struct {
 	// gc, when non-nil, coalesces Sync calls (group commit). Stored
 	// atomically so Sync can consult it without taking mu.
 	gc atomic.Pointer[GroupCommitter]
+	// view, when non-nil, is a zero-copy window onto the main file (the
+	// mmap backend attaches it; see MmapDisk). Page reads are then served
+	// straight out of the mapping instead of through ReadAt copies. Set
+	// once, before the store is shared, and never changed.
+	view sliceView
+	// verified is a per-page bitmap (only maintained when view != nil):
+	// bit set = the page's slot has passed CRC verification since its
+	// home bytes last changed. commitLocked clears the bit of every slot
+	// it rewrites, so each committed page version is verified exactly
+	// once no matter how often it is re-read. Guarded by mu.
+	verified []uint64
 }
 
 // CreateFileDisk creates (truncating) a file-backed disk at path, together
@@ -327,23 +338,90 @@ func encodeSlot(data []byte, kind Kind) []byte {
 	return buf
 }
 
-// readSlot reads and verifies one slot, returning the page image. It does
-// not count toward Stats (open-time and internal reads are free, like the
-// paper's pinned root).
+// verifySlot checks a slot image (page + trailer) against its CRC-32C
+// trailer and expected kind.
+func verifySlot(buf []byte, pageSize int, id PageID, want Kind) error {
+	crc := binary.BigEndian.Uint32(buf[pageSize:])
+	k := Kind(buf[pageSize+4])
+	if slotChecksum(buf[:pageSize], buf[pageSize+4:]) != crc {
+		return fmt.Errorf("pagestore: page %d checksum mismatch: %w", id, ErrCorrupt)
+	}
+	if k != want {
+		return fmt.Errorf("pagestore: page %d is %v, expected %v: %w", id, k, want, ErrCorrupt)
+	}
+	return nil
+}
+
+// readSlot reads and verifies one slot, returning the page image — a
+// window onto the mapping when the store has one (callers must not retain
+// it past their lock scope), a fresh buffer otherwise. It does not count
+// toward Stats (open-time and internal reads are free, like the paper's
+// pinned root). Safe without mu: the view field is immutable once the
+// store is shared and the verified bitmap is not consulted here.
 func (d *FileDisk) readSlot(id PageID, want Kind) ([]byte, error) {
+	if v := d.view; v != nil {
+		sl, err := v.Slice(int64(id)*d.slotSize(), int(d.slotSize()))
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: page %d unreadable: %w (%w)", id, err, ErrCorrupt)
+		}
+		if err := verifySlot(sl, d.pageSize, id, want); err != nil {
+			return nil, err
+		}
+		return sl[:d.pageSize:d.pageSize], nil
+	}
 	buf := make([]byte, d.slotSize())
 	if _, err := d.f.ReadAt(buf, int64(id)*d.slotSize()); err != nil {
 		return nil, fmt.Errorf("pagestore: page %d unreadable: %w", id, ErrCorrupt)
 	}
-	crc := binary.BigEndian.Uint32(buf[d.pageSize:])
-	k := Kind(buf[d.pageSize+4])
-	if slotChecksum(buf[:d.pageSize], buf[d.pageSize+4:]) != crc {
-		return nil, fmt.Errorf("pagestore: page %d checksum mismatch: %w", id, ErrCorrupt)
-	}
-	if k != want {
-		return nil, fmt.Errorf("pagestore: page %d is %v, expected %v: %w", id, k, want, ErrCorrupt)
+	if err := verifySlot(buf, d.pageSize, id, want); err != nil {
+		return nil, err
 	}
 	return buf[:d.pageSize], nil
+}
+
+// isVerified/markVerified/clearVerified maintain the verify-once bitmap.
+// All require mu.
+func (d *FileDisk) isVerified(id PageID) bool {
+	w := int(id >> 6)
+	return w < len(d.verified) && d.verified[w]&(1<<(id&63)) != 0
+}
+
+func (d *FileDisk) markVerified(id PageID) {
+	w := int(id >> 6)
+	for w >= len(d.verified) {
+		d.verified = append(d.verified, 0)
+	}
+	d.verified[w] |= 1 << (id & 63)
+}
+
+func (d *FileDisk) clearVerified(id PageID) {
+	w := int(id >> 6)
+	if w < len(d.verified) {
+		d.verified[w] &^= 1 << (id & 63)
+	}
+}
+
+// slotViewLocked is the hot-path variant of readSlot: with a mapping
+// attached it skips CRC re-verification of slots whose bytes have not
+// changed since they last passed (the bitmap is invalidated per slot at
+// commit). Caller holds mu; the returned slice must not be retained past
+// the mu scope unless the caller copies it.
+func (d *FileDisk) slotViewLocked(id PageID) ([]byte, error) {
+	v := d.view
+	if v == nil {
+		return d.readSlot(id, d.kinds[id])
+	}
+	sl, err := v.Slice(int64(id)*d.slotSize(), int(d.slotSize()))
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: page %d unreadable: %w (%w)", id, err, ErrCorrupt)
+	}
+	if !d.isVerified(id) {
+		if err := verifySlot(sl, d.pageSize, id, d.kinds[id]); err != nil {
+			return nil, err
+		}
+		d.markVerified(id)
+	}
+	return sl[:d.pageSize:d.pageSize], nil
 }
 
 // composeMetaPage builds the meta page image: store header, then the
@@ -365,12 +443,14 @@ func (d *FileDisk) composeMetaPage(seq uint64) []byte {
 // PageSize implements Store.
 func (d *FileDisk) PageSize() int { return d.pageSize }
 
-// stagedOrDisk returns the current image of an allocated page.
+// stagedOrDisk returns the current image of an allocated page. Caller
+// holds mu; on a mapped store the result may be a window onto the mapping
+// (verify-once), so it must not be retained past the mu scope.
 func (d *FileDisk) stagedOrDisk(id PageID) ([]byte, error) {
 	if p, ok := d.dirty[id]; ok {
 		return p, nil
 	}
-	return d.readSlot(id, d.kinds[id])
+	return d.slotViewLocked(id)
 }
 
 // Alloc implements Store. allocMu pins the free-list head for the whole
@@ -463,7 +543,7 @@ func (d *FileDisk) Read(id PageID, buf []byte) error {
 		return err
 	}
 	if len(buf) < d.pageSize {
-		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
+		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d: %w", len(buf), d.pageSize, ErrShortBuffer)
 	}
 	page, err := d.stagedOrDisk(id)
 	if err != nil {
@@ -684,6 +764,11 @@ func (d *FileDisk) commitLocked(seq uint64) error {
 	for _, fr := range frames {
 		if _, err := d.f.WriteAt(encodeSlot(fr.Data, fr.Kind), int64(fr.ID)*d.slotSize()); err != nil {
 			return err
+		}
+		if d.view != nil {
+			// The slot's durable bytes just changed; the next zero-copy
+			// read must re-verify it against the fresh trailer.
+			d.clearVerified(fr.ID)
 		}
 	}
 	if err := d.f.Sync(); err != nil {

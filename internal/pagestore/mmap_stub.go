@@ -1,0 +1,19 @@
+//go:build !linux
+
+package pagestore
+
+// MmapSupported reports whether this platform maps the page file into
+// memory. On non-Linux builds MmapDisk degrades to the pread path:
+// everything works, ReadSlice just returns freshly allocated copies.
+const MmapSupported = false
+
+// openMappedFile is the per-platform main-file opener used by the mmap
+// backend; without a mapping it is a plain pread file.
+func openMappedFile(path string, truncate bool) (File, error) {
+	return openOSFile(path, truncate)
+}
+
+// openExistingMappedFile is openMappedFile without O_CREATE.
+func openExistingMappedFile(path string) (File, error) {
+	return openExistingOSFile(path)
+}

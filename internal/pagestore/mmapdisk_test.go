@@ -1,0 +1,413 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// requireMapping skips tests that assert true zero-copy behavior on
+// platforms where OpenMappedFile degrades to a pread file. The rest of
+// the suite (conformance, crash matrix) still runs there through the
+// copying fallback.
+func requireMapping(t *testing.T, d *MmapDisk) {
+	t.Helper()
+	if !d.ZeroCopy() {
+		t.Skip("no mmap on this platform; copying fallback covered by conformance suite")
+	}
+}
+
+// TestMmapZeroCopyAliasing proves ReadSlice really is zero-copy: two
+// reads of the same committed page return slices over the same backing
+// memory, stats count them as zero-copy, and no staged copy is involved.
+func TestMmapZeroCopyAliasing(t *testing.T) {
+	d, err := CreateMmapDisk(filepath.Join(t.TempDir(), "disk"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	requireMapping(t, d)
+	id, err := d.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, []byte("alias-me")); err != nil {
+		t.Fatal(err)
+	}
+	// Before the commit the page is staged: ReadSlice serves the staging
+	// buffer and counts it as such.
+	s0, err := d.ReadSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MmapStats(); got.StagedReads != 1 || got.ZeroCopyReads != 0 {
+		t.Fatalf("staged read stats %+v", got)
+	}
+	if !bytes.Equal(s0[:8], []byte("alias-me")) {
+		t.Fatalf("staged slice %q", s0[:8])
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.ReadSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.ReadSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("two ReadSlice calls returned different backing memory; a copy happened")
+	}
+	if len(a) != 128 || cap(a) != 128 {
+		t.Fatalf("slice len/cap = %d/%d, want page-size-capped", len(a), cap(a))
+	}
+	if !bytes.Equal(a[:8], []byte("alias-me")) {
+		t.Fatalf("mapped slice %q", a[:8])
+	}
+	st := d.MmapStats()
+	if st.ZeroCopyReads != 2 || st.CopiedReads != 0 {
+		t.Fatalf("stats %+v, want 2 zero-copy and 0 copied", st)
+	}
+}
+
+// TestMmapGrowthKeepsSlicesValid drives the file across several mapping
+// chunks (4 MiB each) and verifies a slice taken before the growth still
+// points at the same memory with the same contents afterwards — the
+// contiguous-reservation design never remaps established chunks.
+func TestMmapGrowthKeepsSlicesValid(t *testing.T) {
+	const ps = 4096
+	d, err := CreateMmapDisk(filepath.Join(t.TempDir(), "disk"), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	requireMapping(t, d)
+	first, err := d.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(first, []byte("pre-growth")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	early, err := d.ReadSlice(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := &early[0]
+
+	// Push well past one chunk: ~1500 pages x 4 KiB ≈ 6 MiB, committing
+	// in batches so the mapping actually grows as it would in production.
+	payload := bytes.Repeat([]byte{0x5A}, ps)
+	var last PageID
+	for i := 0; i < 1500; i++ {
+		id, err := d.Alloc(KindData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(id, payload); err != nil {
+			t.Fatal(err)
+		}
+		last = id
+		if i%500 == 499 {
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(last)*int64(ps+pageTrailerSize) < mmapChunkBytes {
+		t.Fatalf("test did not cross a chunk boundary (last id %d)", last)
+	}
+	again, err := d.ReadSlice(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != p0 {
+		t.Fatal("growth moved an established page's mapping")
+	}
+	if !bytes.Equal(again[:10], []byte("pre-growth")) {
+		t.Fatalf("pre-growth page now reads %q", again[:10])
+	}
+	// Pages beyond the first chunk serve zero-copy too.
+	far, err := d.ReadSlice(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(far, payload) {
+		t.Fatal("page beyond first chunk corrupt")
+	}
+}
+
+// TestMmapVerifyOnce pins the verify-once discipline: the CRC trailer is
+// checked on the first read of a committed page version, not on repeats —
+// and a commit that rewrites the page re-arms verification.
+func TestMmapVerifyOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk")
+	d, err := CreateMmapDisk(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	requireMapping(t, d)
+	id, err := d.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadSlice(id); err != nil {
+		t.Fatal(err) // first read verifies and caches the verdict
+	}
+	corrupt := func() {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		off := int64(id)*int64(128+pageTrailerSize) + 128 // CRC byte
+		one := make([]byte, 1)
+		if _, err := f.ReadAt(one, off); err != nil {
+			t.Fatal(err)
+		}
+		one[0] ^= 0xFF
+		if _, err := f.WriteAt(one, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage the trailer behind the store's back: the verified bit is
+	// set, so repeat reads skip the CRC and still succeed.
+	corrupt()
+	if _, err := d.ReadSlice(id); err != nil {
+		t.Fatalf("verified page re-checked: %v", err)
+	}
+	// A commit rewriting the page clears its bit (and recomputes a good
+	// trailer); damaging it again must now be caught on the next read.
+	if err := d.Write(id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	corrupt()
+	if _, err := d.ReadSlice(id); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("post-commit read = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMmapReopen closes and reopens a mapped store and checks contents
+// and zero-copy service survive, including pages written just before
+// close.
+func TestMmapReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk")
+	d, err := CreateMmapDisk(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := d.Alloc(KindData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(id, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.WriteMeta([]byte("mmap-meta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenMmapDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i, id := range ids {
+		sl, err := re.ReadSlice(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl[0] != byte(i+1) {
+			t.Fatalf("page %d reads %d after reopen", id, sl[0])
+		}
+	}
+	if MmapSupported && !re.ZeroCopy() {
+		t.Fatal("reopened store lost its mapping")
+	}
+}
+
+// TestMmapFileParity runs one deterministic workload through both
+// backends and requires byte-for-byte identical main files: the mmap
+// write path (stage → WAL → apply → msync) must leave exactly the bytes
+// the pread path leaves.
+func TestMmapFileParity(t *testing.T) {
+	dir := t.TempDir()
+	workload := func(st fileBacked) error {
+		var ids []PageID
+		for i := 0; i < 40; i++ {
+			id, err := st.Alloc(KindData)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+			if err := st.Write(id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+				return err
+			}
+			if i%7 == 6 {
+				if err := st.Free(ids[i-3]); err != nil {
+					return err
+				}
+			}
+			if i%5 == 4 {
+				if err := st.WriteMeta([]byte{byte(i)}); err != nil {
+					return err
+				}
+				if err := st.Sync(); err != nil {
+					return err
+				}
+			}
+		}
+		return st.Close()
+	}
+	fdPath := filepath.Join(dir, "file-backend")
+	fd, err := CreateFileDisk(fdPath, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload(fd); err != nil {
+		t.Fatal(err)
+	}
+	mdPath := filepath.Join(dir, "mmap-backend")
+	md, err := CreateMmapDisk(mdPath, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload(md); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(fdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("backends diverged on disk: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestMmapFaultStore checks the fault injector composes with the mapped
+// backend: ReadSlice faults fire on schedule and untargeted traffic
+// flows, so read-path fault coverage carries over to the new backend.
+func TestMmapFaultStore(t *testing.T) {
+	d, err := CreateMmapDisk(filepath.Join(t.TempDir(), "disk"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, []byte("fault-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(d, -1)
+	sl, err := fs.ReadSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sl[:8], []byte("fault-me")) {
+		t.Fatalf("through-fault slice %q", sl[:8])
+	}
+	fs.Arm(1) // next-but-one read faults
+	if _, err := fs.ReadSlice(id); err != nil {
+		t.Fatalf("read before countdown: %v", err)
+	}
+	if _, err := fs.ReadSlice(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed ReadSlice = %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+	if _, err := fs.ReadSlice(id); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+}
+
+// TestMmapCrashDiskWiring checks capability detection sees through the
+// crash harness: a CrashDisk-wrapped mapped file still yields a zero-copy
+// store, and a crash mid-commit leaves bytes the recovery path accepts.
+// (The full sweep is TestCrashMatrixMmap in internal/core.)
+func TestMmapCrashDiskWiring(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk")
+	mf, err := OpenMappedFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := NewCrashDisk()
+	wal := NewMemFile()
+	d, err := CreateMmapDiskFiles(cd.File(mf), cd.File(wal), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MmapSupported && !d.ZeroCopy() {
+		t.Fatal("crash wrapper hid the mapping from capability detection")
+	}
+	id, err := d.Alloc(KindData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash on the next write and drive a doomed commit.
+	cd.Arm(0, CrashTorn)
+	if err := d.Write(id, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err == nil {
+		t.Fatal("commit survived a power loss")
+	}
+	if !cd.Crashed() {
+		t.Fatal("crash never fired")
+	}
+	// "Reboot": reopen the surviving files, unwrapped, through recovery —
+	// the crashed store is simply abandoned, as a dead process abandons
+	// its descriptors. The WAL survives the crash exactly like the main
+	// file; recovery replays or discards its last record.
+	re, err := OpenMmapDiskFiles(mf, wal)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer re.Close()
+	sl, err := re.ReadSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(sl[:8]); got != "survives" && got != "doomed\x00\x00" {
+		t.Fatalf("recovered page %q is neither pre- nor post-crash state", got)
+	}
+}

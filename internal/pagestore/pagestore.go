@@ -91,6 +91,10 @@ var (
 	// Errors wrapping it are returned instead of panics or silent wrong
 	// answers; match with errors.Is.
 	ErrCorrupt = errors.New("pagestore: corrupt data")
+	// ErrShortBuffer reports a Read into a buffer smaller than PageSize.
+	// The read copies nothing — a short buffer is a caller bug, and a
+	// silent truncation would decode as a corrupt page later.
+	ErrShortBuffer = errors.New("pagestore: read buffer shorter than page size")
 )
 
 // crcTable is the Castagnoli polynomial table used for every on-disk
@@ -240,7 +244,7 @@ func (d *MemDisk) Read(id PageID, buf []byte) error {
 		return err
 	}
 	if len(buf) < d.pageSize {
-		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d", len(buf), d.pageSize)
+		return fmt.Errorf("pagestore: read buffer %d bytes < page size %d: %w", len(buf), d.pageSize, ErrShortBuffer)
 	}
 	copy(buf[:d.pageSize], d.pages[id])
 	d.reads.Add(1)

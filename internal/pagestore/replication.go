@@ -247,6 +247,12 @@ func (d *FileDisk) RawPage(id PageID) ([]byte, Kind, error) {
 	if err != nil {
 		return nil, KindFree, err
 	}
+	if d.view != nil {
+		// On a mapped store readSlot returns a window onto the mapping;
+		// RawPage's callers may retain the image past the lock, so hand
+		// out a copy instead.
+		page = append([]byte(nil), page...)
+	}
 	return page, d.kinds[id], nil
 }
 
