@@ -164,10 +164,24 @@ func TestBackendAdvise(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mm.Close()
-	for _, p := range []AccessPattern{AdviseRandom, AdviseSequential, AdviseNormal} {
+	for _, p := range []AccessPattern{AdviseRandom, AdviseSequential, AdviseHugePage, AdviseNormal} {
 		if err := mm.Advise(p); err != nil {
 			t.Fatalf("advise %d on mmap: %v", int(p), err)
 		}
+	}
+	// Mlock is honest about refusal: either the pin takes (and releases),
+	// or the environment's RLIMIT_MEMLOCK refuses it — never a panic or a
+	// broken index. Reads must keep working either way.
+	if err := mm.Mlock(true); err != nil {
+		t.Logf("mlock refused (fine in constrained environments): %v", err)
+	} else if err := mm.Mlock(false); err != nil {
+		t.Fatalf("munlock after successful mlock: %v", err)
+	}
+	if err := mm.Insert(Key{1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := mm.Get(Key{1, 2}); err != nil || !ok || v != 3 {
+		t.Fatalf("get after advise/mlock: v=%d ok=%v err=%v", v, ok, err)
 	}
 	if err := mm.Advise(AccessPattern(99)); err == nil {
 		t.Fatal("bogus pattern accepted")
@@ -179,6 +193,9 @@ func TestBackendAdvise(t *testing.T) {
 	defer fb.Close()
 	if err := fb.Advise(AdviseSequential); err != nil {
 		t.Fatalf("advise on file backend: %v", err)
+	}
+	if err := fb.Mlock(true); err != nil {
+		t.Fatalf("mlock on file backend (should be a no-op): %v", err)
 	}
 	mem, err := New(Options{Dims: 2})
 	if err != nil {

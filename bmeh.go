@@ -105,6 +105,35 @@ func (b Backend) String() string {
 	}
 }
 
+// WriteMode selects how the BMEH core commits mutations.
+type WriteMode int
+
+const (
+	// WriteModeLatched (default) mutates pages in place under crabbed
+	// latches; readers validate against a structure version and retry
+	// around restructurings.
+	WriteModeLatched WriteMode = iota
+	// WriteModeCOW routes every mutation through shadow pages and commits
+	// it with a single atomic root swap. Committed pages are never
+	// rewritten in place, which is what makes Snapshot possible: a reader
+	// pins a root and reads it latch-free while writers keep committing.
+	// Superseded pages are reclaimed by epoch once no snapshot can reach
+	// them. Requires SchemeBMEH.
+	WriteModeCOW
+)
+
+// String implements fmt.Stringer.
+func (m WriteMode) String() string {
+	switch m {
+	case WriteModeLatched:
+		return "latched"
+	case WriteModeCOW:
+		return "cow"
+	default:
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+}
+
 // Key is a d-dimensional key vector. Components compare numerically; use
 // the encoding helpers to map other attribute types order-preservingly.
 type Key []uint64
@@ -149,6 +178,12 @@ type Options struct {
 	// concurrent and back-to-back Sync calls into one WAL commit + fsync
 	// pair. See SyncPolicy.
 	SyncPolicy SyncPolicy
+	// WriteMode selects the mutation protocol (default WriteModeLatched).
+	// WriteModeCOW enables Snapshot at the cost of page copies on the
+	// write path; it requires SchemeBMEH. Like Backend, the mode is a
+	// property of the process, not the file — either mode opens any index
+	// file.
+	WriteMode WriteMode
 }
 
 // SyncPolicy configures group commit for Index.Sync. Durability semantics
@@ -325,8 +360,29 @@ func New(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ix.applyWriteMode(opts.WriteMode); err != nil {
+		return nil, err
+	}
 	ix.SetSyncPolicy(opts.SyncPolicy)
 	return ix, nil
+}
+
+// applyWriteMode switches a freshly built or loaded index into the
+// requested write mode. Setup-time only: it runs before the index is
+// shared.
+func (ix *Index) applyWriteMode(mode WriteMode) error {
+	switch mode {
+	case WriteModeLatched:
+		return nil
+	case WriteModeCOW:
+		tr, ok := ix.idx.(*core.Tree)
+		if !ok {
+			return fmt.Errorf("bmeh: WriteModeCOW requires SchemeBMEH (index is %v)", ix.scheme)
+		}
+		return tr.EnableCOW()
+	default:
+		return fmt.Errorf("bmeh: unknown write mode %d", int(mode))
+	}
 }
 
 // Create creates a file-backed Index at path (truncating any existing
@@ -368,6 +424,10 @@ func Create(path string, opts Options) (*Index, error) {
 		file.Close()
 		return nil, err
 	}
+	if err := ix.applyWriteMode(opts.WriteMode); err != nil {
+		file.Close()
+		return nil, err
+	}
 	if err := ix.syncLocked(); err != nil {
 		file.Close()
 		return nil, err
@@ -387,6 +447,15 @@ func Open(path string, cacheFrames int) (*Index, error) {
 // file (the on-disk format is shared), so a store written under
 // BackendFile can be served mmap'd and vice versa.
 func OpenBackend(path string, cacheFrames int, backend Backend) (*Index, error) {
+	return OpenWithOptions(path, Options{CacheFrames: cacheFrames, Backend: backend})
+}
+
+// OpenWithOptions is Open with the full set of runtime options: Backend,
+// CacheFrames, WriteMode and SyncPolicy are honored; geometry fields
+// (Scheme, Dims, PageCapacity, NodeBits, Width) are recovered from the
+// file and ignored in opts.
+func OpenWithOptions(path string, opts Options) (*Index, error) {
+	cacheFrames, backend := opts.CacheFrames, opts.Backend
 	ix := &Index{}
 	var st pagestore.Store
 	if backend == BackendMmap {
@@ -409,7 +478,9 @@ func OpenBackend(path string, cacheFrames int, backend Backend) (*Index, error) 
 		}
 	}
 	file := ix.file
-	meta := make([]byte, 256)
+	// The meta area can hold up to a page: a v3 record carries the COW
+	// deferred free list, which is far larger than the fixed header.
+	meta := make([]byte, file.PageSize())
 	n, err := file.ReadMeta(meta)
 	if err != nil {
 		file.Close()
@@ -425,6 +496,21 @@ func OpenBackend(path string, cacheFrames int, backend Backend) (*Index, error) 
 		file.Close()
 		return nil, fmt.Errorf("bmeh: %s: %w", path, err)
 	}
+	// Pages the previous process had retired but not yet reclaimed (they
+	// were pinned by open snapshots when the meta committed) are free to
+	// recycle now: snapshot pins do not survive the process. A replica's
+	// reload path deliberately skips this — it must stay byte-identical to
+	// the primary's commit stream.
+	if tr, ok := ix.idx.(*core.Tree); ok {
+		if err := tr.ReclaimPending(); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("bmeh: %s: reclaiming retired pages: %w", path, err)
+		}
+	}
+	if err := ix.applyWriteMode(opts.WriteMode); err != nil {
+		file.Close()
+		return nil, err
+	}
 	if backend == BackendMmap {
 		cacheFrames = 0 // no byte pool over mmap
 	}
@@ -436,8 +522,11 @@ func OpenBackend(path string, cacheFrames int, backend Backend) (*Index, error) 
 		Width:        ix.prm.Width,
 		CacheFrames:  cacheFrames,
 		Backend:      backend,
+		WriteMode:    opts.WriteMode,
+		SyncPolicy:   opts.SyncPolicy,
 	}
 	ix.recovered = file.RecoveredCommits()
+	ix.SetSyncPolicy(opts.SyncPolicy)
 	return ix, nil
 }
 
@@ -882,6 +971,13 @@ const (
 	// AdviseSequential enables aggressive readahead — right for Range,
 	// Scan and BulkLoad sweeps.
 	AdviseSequential
+	// AdviseHugePage asks the kernel to back the mapping with transparent
+	// huge pages (MADV_HUGEPAGE on BackendMmap). One 2 MiB TLB entry then
+	// covers ~500 index pages, which helps directory-walk-heavy working
+	// sets; it composes with the readahead hints above instead of
+	// replacing them. Whether the kernel honors it depends on the
+	// system's THP configuration.
+	AdviseHugePage
 )
 
 // Advise hints the expected access pattern to the storage backend
@@ -904,10 +1000,30 @@ func (ix *Index) Advise(p AccessPattern) error {
 		pp = pagestore.AdviseRandom
 	case AdviseSequential:
 		pp = pagestore.AdviseSequential
+	case AdviseHugePage:
+		pp = pagestore.AdviseHugePage
 	default:
 		return fmt.Errorf("bmeh: unknown access pattern %d", int(p))
 	}
 	return ix.mdisk.Advise(pp)
+}
+
+// Mlock pins the mmap backend's mapping in physical memory (on=true) or
+// releases the pin. Point reads then never take a major fault — the
+// complement of AdviseHugePage's TLB relief. A no-op on every other
+// backend. The syscall's refusal (RLIMIT_MEMLOCK is tens of KiB in many
+// containers) is returned as an error; the index stays fully usable,
+// just unpinned.
+func (ix *Index) Mlock(on bool) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.closed {
+		return pagestore.ErrClosed
+	}
+	if ix.mdisk == nil {
+		return nil
+	}
+	return ix.mdisk.Mlock(on)
 }
 
 // MmapStats is a snapshot of the mmap backend's read-path counters.

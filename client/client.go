@@ -182,6 +182,14 @@ type Stats struct {
 	// the replica's lag in commits.
 	CommitSeq  uint64
 	PrimarySeq uint64
+	// COW reports whether the server's index runs in copy-on-write mode.
+	// When it does, Epoch is the current commit epoch, PinnedEpochs the
+	// number of open snapshots, and ReclaimablePages the retired pages
+	// waiting for those snapshots to close.
+	COW              bool
+	Epoch            uint64
+	PinnedEpochs     int
+	ReclaimablePages int
 }
 
 // Client is a pooled, pipelined, topology-aware bmehserve client. Safe
@@ -893,6 +901,10 @@ func (ca *Call) decode(payload []byte) error {
 			Replicas:          int(s.Replicas),
 			CommitSeq:         s.CommitSeq,
 			PrimarySeq:        s.PrimarySeq,
+			COW:               s.COW != 0,
+			Epoch:             s.Epoch,
+			PinnedEpochs:      int(s.PinnedEpochs),
+			ReclaimablePages:  int(s.ReclaimablePages),
 		}
 	}
 	return nil

@@ -13,6 +13,9 @@
 //	bmehbench -table 2 -n 8000     # scaled-down run
 //	bmehbench -concurrent -json BENCH_concurrent.json
 //	                               # parallel get/insert/mixed sweep
+//	bmehbench -mvcc -json BENCH_mvcc.json
+//	                               # reader throughput under a saturating
+//	                               # writer, latched vs copy-on-write
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		netBench  = flag.Bool("net", false, "run the loopback network serving benchmark (16 pipelined clients)")
 		replBench = flag.Bool("repl", false, "run the replication benchmark (catch-up + availability across a primary restart)")
 		bulkload  = flag.Bool("bulkload", false, "run the bulk-load vs incremental-batch comparison (file backend)")
+		mvcc      = flag.Bool("mvcc", false, "run the MVCC sweep (reader throughput under a saturating writer, latched vs cow)")
 		backend   = flag.Bool("backend", false, "run the storage-backend comparison (pread vs mmap: bulk load, cold/warm-miss gets, range scan)")
 		jsonPath  = flag.String("json", "", "with -concurrent/-net/-repl: also write the report to this JSON file")
 		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net/-repl: measurement window per configuration")
@@ -172,6 +176,20 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runMVCCBench := func() {
+		ran = true
+		nn := *n
+		if nn > 20000 {
+			nn = 20000 // warm working set; larger N only lengthens preload
+		}
+		rep, err := runMVCC(os.Stdout, nn, *window, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeMVCCJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runNoise := func() {
 		ran = true
 		progress("§3 degeneration experiment...\n")
@@ -231,6 +249,9 @@ func main() {
 		}
 		if *backend {
 			runBackendBench()
+		}
+		if *mvcc {
+			runMVCCBench()
 		}
 	}
 	if !ran {

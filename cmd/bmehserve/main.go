@@ -55,6 +55,7 @@ type serveConfig struct {
 	coalesceWait time.Duration
 	drainTimeout time.Duration
 	replicaOf    string // primary address; "" means this node is a primary
+	cow          bool   // copy-on-write writers + MVCC snapshot reads
 }
 
 // parseBackend maps the -backend flag to a storage engine.
@@ -88,6 +89,9 @@ func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw
 		return err
 	}
 	opts.Backend = backend
+	if cfg.cow {
+		opts.WriteMode = bmeh.WriteModeCOW
+	}
 	var ix *bmeh.Index
 	switch {
 	case cfg.mem:
@@ -95,7 +99,7 @@ func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw
 	case cfg.indexPath == "":
 		return errors.New("either -index or -mem is required")
 	default:
-		ix, err = bmeh.OpenBackend(cfg.indexPath, cfg.cache, backend)
+		ix, err = bmeh.OpenWithOptions(cfg.indexPath, opts)
 		if cfg.create && errors.Is(err, os.ErrNotExist) {
 			ix, err = bmeh.Create(cfg.indexPath, opts)
 		}
@@ -263,6 +267,7 @@ func main() {
 	flag.DurationVar(&cfg.coalesceWait, "coalesce-wait", 0, "how long to hold a non-full PUT batch open (0 = don't wait)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.StringVar(&cfg.replicaOf, "replica-of", "", "follow this primary (host:port) as a read replica")
+	flag.BoolVar(&cfg.cow, "cow", false, "copy-on-write writes: RANGE reads run against MVCC snapshots")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()

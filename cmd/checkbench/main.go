@@ -7,6 +7,7 @@
 // Usage:
 //
 //	checkbench -mmap BENCH_mmap.json
+//	checkbench -mvcc BENCH_mvcc.json
 package main
 
 import (
@@ -57,15 +58,85 @@ func checkMmap(path string) error {
 	return nil
 }
 
+// mvccReport is the slice of the BENCH_mvcc.json schema the checks need.
+type mvccReport struct {
+	Results []struct {
+		Mode               string  `json:"mode"`
+		Workload           string  `json:"workload"`
+		ReaderOps          uint64  `json:"reader_ops"`
+		WriterOpsPerSec    float64 `json:"writer_ops_per_sec"`
+		SnapshotConsistent bool    `json:"snapshot_consistent"`
+	} `json:"results"`
+	ModeStats []struct {
+		Mode             string `json:"mode"`
+		Epoch            uint64 `json:"epoch"`
+		PinnedEpochs     int    `json:"pinned_epochs"`
+		ReclaimablePages int    `json:"reclaimable_pages"`
+	} `json:"mode_stats"`
+}
+
+// checkMVCC asserts the sweep's structural claims: every cell actually
+// ran (readers and writer both made progress), every COW range scan was
+// snapshot-consistent, COW commits advanced the epoch, and nothing was
+// left pinned or unreclaimed when the sweep finished.
+func checkMVCC(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep mvccReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	cells := map[string]bool{}
+	for _, r := range rep.Results {
+		cells[r.Mode+"/"+r.Workload] = true
+		if r.ReaderOps == 0 {
+			return fmt.Errorf("%s: %s/%s: readers completed no operations", path, r.Mode, r.Workload)
+		}
+		if r.WriterOpsPerSec == 0 {
+			return fmt.Errorf("%s: %s/%s: the saturating writer made no progress", path, r.Mode, r.Workload)
+		}
+		if r.Mode == "cow" && r.Workload == "range" && !r.SnapshotConsistent {
+			return fmt.Errorf("%s: cow/range: snapshot_consistent=false — a pinned snapshot observed a concurrent commit", path)
+		}
+	}
+	for _, want := range []string{"latched/get", "latched/range", "cow/get", "cow/range"} {
+		if !cells[want] {
+			return fmt.Errorf("%s: cell %s missing from the sweep", path, want)
+		}
+	}
+	for _, m := range rep.ModeStats {
+		if m.PinnedEpochs != 0 || m.ReclaimablePages != 0 {
+			return fmt.Errorf("%s: mode %s finished with %d pinned epochs, %d reclaimable pages (leak)",
+				path, m.Mode, m.PinnedEpochs, m.ReclaimablePages)
+		}
+		if m.Mode == "cow" && m.Epoch == 0 {
+			return fmt.Errorf("%s: mode cow: epoch never advanced — commits did not go through the COW root swap", path)
+		}
+	}
+	fmt.Printf("%s: ok — %d cells, cow/range snapshot-consistent, no pages leaked\n", path, len(rep.Results))
+	return nil
+}
+
 func main() {
 	mmapPath := flag.String("mmap", "", "BENCH_mmap.json to check")
+	mvccPath := flag.String("mvcc", "", "BENCH_mvcc.json to check")
 	flag.Parse()
-	if *mmapPath == "" || flag.NArg() != 0 {
+	if (*mmapPath == "" && *mvccPath == "") || flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := checkMmap(*mmapPath); err != nil {
-		fmt.Fprintln(os.Stderr, "checkbench:", err)
-		os.Exit(1)
+	if *mmapPath != "" {
+		if err := checkMmap(*mmapPath); err != nil {
+			fmt.Fprintln(os.Stderr, "checkbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *mvccPath != "" {
+		if err := checkMVCC(*mvccPath); err != nil {
+			fmt.Fprintln(os.Stderr, "checkbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -170,6 +170,29 @@ func (t *Tree) BulkLoad(next func() (bitkey.Vector, uint64, bool, error), opts B
 	// Commit in memory: swap the root, update counters, release the old
 	// structure. In-flight optimistic searches see structVer move and
 	// retry against the new root; durability is the caller's next Sync.
+	if t.cow {
+		// COW commit: the builder's pages are all fresh (no shadow context
+		// needed), so the commit is installAt + bumps, with the whole old
+		// structure retired at the new epoch rather than freed — an open
+		// snapshot keeps reading the pre-load tree. Order matters: install
+		// and bump before retiring, so a concurrent Snapshot.Close cannot
+		// reclaim pages still published to readers (see shadow.go).
+		t.structMu.Lock()
+		rootNode.Latch = t.latches.of(rootID)
+		newEpoch := t.rc.load().epoch + 1
+		t.rc.installAt(rootID, rootNode, newEpoch, run.n)
+		t.structVer.Add(1)
+		t.pageEpoch.Add(1)
+		t.nNodes.Store(bb.nodes.Load())
+		t.n.Store(run.n)
+		t.structMu.Unlock()
+		retired := make([]pagestore.PageID, 0, len(oldPages)+len(oldNodes)+1)
+		retired = append(retired, oldPages...)
+		retired = append(retired, oldNodes...)
+		retired = append(retired, oldRoot)
+		t.retiredAt.Retire(newEpoch, retired)
+		return stats, t.tryReclaim()
+	}
 	t.structMu.Lock()
 	rootNode.Latch = t.latches.of(rootID)
 	t.installRoot(rootID, rootNode)

@@ -25,7 +25,7 @@ type crashOp struct {
 // Validate and every record acknowledged (synced) before the crash must
 // be retrievable, with acknowledged deletes staying deleted.
 func TestCrashMatrix(t *testing.T) {
-	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, false)
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, false, false)
 }
 
 // TestCrashMatrixGroupCommit re-runs the sweep with WAL group commit
@@ -33,7 +33,7 @@ func TestCrashMatrix(t *testing.T) {
 // atomicity as the direct one. (Fewer points than the direct sweep; the
 // commit machinery under test is identical at every point.)
 func TestCrashMatrixGroupCommit(t *testing.T) {
-	testCrashMatrix(t, pagestore.SyncPolicy{MaxBatch: 4}, 60, false)
+	testCrashMatrix(t, pagestore.SyncPolicy{MaxBatch: 4}, 60, false, false)
 }
 
 // TestCrashMatrixMmap runs the full sweep against the mmap backend: real
@@ -43,7 +43,16 @@ func TestCrashMatrixGroupCommit(t *testing.T) {
 // no mmap, OpenMappedFile degrades to a pread file and the sweep still
 // exercises the MmapDisk wrapper's copying fallback.
 func TestCrashMatrixMmap(t *testing.T) {
-	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, true)
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, true, false)
+}
+
+// TestCrashMatrixCOW runs the full 240-point sweep in the copy-on-write
+// write mode, where the meta record's root pointer is the only commit
+// point: committed pages are never rewritten in place, so every crash
+// must land the reboot on exactly the tree the last durable meta record
+// named — the root swap is atomic or it did not happen.
+func TestCrashMatrixCOW(t *testing.T) {
+	testCrashMatrix(t, pagestore.SyncPolicy{}, 240, false, true)
 }
 
 // crashTempDir prefers tmpfs so the sweep's per-operation fsync/msync
@@ -59,7 +68,7 @@ func crashTempDir(t *testing.T) string {
 	return t.TempDir()
 }
 
-func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64, mmap bool) {
+func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64, mmap, cow bool) {
 	if testing.Short() {
 		t.Skip("crash matrix is a sweep; skipped in -short")
 	}
@@ -134,6 +143,11 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64, mm
 		tr, err := New(st, prm)
 		if err != nil {
 			return nil, nil, err
+		}
+		if cow {
+			if err := tr.EnableCOW(); err != nil {
+				return nil, nil, err
+			}
 		}
 		commit := func() error {
 			if err := tr.FlushDirtyPages(); err != nil {
@@ -225,7 +239,7 @@ func testCrashMatrix(t *testing.T, policy pagestore.SyncPolicy, points int64, mm
 		if err != nil {
 			t.Fatalf("point %d (+%d, %v): recovery open failed: %v", p, armAt, mode, err)
 		}
-		meta := make([]byte, 256)
+		meta := make([]byte, ps)
 		n, err := fd.ReadMeta(meta)
 		if err != nil {
 			t.Fatalf("point %d: reading meta: %v", p, err)

@@ -41,6 +41,9 @@ func (t *Tree) Delete(k bitkey.Vector) (bool, error) {
 	if err := t.checkKey(k); err != nil {
 		return false, err
 	}
+	if t.cow {
+		return t.deleteCOW(k)
+	}
 	done, deleted, err := t.tryDeleteFast(k)
 	if err != nil || done {
 		return deleted, err
@@ -279,7 +282,7 @@ func (t *Tree) deleteLocked(k bitkey.Vector) (bool, error) {
 	vec := dc.v
 	strip := dc.strip
 	var stack []frame
-	r := t.rc.load()
+	r := t.writerRoot()
 	id, node := r.pageID, r.node
 	for {
 		q := t.nodeIndexInto(node, vec, dc.idx)
@@ -295,7 +298,7 @@ func (t *Tree) deleteLocked(k bitkey.Vector) (bool, error) {
 			}
 			id = e.Ptr
 			var err error
-			node, err = t.readNode(id)
+			node, err = t.readNodeSh(id)
 			if err != nil {
 				return false, err
 			}
@@ -403,7 +406,7 @@ func (t *Tree) deleteLocked(k bitkey.Vector) (bool, error) {
 // revisited.
 func (t *Tree) gcEmptyNodes() error {
 	for {
-		r := t.rc.load()
+		r := t.writerRoot()
 		// The sweep may shrink and rewrite any collected node — including
 		// the root, which optimistic searches read latch-free — so every
 		// collected object is a private copy; commits go through writeNode.
@@ -448,7 +451,7 @@ func (t *Tree) gcEmptyNodes() error {
 					continue
 				}
 				checkedPages[e.Ptr] = true
-				p, err := t.readPage(e.Ptr)
+				p, err := t.readPageSh(e.Ptr)
 				if err != nil {
 					return err
 				}
@@ -596,7 +599,7 @@ func (t *Tree) mergePages(node *dirnode.Node, nodeID pagestore.PageID, q int) (*
 			if err := p.Merge(bp); err != nil {
 				return node, changed, frees, err
 			}
-			nid, err := t.pages.Alloc()
+			nid, err := t.allocPage()
 			if err != nil {
 				return node, changed, frees, err
 			}
@@ -870,7 +873,7 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 	case be.IsNode:
 		sibID = be.Ptr
 		var err error
-		sib, err = t.readNode(sibID)
+		sib, err = t.readNodeSh(sibID)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -901,7 +904,7 @@ func (t *Tree) tryMergeSiblings(parent *dirnode.Node, parentID, childID pagestor
 		}
 		frees = append(frees, sid)
 	}
-	newID, err := t.nodes.Alloc()
+	newID, err := t.allocNode()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1014,7 +1017,7 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 			}
 			if e.IsNode && n.Level-1 >= minVisit && !seen[e.Ptr] {
 				seen[e.Ptr] = true
-				c, err := t.readNode(e.Ptr)
+				c, err := t.readNodeSh(e.Ptr)
 				if err != nil {
 					return err
 				}
@@ -1030,7 +1033,7 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 	}
 	// Data pages hang off level-1 nodes, which the walk always reaches;
 	// node references can occur at any level ≥ 2.
-	r := t.rc.load()
+	r := t.writerRoot()
 	if err := walk(r.pageID, r.node); err != nil {
 		return false, err
 	}
@@ -1042,7 +1045,7 @@ func (t *Tree) isSharedRef(id, ownerID pagestore.PageID, asNode bool) (bool, err
 // height shrinks by one; an entirely empty root above leaf level resets to
 // a fresh single-level directory (the final reversal steps of §4.2).
 func (t *Tree) collapseRoot() error {
-	r := t.rc.load()
+	r := t.writerRoot()
 	if r.node.Level > 1 && allNil(r.node) {
 		fresh := dirnode.New(t.prm.Dims, 1)
 		if err := t.writeNode(r.pageID, fresh); err != nil {
@@ -1062,19 +1065,20 @@ func (t *Tree) collapseRoot() error {
 				return nil
 			}
 		}
-		child, err := t.readNode(first.Ptr)
+		child, err := t.readNodeSh(first.Ptr)
 		if err != nil {
 			return err
 		}
 		oldID := r.pageID
 		t.installRoot(first.Ptr, child)
-		// The pinned root shadows this object; drop the aliased cache entry.
-		t.nc.invalidate(first.Ptr)
+		// The pinned root shadows this object; drop the aliased cache entry
+		// (under a shadow the cached copy lives at the translated id).
+		t.nc.invalidate(t.shTarget(first.Ptr))
 		if err := t.freeNode(oldID); err != nil {
 			return err
 		}
 		t.nNodes.Add(-1)
-		r = t.rc.load()
+		r = t.writerRoot()
 	}
 	return nil
 }

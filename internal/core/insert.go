@@ -57,6 +57,9 @@ func (t *Tree) Insert(k bitkey.Vector, v uint64) error {
 	if err := t.checkKey(k); err != nil {
 		return err
 	}
+	if t.cow {
+		return t.insertCOW(k, v)
+	}
 	t.wgate.RLock()
 	defer t.wgate.RUnlock()
 	if done, err := t.insertFast(k, v); done {
@@ -190,9 +193,9 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64, structural *bool) (bool, err
 	var id pagestore.PageID
 	var node *dirnode.Node
 	for {
-		r := t.rc.load()
+		r := t.writerRoot()
 		ls.lock(r.pageID, r.node.Level)
-		if t.rc.load() == r {
+		if t.writerRoot() == r {
 			id, node = r.pageID, r.node
 			break
 		}
@@ -215,7 +218,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64, structural *bool) (bool, err
 			}
 			childID := e.Ptr
 			ls.lock(childID, node.Level-1)
-			child, err := t.readNode(childID)
+			child, err := t.readNodeSh(childID)
 			if err != nil {
 				return false, err
 			}
@@ -232,7 +235,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64, structural *bool) (bool, err
 			// materialize an empty child node so the tree stays perfectly
 			// height-balanced, then continue the descent through it. Nothing
 			// is freed, so this commits safely under the node latch alone.
-			cid, err := t.nodes.Alloc()
+			cid, err := t.allocNode()
 			if err != nil {
 				return false, err
 			}
@@ -262,7 +265,7 @@ func (t *Tree) tryInsert(k bitkey.Vector, v uint64, structural *bool) (bool, err
 			// Empty region at leaf level: allocate a page for it and point
 			// every element of the region (the paper's "entries having the
 			// same file depths") at it. Nothing is freed: latch-only commit.
-			pid, err := t.pages.Alloc()
+			pid, err := t.allocPage()
 			if err != nil {
 				return false, err
 			}
@@ -365,7 +368,7 @@ func (t *Tree) restructure(ls *latchSet, stack []frame, id pagestore.PageID, nod
 		if half.Len() == 0 {
 			return pagestore.NilPage, nil
 		}
-		nid, err := t.pages.Alloc()
+		nid, err := t.allocPage()
 		if err != nil {
 			return pagestore.NilPage, err
 		}
@@ -434,11 +437,11 @@ func (t *Tree) splitChain(ls *latchSet, stack []frame, id pagestore.PageID, node
 		if err != nil {
 			return err
 		}
-		aID, err := t.nodes.Alloc()
+		aID, err := t.allocNode()
 		if err != nil {
 			return err
 		}
-		bID, err := t.nodes.Alloc()
+		bID, err := t.allocNode()
 		if err != nil {
 			return err
 		}
@@ -495,6 +498,16 @@ func (t *Tree) splitChain(ls *latchSet, stack []frame, id pagestore.PageID, node
 // before the store free, and both change counters are bumped so optimistic
 // readers that touched a freed object re-validate.
 func (t *Tree) freeAll(ids []pagestore.PageID) error {
+	if t.sh != nil {
+		// COW: committed pages retire to the epoch list; operation-local
+		// pages free immediately. No version bumps mid-operation.
+		for _, id := range ids {
+			if err := t.shFree(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, id := range ids {
 		t.nc.invalidate(id)
 		t.pc.invalidate(id)
@@ -524,7 +537,7 @@ func (t *Tree) newRoot(m int, a, b pagestore.PageID, level int) error {
 		}
 		root.Entries[i] = dirnode.Entry{Ptr: ptr, IsNode: true, H: h, M: m}
 	}
-	rid, err := t.nodes.Alloc()
+	rid, err := t.allocNode()
 	if err != nil {
 		return err
 	}
@@ -667,7 +680,7 @@ func (t *Tree) splitReferent(ls *latchSet, e *dirnode.Entry, m, stripM, level in
 			if half.Len() == 0 {
 				return pagestore.NilPage, nil
 			}
-			nid, err := t.pages.Alloc()
+			nid, err := t.allocPage()
 			if err != nil {
 				return pagestore.NilPage, err
 			}
@@ -683,7 +696,7 @@ func (t *Tree) splitReferent(ls *latchSet, e *dirnode.Entry, m, stripM, level in
 		return out, nil
 	}
 	ls.lock(e.Ptr, level-1)
-	child, err := t.readNode(e.Ptr)
+	child, err := t.readNodeSh(e.Ptr)
 	if err != nil {
 		return out, err
 	}
@@ -691,11 +704,11 @@ func (t *Tree) splitReferent(ls *latchSet, e *dirnode.Entry, m, stripM, level in
 	if err != nil {
 		return out, err
 	}
-	caID, err := t.nodes.Alloc()
+	caID, err := t.allocNode()
 	if err != nil {
 		return out, err
 	}
-	cbID, err := t.nodes.Alloc()
+	cbID, err := t.allocNode()
 	if err != nil {
 		return out, err
 	}

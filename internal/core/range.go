@@ -38,11 +38,21 @@ func (t *Tree) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v uint64) bo
 	// concurrently; only restructurings wait.
 	t.structMu.RLock()
 	defer t.structMu.RUnlock()
+	return t.rangeFrom(t.rc.load().node, lo, hi, false, fn)
+}
+
+// rangeFrom is the scan core shared by Range and TreeSnapshot.Range: it
+// walks the box from an explicit root. With latchless set (snapshot scans)
+// the per-page shared latches are skipped — the pages reachable from a
+// pinned snapshot root are immutable — and the caller holds no lock at
+// all; otherwise the caller holds structMu's read side.
+func (t *Tree) rangeFrom(root *dirnode.Node, lo, hi bitkey.Vector, latchless bool, fn func(k bitkey.Vector, v uint64) bool) error {
 	r := rangeScanPool.Get().(*rangeScan)
 	r.t, r.lo, r.hi, r.fn = t, lo, hi, fn
 	r.width = t.prm.Width
 	r.stopped = false
-	err := r.node(t.rc.load().node, lo.Clone(), hi.Clone())
+	r.latchless = latchless
+	err := r.node(root, lo.Clone(), hi.Clone())
 	clear(r.seenPages)
 	clear(r.seenNodes)
 	*r = rangeScan{seenPages: r.seenPages, seenNodes: r.seenNodes}
@@ -81,6 +91,7 @@ type rangeScan struct {
 	seenNodes map[nodeVisit]bool
 	width     int
 	stopped   bool
+	latchless bool // snapshot scan: pages immutable, skip page latches
 }
 
 // visitKey builds the dedup key for a child descent.
@@ -197,9 +208,11 @@ func (r *rangeScan) descend(n *dirnode.Node, e *dirnode.Entry, idx []uint64, vlo
 // are handed to fn read-only, and fn runs with the latch held — another
 // reason it must not mutate the tree.
 func (r *rangeScan) page(id pagestore.PageID) error {
-	l := r.t.latches.of(id)
-	l.RLock(0)
-	defer l.RUnlock()
+	if !r.latchless {
+		l := r.t.latches.of(id)
+		l.RLock(0)
+		defer l.RUnlock()
+	}
 	p, err := r.t.readPage(id)
 	if err != nil {
 		return err

@@ -1,6 +1,9 @@
 package core
 
-import "bmeh/internal/pagestore"
+import (
+	"bmeh/internal/dirnode"
+	"bmeh/internal/pagestore"
+)
 
 // ForEachPageRef calls fn once for every distinct page referenced from the
 // directory, indicating whether the reference is to a directory node or a
@@ -9,13 +12,16 @@ import "bmeh/internal/pagestore"
 func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
 	t.structMu.RLock()
 	defer t.structMu.RUnlock()
+	return t.forEachPageRefFrom(t.rc.load().node, fn)
+}
+
+// forEachPageRefFrom is the lock-free walk core: it starts from an
+// explicit decoded root, so snapshot walks (whose pages are immutable) run
+// without structMu.
+func (t *Tree) forEachPageRefFrom(root *dirnode.Node, fn func(id pagestore.PageID, isNode bool)) error {
 	seen := make(map[pagestore.PageID]bool)
-	var rec func(id pagestore.PageID) error
-	rec = func(id pagestore.PageID) error {
-		n, err := t.readNode(id)
-		if err != nil {
-			return err
-		}
+	var walk func(n *dirnode.Node) error
+	walk = func(n *dirnode.Node) error {
 		for i := range n.Entries {
 			e := &n.Entries[i]
 			if e.Ptr == pagestore.NilPage || seen[e.Ptr] {
@@ -24,12 +30,16 @@ func (t *Tree) ForEachPageRef(fn func(id pagestore.PageID, isNode bool)) error {
 			seen[e.Ptr] = true
 			fn(e.Ptr, e.IsNode)
 			if e.IsNode {
-				if err := rec(e.Ptr); err != nil {
+				child, err := t.readNode(e.Ptr)
+				if err != nil {
+					return err
+				}
+				if err := walk(child); err != nil {
 					return err
 				}
 			}
 		}
 		return nil
 	}
-	return rec(t.rc.load().pageID)
+	return walk(root)
 }

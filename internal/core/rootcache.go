@@ -37,10 +37,16 @@ type rootCache struct {
 	installs atomic.Uint64 // install calls: root splits, collapses, resets, loads
 }
 
-// rootRef is one immutable (pageID, decoded node) root snapshot.
+// rootRef is one immutable (pageID, decoded node) root snapshot. In COW
+// mode it additionally carries the commit epoch that published it and the
+// record count as of that commit, so a Snapshot pinning the ref gets a
+// frozen (root, epoch, Len) triple from one atomic load. Latched-mode
+// installs carry the previous values forward unchanged.
 type rootRef struct {
 	pageID pagestore.PageID
 	node   *dirnode.Node
+	epoch  uint64
+	count  int64
 }
 
 // load returns the current root snapshot (nil only before the first
@@ -57,7 +63,20 @@ func (c *rootCache) holds(id pagestore.PageID) bool {
 // invalidated. Callers write the node's page before installing, so the
 // cache never gets ahead of durable storage.
 func (c *rootCache) install(id pagestore.PageID, n *dirnode.Node) {
-	c.ref.Store(&rootRef{pageID: id, node: n})
+	var epoch uint64
+	var count int64
+	if old := c.ref.Load(); old != nil {
+		epoch, count = old.epoch, old.count
+	}
+	c.ref.Store(&rootRef{pageID: id, node: n, epoch: epoch, count: count})
+	c.installs.Add(1)
+}
+
+// installAt is install with an explicit commit epoch and record count: the
+// COW commit point and Load use it so every published ref carries the state
+// snapshots pin.
+func (c *rootCache) installAt(id pagestore.PageID, n *dirnode.Node, epoch uint64, count int64) {
+	c.ref.Store(&rootRef{pageID: id, node: n, epoch: epoch, count: count})
 	c.installs.Add(1)
 }
 
@@ -67,7 +86,7 @@ func (c *rootCache) install(id pagestore.PageID, n *dirnode.Node) {
 // identity.
 func (c *rootCache) update(n *dirnode.Node) {
 	old := c.ref.Load()
-	c.ref.Store(&rootRef{pageID: old.pageID, node: n})
+	c.ref.Store(&rootRef{pageID: old.pageID, node: n, epoch: old.epoch, count: old.count})
 }
 
 // RootInstalls returns how many times the pinned root was replaced (root
@@ -75,3 +94,7 @@ func (c *rootCache) update(n *dirnode.Node) {
 // asserting the cache is invalidated exactly when the paper says the tree
 // height changes.
 func (t *Tree) RootInstalls() uint64 { return t.rc.installs.Load() }
+
+// RootPageID returns the page id of the current root node (diagnostic
+// tooling: fsck's reachability cross-check starts here).
+func (t *Tree) RootPageID() pagestore.PageID { return t.rc.load().pageID }

@@ -113,6 +113,22 @@ type Tree struct {
 	dirtyMu  sync.Mutex
 	dirtyIDs []pagestore.PageID
 	dirtyLen atomic.Int64
+
+	// Copy-on-write write mode (see shadow.go). cow is set once by
+	// EnableCOW before the tree is shared; sh is non-nil exactly while a
+	// COW mutation is in flight and is touched only by the single
+	// exclusive writer — the latch-free read path never consults it.
+	cow     bool
+	sh      *shadowCtx
+	shSpare *shadowCtx
+	// snapMu guards pinned, the per-epoch refcounts of open snapshots;
+	// its mutual exclusion orders Snapshot's pin against tryReclaim's
+	// minimum scan.
+	snapMu sync.Mutex
+	pinned map[uint64]int
+	// retiredAt defers frees of superseded pages until no snapshot pins
+	// an epoch that can still reach them.
+	retiredAt *pagestore.EpochList
 }
 
 // descentCtx is the reusable scratch of one descent: the shifted pseudo-key
@@ -131,6 +147,8 @@ func (t *Tree) initRuntime() {
 	t.nc = newObjCache[*dirnode.Node](defaultNodeCacheCap)
 	t.pc = newObjCache[*datapage.Page](defaultPageCacheCap)
 	t.latches.init()
+	t.pinned = make(map[uint64]int)
+	t.retiredAt = pagestore.NewEpochList()
 	if ra, ok := t.st.(pagestore.ReadAccounter); ok {
 		t.acct = ra.AccountRead
 	}
@@ -192,6 +210,12 @@ func New(st pagestore.Store, prm params.Params) (*Tree, error) {
 // installRoot pins a new root and bumps the structure version so optimistic
 // searches in flight retry against the new root.
 func (t *Tree) installRoot(id pagestore.PageID, n *dirnode.Node) {
+	if sh := t.sh; sh != nil {
+		// COW: the root is not published mid-operation; commitShadow
+		// installs it (and bumps the versions) once, at the commit point.
+		sh.root = &rootRef{pageID: sh.target(id), node: n}
+		return
+	}
 	t.rc.install(id, n)
 	t.structVer.Add(1)
 }
@@ -263,6 +287,12 @@ func (t *Tree) readNode(id pagestore.PageID) (*dirnode.Node, error) {
 // write fails. A cache-miss decode is private already and is not
 // installed — only committed writes enter the cache.
 func (t *Tree) readNodeMut(id pagestore.PageID) (*dirnode.Node, error) {
+	if sh := t.sh; sh != nil {
+		// COW: record the descent and read the shadow target (translate
+		// first, so a remapped root id cannot hit the stale rc check).
+		sh.readNodes[id] = true
+		id = sh.target(id)
+	}
 	if r := t.rc.load(); id == r.pageID {
 		return cloneNode(r.node), nil
 	}
@@ -286,6 +316,9 @@ func cloneNode(n *dirnode.Node) *dirnode.Node { return n.Clone() }
 // force. The structure version is bumped after the caches agree, so an
 // optimistic search that read the old image re-validates and retries.
 func (t *Tree) writeNode(id pagestore.PageID, n *dirnode.Node) error {
+	if t.sh != nil {
+		return t.writeNodeShadow(id, n)
+	}
 	if n.Latch == nil {
 		n.Latch = t.latches.of(id)
 	}
@@ -335,6 +368,9 @@ func (t *Tree) readPage(id pagestore.PageID) (*datapage.Page, error) {
 // cloned, cache misses stay private (not installed), so shared state only
 // changes at the writePage commit point.
 func (t *Tree) readPageMut(id pagestore.PageID) (*datapage.Page, error) {
+	if sh := t.sh; sh != nil {
+		id = sh.target(id)
+	}
 	if p, ok := t.pc.get(id); ok {
 		if t.acct != nil {
 			if err := t.acct(id); err != nil {
@@ -355,6 +391,9 @@ func (t *Tree) readPageMut(id pagestore.PageID) (*datapage.Page, error) {
 // commit does not change the tree's shape, so optimistic searches need
 // not retry over it.
 func (t *Tree) writePage(id pagestore.PageID, p *datapage.Page) error {
+	if t.sh != nil {
+		return t.writePageShadow(id, p)
+	}
 	if p.Latch == nil {
 		p.Latch = t.latches.of(id)
 	}
@@ -369,6 +408,9 @@ func (t *Tree) writePage(id pagestore.PageID, p *datapage.Page) error {
 // freePage invalidates the decoded cache before releasing the page, so a
 // recycled PageID can never serve a stale decoded image.
 func (t *Tree) freePage(id pagestore.PageID) error {
+	if t.sh != nil {
+		return t.shFree(id)
+	}
 	t.pc.invalidate(id)
 	t.pageEpoch.Add(1)
 	t.structVer.Add(1) // a freed page means the shape changed under readers
@@ -377,6 +419,9 @@ func (t *Tree) freePage(id pagestore.PageID) error {
 
 // freeNode is freePage for directory nodes.
 func (t *Tree) freeNode(id pagestore.PageID) error {
+	if t.sh != nil {
+		return t.shFree(id)
+	}
 	t.nc.invalidate(id)
 	t.structVer.Add(1)
 	return t.nodes.Free(id)

@@ -1,0 +1,112 @@
+package pagestore
+
+import (
+	"sort"
+	"sync"
+)
+
+// EpochList is the epoch-based deferred free list of the copy-on-write
+// write mode. A COW commit never frees the pages it supersedes directly:
+// a snapshot pinned at an older epoch may still descend into them. Instead
+// the committer retires them here, tagged with the epoch of the commit
+// that made them unreachable, and a page is handed back to the store's
+// free list only once no open snapshot predates its retiring epoch.
+//
+// The reclaim rule: a page retired at epoch e is reachable exactly from
+// roots of epochs < e, so it is recyclable once every pinned epoch E
+// satisfies E ≥ e — i.e. once e ≤ min(pinned). With nothing pinned the
+// minimum is +∞ and every retired page reclaims immediately, which
+// degenerates to the ordinary free list.
+//
+// On disk the retired-but-unreclaimed set rides in the index's meta
+// record (see core/persist.go): the pages themselves must keep their
+// exact bytes while a snapshot can reach them, so their images cannot be
+// overwritten with free-list next pointers the way epoch-0 (immediately
+// free) pages are. The epoch-0 chain hanging off the store header's
+// freeHead slot therefore remains the only on-disk chain, and it is
+// format-compatible with non-COW files.
+//
+// Safe for concurrent use: the committer retires while snapshot closers
+// reclaim.
+type EpochList struct {
+	mu      sync.Mutex
+	byEpoch map[uint64][]PageID
+	pages   int
+}
+
+// NewEpochList returns an empty list.
+func NewEpochList() *EpochList {
+	return &EpochList{byEpoch: make(map[uint64][]PageID)}
+}
+
+// Retire records ids as superseded by the commit that created epoch.
+func (l *EpochList) Retire(epoch uint64, ids []PageID) {
+	if len(ids) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.byEpoch[epoch] = append(l.byEpoch[epoch], ids...)
+	l.pages += len(ids)
+	l.mu.Unlock()
+}
+
+// ReclaimUpTo frees, via free, every page retired at an epoch ≤ minOpen
+// and returns the number reclaimed. On a free error the failing page and
+// every page not yet attempted stay retired (to be retried by the next
+// reclaim), and the error is returned.
+func (l *EpochList) ReclaimUpTo(minOpen uint64, free func(PageID) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reclaimed := 0
+	for epoch, ids := range l.byEpoch {
+		if epoch > minOpen {
+			continue
+		}
+		for i, id := range ids {
+			if err := free(id); err != nil {
+				// Keep what was not freed; drop what was.
+				l.byEpoch[epoch] = ids[i:]
+				l.pages -= reclaimed
+				return reclaimed, err
+			}
+			reclaimed++
+		}
+		delete(l.byEpoch, epoch)
+	}
+	l.pages -= reclaimed
+	return reclaimed, nil
+}
+
+// Pending reports how many distinct retiring epochs and how many pages
+// are awaiting reclamation.
+func (l *EpochList) Pending() (epochs, pages int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byEpoch), l.pages
+}
+
+// RetiredPage is one pending entry: a page and the epoch that retired it.
+type RetiredPage struct {
+	ID    PageID
+	Epoch uint64
+}
+
+// PendingIDs returns every retired-but-unreclaimed page with its epoch,
+// sorted by (epoch, id) so persisting the list is deterministic.
+func (l *EpochList) PendingIDs() []RetiredPage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RetiredPage, 0, l.pages)
+	for epoch, ids := range l.byEpoch {
+		for _, id := range ids {
+			out = append(out, RetiredPage{ID: id, Epoch: epoch})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Epoch != out[j].Epoch {
+			return out[i].Epoch < out[j].Epoch
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

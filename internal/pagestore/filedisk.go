@@ -443,6 +443,14 @@ func (d *FileDisk) composeMetaPage(seq uint64) []byte {
 // PageSize implements Store.
 func (d *FileDisk) PageSize() int { return d.pageSize }
 
+// PageCount returns the number of page slots in the file, meta page
+// included (diagnostic tooling).
+func (d *FileDisk) PageCount() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pageCount
+}
+
 // stagedOrDisk returns the current image of an allocated page. Caller
 // holds mu; on a mapped store the result may be a window onto the mapping
 // (verify-once), so it must not be retained past the mu scope.

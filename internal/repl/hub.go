@@ -183,7 +183,7 @@ func (h *Hub) Subscribe(lastSeq uint64) (*Sub, *Snapshot, error) {
 	switch {
 	case lastSeq == h.lastSeq:
 		// Up to date: live segments only.
-	case lastSeq < h.lastSeq && h.ringCoversLocked(lastSeq + 1):
+	case lastSeq < h.lastSeq && h.ringCoversLocked(lastSeq+1):
 		for _, seg := range h.ring {
 			if seg.Seq > lastSeq {
 				s.C <- Msg{Seg: seg}

@@ -501,7 +501,7 @@ func (c *conn) dispatch(fr wire.Frame) {
 		}
 		kvs := make([]wire.KV, 0, 16)
 		more := false
-		err = c.srv.ix.Range(bmeh.Key(lo), bmeh.Key(hi), func(k bmeh.Key, v uint64) bool {
+		collect := func(k bmeh.Key, v uint64) bool {
 			if len(kvs) == max {
 				more = true
 				return false
@@ -510,7 +510,17 @@ func (c *conn) dispatch(fr wire.Frame) {
 			// be retained across the scan without aliasing pooled buffers.
 			kvs = append(kvs, wire.KV{Key: []uint64(k), Value: v})
 			return true
-		})
+		}
+		// Under WriteModeCOW the scan runs against a per-request pinned
+		// snapshot: the client gets one consistent cut of the index even
+		// while writers commit, and the scan itself takes no tree locks.
+		// Other modes scan the live index under the structure lock.
+		if snap, serr := c.srv.ix.Snapshot(); serr == nil {
+			err = snap.Range(bmeh.Key(lo), bmeh.Key(hi), collect)
+			snap.Close()
+		} else {
+			err = c.srv.ix.Range(bmeh.Key(lo), bmeh.Key(hi), collect)
+		}
 		if err != nil {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
 			return
@@ -573,6 +583,11 @@ func (c *conn) dispatch(fr wire.Frame) {
 		} else if c.srv.cfg.Hub != nil {
 			replicas = uint32(c.srv.cfg.Hub.Status().Subscribers)
 		}
+		ss := c.srv.ix.SnapshotStats()
+		var cow uint8
+		if ss.COW {
+			cow = 1
+		}
 		c.send(fr.Op, fr.ID, wire.AppendStatsResp(nil, wire.Stats{
 			Scheme:            uint8(opts.Scheme),
 			Dims:              uint8(opts.Dims),
@@ -589,6 +604,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 			Replicas:          replicas,
 			CommitSeq:         commitSeq,
 			PrimarySeq:        primarySeq,
+			Epoch:             ss.Epoch,
+			PinnedEpochs:      uint32(ss.PinnedEpochs),
+			ReclaimablePages:  uint32(ss.ReclaimablePages),
+			COW:               cow,
 		}))
 
 	case wire.OpReplSubscribe:

@@ -272,10 +272,18 @@ type Stats struct {
 	Replicas          uint32
 	CommitSeq         uint64
 	PrimarySeq        uint64
+	// MVCC state (WriteModeCOW servers; zero otherwise). Epoch is the
+	// current commit epoch, PinnedEpochs the number of distinct epochs
+	// open snapshots pin, ReclaimablePages the retired-but-unrecycled
+	// page count, and COW 1 when the server runs copy-on-write.
+	Epoch            uint64
+	PinnedEpochs     uint32
+	ReclaimablePages uint32
+	COW              uint8
 }
 
 // statsSize is the fixed encoded size of Stats.
-const statsSize = 4 + 4*8 + 2*4 + 8 + 1 + 4 + 2*8
+const statsSize = 4 + 4*8 + 2*4 + 8 + 1 + 4 + 2*8 + 8 + 2*4 + 1
 
 // AppendStatsResp appends a STATS response: StatusOK plus the snapshot.
 func AppendStatsResp(dst []byte, s Stats) []byte {
@@ -291,7 +299,11 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 	dst = append(dst, s.Role)
 	dst = binary.BigEndian.AppendUint32(dst, s.Replicas)
 	dst = binary.BigEndian.AppendUint64(dst, s.CommitSeq)
-	return binary.BigEndian.AppendUint64(dst, s.PrimarySeq)
+	dst = binary.BigEndian.AppendUint64(dst, s.PrimarySeq)
+	dst = binary.BigEndian.AppendUint64(dst, s.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, s.PinnedEpochs)
+	dst = binary.BigEndian.AppendUint32(dst, s.ReclaimablePages)
+	return append(dst, s.COW)
 }
 
 // DecodeStatsRespBody parses the body of a StatusOK STATS response.
@@ -316,5 +328,9 @@ func DecodeStatsRespBody(body []byte) (Stats, error) {
 	s.Replicas = binary.BigEndian.Uint32(body[53:])
 	s.CommitSeq = binary.BigEndian.Uint64(body[57:])
 	s.PrimarySeq = binary.BigEndian.Uint64(body[65:])
+	s.Epoch = binary.BigEndian.Uint64(body[73:])
+	s.PinnedEpochs = binary.BigEndian.Uint32(body[81:])
+	s.ReclaimablePages = binary.BigEndian.Uint32(body[85:])
+	s.COW = body[89]
 	return s, nil
 }

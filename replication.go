@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 
+	"bmeh/internal/core"
 	"bmeh/internal/pagestore"
 )
 
@@ -53,13 +54,51 @@ func (ix *Index) SetReplPublisher(fn func(seq uint64, frames []pagestore.Frame))
 // consistent cut of the commit stream.
 func (ix *Index) ReplSnapshot(fn func(id pagestore.PageID, kind pagestore.Kind, data []byte) error) (seq uint64, pageCount uint32, err error) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
 		return 0, 0, pagestore.ErrClosed
 	}
 	if ix.file == nil {
+		ix.mu.Unlock()
 		return 0, 0, ErrNotReplicable
 	}
+	// Under WriteModeCOW the exclusive hold shrinks to the flush + meta
+	// staging: a pinned tree snapshot keeps every page the staged header
+	// references alive until the store-level stream (itself atomic under
+	// the store lock) has committed and copied them, so the page loop runs
+	// without ix.mu held exclusively and index reads proceed throughout.
+	// Writers committing between the pin and the stream only ADD pages:
+	// those are unreachable from the staged root and will be repaired on
+	// the subscriber by the very segments the hub queued during the
+	// snapshot, exactly as the latched path's post-snapshot commits are.
+	if tr, ok := ix.idx.(*core.Tree); ok && tr.COWEnabled() {
+		snap, err := tr.Snapshot()
+		if err == nil {
+			err = tr.FlushDirtyPages()
+		}
+		if err == nil && ix.cached != nil {
+			err = ix.cached.Flush()
+		}
+		if err == nil {
+			var rec []byte
+			if rec, err = snap.MarshalMeta(); err == nil {
+				err = ix.file.WriteMeta(rec)
+			}
+		}
+		ix.mu.Unlock()
+		if err != nil {
+			if snap != nil {
+				snap.Close()
+			}
+			return 0, 0, err
+		}
+		seq, pageCount, err = ix.file.SnapshotPages(fn)
+		if cerr := snap.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		return seq, pageCount, err
+	}
+	defer ix.mu.Unlock()
 	if err := ix.syncLocked(); err != nil {
 		return 0, 0, err
 	}
