@@ -184,6 +184,17 @@ type Options struct {
 	// property of the process, not the file — either mode opens any index
 	// file.
 	WriteMode WriteMode
+	// SnapshotMaxPinAge, when positive, bounds how long a Snapshot may
+	// pin its epoch (WriteModeCOW only). Pins older than the bound are
+	// force-released by the next reclamation pass; reads on a released
+	// snapshot fail with ErrSnapshotReleased, and each release counts in
+	// SnapshotStats.ForcedReleases. This is a guard against abandoned
+	// pins — a snapshot leaked without Close would otherwise hold every
+	// page version retired since it was taken. Set it well above the
+	// longest legitimate snapshot read (a backup stream, a full scan):
+	// a snapshot actively reading past the bound fails mid-read. Zero
+	// (the default) means pins never expire.
+	SnapshotMaxPinAge time.Duration
 }
 
 // SyncPolicy configures group commit for Index.Sync. Durability semantics
@@ -379,7 +390,11 @@ func (ix *Index) applyWriteMode(mode WriteMode) error {
 		if !ok {
 			return fmt.Errorf("bmeh: WriteModeCOW requires SchemeBMEH (index is %v)", ix.scheme)
 		}
-		return tr.EnableCOW()
+		if err := tr.EnableCOW(); err != nil {
+			return err
+		}
+		tr.SetSnapshotMaxPinAge(ix.opts.SnapshotMaxPinAge)
+		return nil
 	default:
 		return fmt.Errorf("bmeh: unknown write mode %d", int(mode))
 	}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"bmeh"
+	"bmeh/internal/cluster"
 	"bmeh/internal/wire"
 )
 
@@ -159,6 +160,38 @@ var ErrBusy = errors.New("client: server busy")
 // configured primary address points at a replica.
 var ErrReadOnly = errors.New("client: server is a read-only replica")
 
+// ErrWrongShard reports a request for a key the addressed node does not
+// own (or a write into a range fenced for migration). The request was
+// not executed. Match with errors.Is; WrongShardEpoch extracts the
+// node's shard-map epoch so a router can tell a stale cached map (its
+// epoch < the node's) from a split still in flight (epochs equal).
+// The Router handles this transparently; it surfaces only from direct
+// Client use against a clustered node.
+var ErrWrongShard = errors.New("client: wrong shard for key")
+
+// ErrNoShardMap reports a ShardMap call to a node that is not (yet)
+// part of a cluster.
+var ErrNoShardMap = errors.New("client: node has no shard map")
+
+// wrongShardError carries the answering node's map epoch alongside the
+// ErrWrongShard identity.
+type wrongShardError struct{ epoch uint64 }
+
+func (e *wrongShardError) Error() string {
+	return fmt.Sprintf("client: wrong shard for key (server at map epoch %d)", e.epoch)
+}
+func (e *wrongShardError) Is(target error) bool { return target == ErrWrongShard }
+
+// WrongShardEpoch returns the shard-map epoch carried by an
+// ErrWrongShard failure, and whether err is one.
+func WrongShardEpoch(err error) (uint64, bool) {
+	var ws *wrongShardError
+	if errors.As(err, &ws) {
+		return ws.epoch, true
+	}
+	return 0, false
+}
+
 // Stats is the server's index snapshot (see bmeh.Stats), plus the
 // geometry a caller needs to build keys and the node's replication
 // position.
@@ -190,6 +223,15 @@ type Stats struct {
 	Epoch            uint64
 	PinnedEpochs     int
 	ReclaimablePages int
+	// Clustered reports whether the node has a shard map installed. When
+	// it does, ShardID is its index in that map, [ShardLo, ShardHi) its
+	// owned pseudo-key prefix range (ShardHi 0 meaning 2^64), and
+	// ShardMapEpoch the map version it enforces.
+	Clustered     bool
+	ShardID       int
+	ShardLo       uint64
+	ShardHi       uint64
+	ShardMapEpoch uint64
 }
 
 // Client is a pooled, pipelined, topology-aware bmehserve client. Safe
@@ -674,6 +716,13 @@ type Call struct {
 	AckSeq     uint64
 	Loaded     uint64
 	Duplicates uint64
+	// ShardMapBlob holds a SHARD_MAP result (encoded map); ShardEpoch a
+	// SHARD_MAP_SET acknowledgment; Median and MedianOwned a
+	// SHARD_MEDIAN result.
+	ShardMapBlob []byte
+	ShardEpoch   uint64
+	Median       uint64
+	MedianOwned  uint64
 
 	op    wire.Op
 	done  chan struct{}
@@ -833,6 +882,8 @@ func (ca *Call) decode(payload []byte) error {
 		return ErrBusy
 	case wire.StatusReadOnly:
 		return ErrReadOnly
+	case wire.StatusWrongShard:
+		return &wrongShardError{epoch: wire.DecodeWrongShardBody(body)}
 	case wire.StatusOK:
 	default:
 		return fmt.Errorf("client: unknown response status %d", st)
@@ -905,7 +956,77 @@ func (ca *Call) decode(payload []byte) error {
 			Epoch:             s.Epoch,
 			PinnedEpochs:      int(s.PinnedEpochs),
 			ReclaimablePages:  int(s.ReclaimablePages),
+			Clustered:         s.Clustered != 0,
+			ShardID:           int(s.ShardID),
+			ShardLo:           s.ShardLo,
+			ShardHi:           s.ShardHi,
+			ShardMapEpoch:     s.ShardMapEpoch,
 		}
+	case wire.OpShardMap:
+		blob, err := wire.DecodeShardMapRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.ShardMapBlob = append([]byte(nil), blob...)
+	case wire.OpShardMapSet:
+		e, err := wire.DecodeShardEpochRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.ShardEpoch = e
+	case wire.OpShardMedian:
+		m, n, err := wire.DecodeShardMedianRespBody(body)
+		if err != nil {
+			return err
+		}
+		ca.Median, ca.MedianOwned = m, n
 	}
 	return nil
+}
+
+// ShardMap fetches the node's current shard map, or ErrNoShardMap when
+// the node is not part of a cluster. Idempotent; served by any node.
+func (c *Client) ShardMap() (*cluster.Map, error) {
+	call, err := c.roundTrip(wire.OpShardMap, nil, false, true)
+	if err != nil {
+		return nil, err
+	}
+	if call.ShardMapBlob == nil {
+		return nil, ErrNoShardMap
+	}
+	return cluster.DecodeMap(call.ShardMapBlob)
+}
+
+// SetShardMap pushes a shard map to the connected node, telling it that
+// it is shard id in that map. The node adopts the map only if its epoch
+// is newer than what it holds; either way the returned epoch is the one
+// now in force there. Control-plane: used by the cluster launcher and
+// the split controller.
+func (c *Client) SetShardMap(id uint32, m *cluster.Map) (epoch uint64, err error) {
+	payload := wire.AppendShardMapSetReq(nil, id, cluster.AppendMap(nil, m))
+	call, err := c.roundTrip(wire.OpShardMapSet, payload, true, true)
+	if err != nil {
+		return 0, err
+	}
+	return call.ShardEpoch, nil
+}
+
+// ShardMedian asks the node for the median pseudo-key prefix of its
+// owned records — the boundary a balanced split would use — and how
+// many owned records that median bisects.
+func (c *Client) ShardMedian() (median, owned uint64, err error) {
+	call, err := c.roundTrip(wire.OpShardMedian, nil, true, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return call.Median, call.MedianOwned, nil
+}
+
+// ShardFence fences writes to the prefix range [lo, hi) on the
+// connected node (hi 0 meaning end of space); lo == hi clears the
+// fence. Fenced writes answer ErrWrongShard while reads keep serving —
+// the split protocol's hand-off latch.
+func (c *Client) ShardFence(lo, hi uint64) error {
+	_, err := c.roundTrip(wire.OpShardFence, wire.AppendShardFenceReq(nil, lo, hi), true, true)
+	return err
 }

@@ -1,0 +1,232 @@
+package client_test
+
+// Router boundary behaviour against a real in-process cluster: keys
+// exactly on a shard boundary, the extremes of the first and last
+// ranges, transparent retry on a stale cached epoch, and partial-match
+// queries whose fan-out spans every shard. Run with -race: the router
+// shares its map and client caches across goroutines.
+
+import (
+	"testing"
+
+	"bmeh"
+	"bmeh/client"
+	"bmeh/internal/cluster"
+	"bmeh/internal/cluster/local"
+)
+
+// boundaryCluster starts a 4-shard cluster whose Uniform bounds are
+// 0x4000…, 0x8000…, 0xc000… and returns a router on it.
+func boundaryCluster(t *testing.T) (*local.Cluster, *client.Router) {
+	t.Helper()
+	c, err := local.Start(t.TempDir(), local.Options{Shards: 4, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	r, err := client.DialRouter(c.Seeds(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return c, r
+}
+
+// keyWithPrefix builds the 2-d key whose Morton prefix is exactly p
+// (dims=2, width=32): de-interleave p's even bits into y, odd into x.
+func keyWithPrefix(p uint64) bmeh.Key {
+	var x, y uint64
+	for i := 0; i < 32; i++ {
+		x |= ((p >> uint(63-2*i)) & 1) << uint(31-i)
+		y |= ((p >> uint(62-2*i)) & 1) << uint(31-i)
+	}
+	return bmeh.Key{x, y}
+}
+
+// TestRouterBoundaryKeys: a key whose prefix equals a split point
+// belongs to the upper shard, its immediate predecessor to the lower —
+// and the router's placement agrees with the servers' enforcement.
+func TestRouterBoundaryKeys(t *testing.T) {
+	_, r := boundaryCluster(t)
+	m := r.Map()
+	dims, width := r.Geometry()
+	if len(m.Bounds) != 3 {
+		t.Fatalf("bounds = %v, want 3 split points", m.Bounds)
+	}
+	val := uint64(1)
+	for bi, b := range m.Bounds {
+		on := keyWithPrefix(b)        // exactly on the boundary
+		below := keyWithPrefix(b - 1) // last key of the lower range
+		if got := cluster.Prefix(on, dims, width); got != b {
+			t.Fatalf("keyWithPrefix(%#x) has prefix %#x", b, got)
+		}
+		if got := m.ShardFor(cluster.Prefix(on, dims, width)); got != bi+1 {
+			t.Fatalf("boundary %#x routed to shard %d, want %d", b, got, bi+1)
+		}
+		if got := m.ShardFor(cluster.Prefix(below, dims, width)); got != bi {
+			t.Fatalf("boundary-1 %#x routed to shard %d, want %d", b-1, got, bi)
+		}
+		for _, k := range []bmeh.Key{on, below} {
+			if err := r.Put(k, val); err != nil {
+				t.Fatalf("put %v: %v", k, err)
+			}
+			v, ok, err := r.Get(k)
+			if err != nil || !ok || v != val {
+				t.Fatalf("get %v: v=%d ok=%v err=%v", k, v, ok, err)
+			}
+			val++
+		}
+	}
+	// Each boundary pair straddles two shards: 6 records over 4 shards,
+	// none lost.
+	if n, err := r.Len(); err != nil || n != 6 {
+		t.Fatalf("Len = %d (%v), want 6", n, err)
+	}
+}
+
+// TestRouterRangeExtremes: the very first and very last representable
+// keys round-trip, and ranges clamped to the first/last shard ranges
+// return exactly their shard's contents.
+func TestRouterRangeExtremes(t *testing.T) {
+	_, r := boundaryCluster(t)
+	first := bmeh.Key{0, 0}                // prefix 0x0000… — first shard
+	last := bmeh.Key{1<<32 - 1, 1<<32 - 1} // prefix 0xffff… — last shard
+	if err := r.Put(first, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(last, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := r.Get(first); err != nil || !ok || v != 10 {
+		t.Fatalf("get first: %d %v %v", v, ok, err)
+	}
+	if v, ok, err := r.Get(last); err != nil || !ok || v != 20 {
+		t.Fatalf("get last: %d %v %v", v, ok, err)
+	}
+	// A one-point box at each extreme touches exactly one shard.
+	kvs, _, err := r.Range(first, first, 0)
+	if err != nil || len(kvs) != 1 || kvs[0].Value != 10 {
+		t.Fatalf("range at first: %v %v", kvs, err)
+	}
+	kvs, _, err = r.Range(last, last, 0)
+	if err != nil || len(kvs) != 1 || kvs[0].Value != 20 {
+		t.Fatalf("range at last: %v %v", kvs, err)
+	}
+	// The full box spans all four shards and finds both extremes.
+	kvs, _, err = r.Range(first, last, 0)
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("full range: %v %v", kvs, err)
+	}
+	if kvs[0].Value != 10 || kvs[1].Value != 20 {
+		t.Fatalf("full range out of order: %v", kvs)
+	}
+}
+
+// TestRouterStaleEpochRetry: a split performed behind the router's back
+// leaves it with a stale cached epoch; the next operations on moved keys
+// must succeed transparently (WrongShard → refresh → retry) and the
+// router must end up on the new epoch.
+func TestRouterStaleEpochRetry(t *testing.T) {
+	c, err := local.Start(t.TempDir(), local.Options{Shards: 1, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := client.DialRouter(c.Seeds(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	keys := make([]bmeh.Key, 0, 256)
+	for i := 0; i < 256; i++ {
+		keys = append(keys, keyWithPrefix(uint64(i)<<56|uint64(i*2654435761)))
+	}
+	for i, k := range keys {
+		if err := r.Put(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	staleEpoch := r.Map().Epoch
+
+	if err := c.Split(0); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if r.Map().Epoch != staleEpoch {
+		t.Fatal("router learned the new epoch without traffic — test premise broken")
+	}
+
+	// Reads and writes on moved keys ride the stale map transparently.
+	for i, k := range keys {
+		v, ok, err := r.Get(k)
+		if err != nil || !ok || v != uint64(i) {
+			t.Fatalf("stale get %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	movedHigh := keyWithPrefix(^uint64(0) - 5)
+	if err := r.Put(movedHigh, 777); err != nil {
+		t.Fatalf("stale put: %v", err)
+	}
+	if v, ok, _ := r.Get(movedHigh); !ok || v != 777 {
+		t.Fatalf("stale put lost: %d %v", v, ok)
+	}
+	if got := r.Map().Epoch; got <= staleEpoch {
+		t.Fatalf("router still on epoch %d after WrongShard traffic", got)
+	}
+}
+
+// TestRouterPartialMatchAllShards: a partial-match query (x pinned to a
+// narrow band, y spanning its whole domain) straddles every shard; the
+// fan-out must visit all of them and the merge must return exactly the
+// matching records in pseudo-key order.
+func TestRouterPartialMatchAllShards(t *testing.T) {
+	_, r := boundaryCluster(t)
+	m := r.Map()
+	dims, width := r.Geometry()
+
+	// Overlap spans every shard only if both top prefix bits vary inside
+	// the box: bit 63 is x's MSB (x is unbounded), bit 62 is y's MSB —
+	// so the y band must straddle y's midpoint. A band pinned strictly
+	// below it could never match shard 2 or 3, and the router's pruning
+	// would (correctly) skip them.
+	const bandLo, bandHi = uint64(0x7fff_ff00), uint64(0x8000_00ff)
+	want := 0
+	val := uint64(0)
+	for i := 0; i < 64; i++ {
+		x := uint64(i) << 26      // walk x's high bits → both prefix halves
+		y := bandLo + uint64(i*8) // stays inside the band
+		if err := r.Put(bmeh.Key{x, y}, val); err != nil {
+			t.Fatal(err)
+		}
+		val++
+		want++
+	}
+	// Decoys outside the band.
+	for i := 0; i < 64; i++ {
+		if err := r.Put(bmeh.Key{uint64(i) << 26, uint64(i) << 20}, 9000+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lo := bmeh.Key{0, bandLo}
+	hi := bmeh.Key{1<<32 - 1, bandHi}
+	shards := m.Overlapping(cluster.Prefix(lo, dims, width), cluster.Prefix(hi, dims, width))
+	if len(shards) != m.NumShards() {
+		t.Fatalf("partial-match box overlaps %d of %d shards — want all (y unbounded)", len(shards), m.NumShards())
+	}
+	kvs, more, err := r.Range(lo, hi, 0)
+	if err != nil || more {
+		t.Fatalf("partial match: more=%v err=%v", more, err)
+	}
+	if len(kvs) != want {
+		t.Fatalf("partial match found %d records, want %d", len(kvs), want)
+	}
+	for i, kv := range kvs {
+		if kv.Key[1] < bandLo || kv.Key[1] > bandHi {
+			t.Fatalf("record %d outside the y band: %v", i, kv.Key)
+		}
+		if i > 0 && cluster.CompareKeys(kvs[i-1].Key, kv.Key, dims, width) >= 0 {
+			t.Fatalf("partial-match output out of pseudo-key order at %d", i)
+		}
+	}
+}

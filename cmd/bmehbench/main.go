@@ -41,6 +41,7 @@ func main() {
 		bulkload  = flag.Bool("bulkload", false, "run the bulk-load vs incremental-batch comparison (file backend)")
 		mvcc      = flag.Bool("mvcc", false, "run the MVCC sweep (reader throughput under a saturating writer, latched vs cow)")
 		backend   = flag.Bool("backend", false, "run the storage-backend comparison (pread vs mmap: bulk load, cold/warm-miss gets, range scan)")
+		clBench   = flag.Bool("cluster", false, "run the sharded-cluster benchmark (GET/PUT scaling at 1/2/4 shards + availability through an online split)")
 		jsonPath  = flag.String("json", "", "with -concurrent/-net/-repl: also write the report to this JSON file")
 		window    = flag.Duration("window", 500*time.Millisecond, "with -concurrent/-net/-repl: measurement window per configuration")
 		asCSV     = flag.Bool("csv", false, "emit figures as CSV for external plotting")
@@ -176,6 +177,20 @@ func main() {
 			progress("wrote %s\n", *jsonPath)
 		}
 	}
+	runClusterBench := func() {
+		ran = true
+		nn := *n
+		if nn > 20000 {
+			nn = 20000 // preload working set; larger N only lengthens setup
+		}
+		rep, err := runCluster(os.Stdout, nn, *window, progress)
+		fail(err)
+		fmt.Println()
+		if *jsonPath != "" {
+			fail(writeClusterJSON(*jsonPath, rep))
+			progress("wrote %s\n", *jsonPath)
+		}
+	}
 	runMVCCBench := func() {
 		ran = true
 		nn := *n
@@ -252,6 +267,9 @@ func main() {
 		}
 		if *mvcc {
 			runMVCCBench()
+		}
+		if *clBench {
+			runClusterBench()
 		}
 	}
 	if !ran {

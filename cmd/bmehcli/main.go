@@ -7,10 +7,16 @@
 //	bmehcli -dims 2 index.bmeh
 //	bmehcli -mem -dims 3 -scheme mdeh
 //	bmehcli fsck index.bmeh
+//	bmehcli stats host:7707
 //
 // The fsck form runs an offline integrity check — page checksums, header,
 // structural invariants — and exits 0 (clean) or 1 (problems found)
 // instead of starting the shell.
+//
+// The stats form asks a running bmehserve node for its STATS over the
+// wire and prints them, including the node's role, replication position
+// and — on a clustered node — its shard identity: shard ID, owned
+// pseudo-key prefix range and shard-map epoch.
 //
 // Commands (keys are space-separated unsigned components):
 //
@@ -29,8 +35,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bmeh"
+	"bmeh/client"
+	"bmeh/internal/wire"
 )
 
 func main() {
@@ -44,6 +53,9 @@ func main() {
 
 	if flag.Arg(0) == "fsck" {
 		os.Exit(runFsck(flag.Arg(1)))
+	}
+	if flag.Arg(0) == "stats" {
+		os.Exit(runRemoteStats(flag.Arg(1)))
 	}
 
 	ix, err := openIndex(*mem, *scheme, *dims, *capacity, flag.Arg(0))
@@ -195,6 +207,50 @@ func runFsck(path string) int {
 		fmt.Println("PROBLEM:", p)
 	}
 	return 1
+}
+
+// runRemoteStats dials a bmehserve node and prints its STATS, shard
+// identity included. Exit code: 0 ok, 2 usage/connect error.
+func runRemoteStats(addr string) int {
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: bmehcli stats <host:port>")
+		return 2
+	}
+	cl, err := client.Dial(addr, client.Options{PoolSize: 1, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmehcli: stats:", err)
+		return 2
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmehcli: stats:", err)
+		return 2
+	}
+	role := "primary"
+	if st.Role == wire.RoleReplica {
+		role = "replica"
+	}
+	fmt.Printf("%s: %s, records=%d dims=%d width=%d levels=%d dataPages=%d dirPages=%d α=%.3f\n",
+		addr, role, st.Records, st.Dims, st.Width, st.DirectoryLevels,
+		st.DataPages, st.DirectoryPages, st.LoadFactor)
+	fmt.Printf("repl: commitSeq=%d primarySeq=%d subscribers=%d\n",
+		st.CommitSeq, st.PrimarySeq, st.Replicas)
+	if st.COW {
+		fmt.Printf("cow: epoch=%d pinnedEpochs=%d reclaimablePages=%d\n",
+			st.Epoch, st.PinnedEpochs, st.ReclaimablePages)
+	}
+	if st.Clustered {
+		hi := "2^64"
+		if st.ShardHi != 0 {
+			hi = fmt.Sprintf("%#016x", st.ShardHi)
+		}
+		fmt.Printf("shard: id=%d range=[%#016x, %s) mapEpoch=%d\n",
+			st.ShardID, st.ShardLo, hi, st.ShardMapEpoch)
+	} else {
+		fmt.Println("shard: unclustered (no shard map installed)")
+	}
+	return 0
 }
 
 func openIndex(mem bool, scheme string, dims, capacity int, path string) (*bmeh.Index, error) {

@@ -14,6 +14,10 @@
 // given primary (seeding itself with a snapshot when its local file
 // does not exist yet), serves reads, and refuses writes.
 //
+// The process logic lives in bmeh/internal/serve so the cluster
+// launcher (cmd/bmehcluster) and tests can run the identical server
+// in-process; this file only parses flags.
+//
 // Usage:
 //
 //	bmehserve -index cities.bmeh -addr :7707
@@ -22,252 +26,34 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"bmeh"
-	"bmeh/internal/repl"
-	"bmeh/internal/server"
+	"bmeh/internal/serve"
 )
 
-// serveConfig carries everything main parses from flags, so runServer is
-// testable without a process boundary.
-type serveConfig struct {
-	addr         string
-	indexPath    string // file-backed store; "" means in-memory
-	create       bool   // create indexPath if absent
-	mem          bool
-	dims         int // new indexes only
-	capacity     int // new indexes only
-	cache        int
-	backend      string // storage engine: "file" (pread) or "mmap"
-	syncInterval time.Duration
-	syncBatch    int
-	coalesceMax  int
-	coalesceWait time.Duration
-	drainTimeout time.Duration
-	replicaOf    string // primary address; "" means this node is a primary
-	cow          bool   // copy-on-write writers + MVCC snapshot reads
-}
-
-// parseBackend maps the -backend flag to a storage engine.
-func parseBackend(s string) (bmeh.Backend, error) {
-	switch s {
-	case "", "file":
-		return bmeh.BackendFile, nil
-	case "mmap":
-		return bmeh.BackendMmap, nil
-	default:
-		return 0, fmt.Errorf("unknown backend %q (want file or mmap)", s)
-	}
-}
-
-// runServer opens/creates the index, serves cfg.addr until a value
-// arrives on sig, then drains and closes. ready (optional) is called
-// with the bound address once the listener is up — tests use it to learn
-// the port and to coordinate shutdown.
-func runServer(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw io.Writer) error {
-	if cfg.replicaOf != "" {
-		return runReplica(cfg, sig, ready, logw)
-	}
-	opts := bmeh.Options{
-		Dims:         cfg.dims,
-		PageCapacity: cfg.capacity,
-		CacheFrames:  cfg.cache,
-		SyncPolicy:   bmeh.SyncPolicy{Interval: cfg.syncInterval, MaxBatch: cfg.syncBatch},
-	}
-	backend, err := parseBackend(cfg.backend)
-	if err != nil {
-		return err
-	}
-	opts.Backend = backend
-	if cfg.cow {
-		opts.WriteMode = bmeh.WriteModeCOW
-	}
-	var ix *bmeh.Index
-	switch {
-	case cfg.mem:
-		ix, err = bmeh.New(opts)
-	case cfg.indexPath == "":
-		return errors.New("either -index or -mem is required")
-	default:
-		ix, err = bmeh.OpenWithOptions(cfg.indexPath, opts)
-		if cfg.create && errors.Is(err, os.ErrNotExist) {
-			ix, err = bmeh.Create(cfg.indexPath, opts)
-		}
-	}
-	if err != nil {
-		return err
-	}
-	ix.SetSyncPolicy(opts.SyncPolicy)
-	defer ix.Close()
-	if !cfg.mem {
-		rec := ix.Recovery()
-		if rec.CleanShutdown() {
-			fmt.Fprintf(logw, "bmehserve: %s: clean shutdown, no WAL replay\n", cfg.indexPath)
-		} else {
-			fmt.Fprintf(logw, "bmehserve: %s: recovered %d WAL commit(s)\n", cfg.indexPath, rec.ReplayedCommits)
-		}
-	}
-
-	// A file-backed primary publishes its commit stream so replicas can
-	// subscribe; an in-memory index has no commit sequence to ship.
-	var hub *repl.Hub
-	if !cfg.mem {
-		hub = repl.NewHub(ix, repl.HubOptions{})
-		if err := ix.SetReplPublisher(hub.Publish); err != nil {
-			return err
-		}
-		defer func() {
-			ix.SetReplPublisher(nil)
-			hub.Close()
-		}()
-	}
-	srv := server.New(ix, server.Config{
-		CoalesceMax:  cfg.coalesceMax,
-		CoalesceWait: cfg.coalesceWait,
-		Hub:          hub,
-		Logf:         func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
-	})
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(logw, "bmehserve: serving %d record(s), %d dim(s) on %s\n", ix.Len(), ix.Options().Dims, ln.Addr())
-	if ready != nil {
-		ready(ln.Addr())
-	}
-
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-
-	select {
-	case s := <-sig:
-		fmt.Fprintf(logw, "bmehserve: %v: draining (timeout %v)\n", s, cfg.drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
-		defer cancel()
-		go func() {
-			if s, ok := <-sig; ok {
-				fmt.Fprintf(logw, "bmehserve: %v: aborting drain\n", s)
-				cancel()
-			}
-		}()
-		if err := srv.Shutdown(ctx); err != nil {
-			<-serveErr
-			return fmt.Errorf("drain: %w", err)
-		}
-		if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
-			return err
-		}
-		fmt.Fprintf(logw, "bmehserve: drained cleanly\n")
-		return nil
-	case err := <-serveErr:
-		return err
-	}
-}
-
-// runReplica follows a primary: seed (or reopen) the local store, apply
-// the replication stream, and serve reads only. Drain order on signal:
-// stop serving clients, stop the replication link, close the store —
-// so the last applied batch is durable and the WAL left clean.
-func runReplica(cfg serveConfig, sig <-chan os.Signal, ready func(net.Addr), logw io.Writer) error {
-	if cfg.mem {
-		return errors.New("-replica-of needs a file-backed store, not -mem")
-	}
-	if cfg.indexPath == "" {
-		return errors.New("-replica-of requires -index")
-	}
-	target, err := bmeh.NewReplicaTarget(cfg.indexPath, cfg.cache)
-	if err != nil {
-		return err
-	}
-	defer target.Close()
-	rep := repl.NewReplica(target, cfg.replicaOf, repl.ReplicaOptions{
-		Logf: func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
-	})
-	rep.Start()
-	defer rep.Close()
-
-	// A replica with no local file yet cannot serve until the first
-	// snapshot lands; one with a file serves immediately and catches up.
-	select {
-	case <-target.Ready():
-	case s := <-sig:
-		fmt.Fprintf(logw, "bmehserve: %v before initial snapshot, exiting\n", s)
-		return nil
-	}
-	ix := target.Index()
-	fmt.Fprintf(logw, "bmehserve: replica of %s at seq %d, %d record(s)\n",
-		cfg.replicaOf, ix.ReplCommitSeq(), ix.Len())
-
-	srv := server.New(ix, server.Config{
-		ReadOnly: true,
-		ReplicaStatus: func() (primarySeq, appliedSeq uint64, connected bool) {
-			st := rep.Status()
-			return st.PrimarySeq, st.AppliedSeq, st.Connected
-		},
-		Logf: func(format string, args ...any) { fmt.Fprintf(logw, "bmehserve: "+format+"\n", args...) },
-	})
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(logw, "bmehserve: replica serving on %s\n", ln.Addr())
-	if ready != nil {
-		ready(ln.Addr())
-	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-	select {
-	case s := <-sig:
-		fmt.Fprintf(logw, "bmehserve: %v: draining replica (timeout %v)\n", s, cfg.drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
-		defer cancel()
-		go func() {
-			if s, ok := <-sig; ok {
-				fmt.Fprintf(logw, "bmehserve: %v: aborting drain\n", s)
-				cancel()
-			}
-		}()
-		if err := srv.Shutdown(ctx); err != nil {
-			<-serveErr
-			return fmt.Errorf("drain: %w", err)
-		}
-		if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
-			return err
-		}
-		fmt.Fprintf(logw, "bmehserve: replica drained cleanly\n")
-		return nil
-	case err := <-serveErr:
-		return err
-	}
-}
-
 func main() {
-	var cfg serveConfig
-	flag.StringVar(&cfg.addr, "addr", ":7707", "listen address")
-	flag.StringVar(&cfg.indexPath, "index", "", "file-backed index to serve")
-	flag.BoolVar(&cfg.create, "create", false, "create -index if it does not exist")
-	flag.BoolVar(&cfg.mem, "mem", false, "serve a fresh in-memory index instead of a file")
-	flag.IntVar(&cfg.dims, "dims", 2, "key dimensions (new indexes only)")
-	flag.IntVar(&cfg.capacity, "b", 32, "data page capacity (new indexes only)")
-	flag.IntVar(&cfg.cache, "cache", 4096, "page cache frames (ignored by -backend mmap)")
-	flag.StringVar(&cfg.backend, "backend", "file", "storage engine: file (pread) or mmap (zero-copy reads)")
-	flag.DurationVar(&cfg.syncInterval, "sync-interval", 200*time.Microsecond, "group-commit window (0 = commit-in-flight coalescing only)")
-	flag.IntVar(&cfg.syncBatch, "sync-batch", 64, "group-commit max batch (0 = unbounded)")
-	flag.IntVar(&cfg.coalesceMax, "coalesce-max", 0, "max PUTs folded into one InsertBatch (0 = server default)")
-	flag.DurationVar(&cfg.coalesceWait, "coalesce-wait", 0, "how long to hold a non-full PUT batch open (0 = don't wait)")
-	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
-	flag.StringVar(&cfg.replicaOf, "replica-of", "", "follow this primary (host:port) as a read replica")
-	flag.BoolVar(&cfg.cow, "cow", false, "copy-on-write writes: RANGE reads run against MVCC snapshots")
+	var cfg serve.Config
+	flag.StringVar(&cfg.Addr, "addr", ":7707", "listen address")
+	flag.StringVar(&cfg.IndexPath, "index", "", "file-backed index to serve")
+	flag.BoolVar(&cfg.Create, "create", false, "create -index if it does not exist")
+	flag.BoolVar(&cfg.Mem, "mem", false, "serve a fresh in-memory index instead of a file")
+	flag.IntVar(&cfg.Dims, "dims", 2, "key dimensions (new indexes only)")
+	flag.IntVar(&cfg.Capacity, "b", 32, "data page capacity (new indexes only)")
+	flag.IntVar(&cfg.Cache, "cache", 4096, "page cache frames (ignored by -backend mmap)")
+	flag.StringVar(&cfg.Backend, "backend", "file", "storage engine: file (pread) or mmap (zero-copy reads)")
+	flag.DurationVar(&cfg.SyncInterval, "sync-interval", 200*time.Microsecond, "group-commit window (0 = commit-in-flight coalescing only)")
+	flag.IntVar(&cfg.SyncBatch, "sync-batch", 64, "group-commit max batch (0 = unbounded)")
+	flag.IntVar(&cfg.CoalesceMax, "coalesce-max", 0, "max PUTs folded into one InsertBatch (0 = server default)")
+	flag.DurationVar(&cfg.CoalesceWait, "coalesce-wait", 0, "how long to hold a non-full PUT batch open (0 = don't wait)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.StringVar(&cfg.ReplicaOf, "replica-of", "", "follow this primary (host:port) as a read replica")
+	flag.BoolVar(&cfg.COW, "cow", false, "copy-on-write writes: RANGE reads run against MVCC snapshots")
+	flag.DurationVar(&cfg.SnapMaxPinAge, "snap-max-pin-age", 0, "force-release snapshot pins older than this (-cow only; 0 = never)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
@@ -276,7 +62,7 @@ func main() {
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	if err := runServer(cfg, sig, nil, os.Stderr); err != nil {
+	if err := serve.Run(cfg, sig, nil, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bmehserve:", err)
 		os.Exit(1)
 	}

@@ -13,16 +13,17 @@ import (
 
 	"bmeh"
 	"bmeh/client"
+	"bmeh/internal/serve"
 )
 
 // startDaemon runs runServer in a goroutine and returns the bound
 // address, the signal channel that stops it, and a wait func returning
 // runServer's error plus everything it logged.
-func startDaemon(t *testing.T, cfg serveConfig) (addr string, sig chan os.Signal, wait func() (error, string)) {
+func startDaemon(t *testing.T, cfg serve.Config) (addr string, sig chan os.Signal, wait func() (error, string)) {
 	t.Helper()
-	cfg.addr = "127.0.0.1:0"
-	if cfg.drainTimeout == 0 {
-		cfg.drainTimeout = 10 * time.Second
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 10 * time.Second
 	}
 	sig = make(chan os.Signal, 2)
 	addrc := make(chan net.Addr, 1)
@@ -32,7 +33,7 @@ func startDaemon(t *testing.T, cfg serveConfig) (addr string, sig chan os.Signal
 	)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- runServer(cfg, sig, func(a net.Addr) { addrc <- a }, syncWriter{&log, &logm})
+		errc <- serve.Run(cfg, sig, func(a net.Addr) { addrc <- a }, syncWriter{&log, &logm})
 	}()
 	select {
 	case a := <-addrc:
@@ -73,10 +74,10 @@ func (s syncWriter) Write(p []byte) (int, error) {
 // the data back.
 func TestDaemonRestart(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "served.bmeh")
-	cfg := serveConfig{
-		indexPath: path, create: true,
-		dims: 2, capacity: 16, cache: 256,
-		syncInterval: 200 * time.Microsecond, syncBatch: 64,
+	cfg := serve.Config{
+		IndexPath: path, Create: true,
+		Dims: 2, Capacity: 16, Cache: 256,
+		SyncInterval: 200 * time.Microsecond, SyncBatch: 64,
 	}
 
 	addr, sig, wait := startDaemon(t, cfg)
@@ -138,7 +139,7 @@ func TestDaemonRestart(t *testing.T) {
 
 // TestDaemonMem: the -mem mode comes up empty and serves.
 func TestDaemonMem(t *testing.T) {
-	addr, sig, wait := startDaemon(t, serveConfig{mem: true, dims: 3, capacity: 8, cache: 64})
+	addr, sig, wait := startDaemon(t, serve.Config{Mem: true, Dims: 3, Capacity: 8, Cache: 64})
 	cl, err := client.Dial(addr, client.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +161,7 @@ func TestDaemonMem(t *testing.T) {
 // TestDaemonBadConfig: neither -index nor -mem is an error, not a panic.
 func TestDaemonBadConfig(t *testing.T) {
 	sig := make(chan os.Signal, 1)
-	if err := runServer(serveConfig{addr: "127.0.0.1:0", dims: 2}, sig, nil, &bytes.Buffer{}); err == nil {
+	if err := serve.Run(serve.Config{Addr: "127.0.0.1:0", Dims: 2}, sig, nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("config without a store accepted")
 	}
 }

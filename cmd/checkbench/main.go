@@ -119,11 +119,78 @@ func checkMVCC(path string) error {
 	return nil
 }
 
+// clusterReport is the slice of the BENCH_cluster.json schema the
+// checks need.
+type clusterReport struct {
+	NumCPU    int  `json:"num_cpu"`
+	SingleCPU bool `json:"single_cpu"`
+	Results   []struct {
+		Shards       int     `json:"shards"`
+		GetOpsPerSec float64 `json:"get_ops_per_sec"`
+		PutOpsPerSec float64 `json:"put_ops_per_sec"`
+	} `json:"results"`
+	GetScaling4x      float64 `json:"get_scaling_4x_over_1x"`
+	SplitGetsTotal    int64   `json:"split_gets_total"`
+	SplitGetErrors    int64   `json:"split_get_errors"`
+	SplitAvailability float64 `json:"split_availability"`
+	SplitShardsAfter  int     `json:"split_shards_after"`
+}
+
+// checkCluster asserts the cluster sweep's invariants: all three shard
+// counts ran and made progress, the online split actually produced a
+// second shard, and — the availability claim — not one GET failed
+// through it. The 4x/1x GET scaling ratio is only gated on multi-core
+// hosts (≥4 CPUs); a single-CPU runner cannot exhibit parallel speedup
+// and the report says so via single_cpu.
+func checkCluster(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep clusterReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	seen := map[int]bool{}
+	for _, r := range rep.Results {
+		seen[r.Shards] = true
+		if r.GetOpsPerSec <= 0 || r.PutOpsPerSec <= 0 {
+			return fmt.Errorf("%s: %d shards: no progress (gets %.0f/s, puts %.0f/s)",
+				path, r.Shards, r.GetOpsPerSec, r.PutOpsPerSec)
+		}
+	}
+	for _, want := range []int{1, 2, 4} {
+		if !seen[want] {
+			return fmt.Errorf("%s: shard count %d missing from the sweep", path, want)
+		}
+	}
+	if rep.SplitGetsTotal == 0 {
+		return fmt.Errorf("%s: no GETs issued through the online split", path)
+	}
+	if rep.SplitGetErrors != 0 || rep.SplitAvailability != 1 {
+		return fmt.Errorf("%s: availability %.4f (%d of %d GETs failed through the online split) — want exactly 1.0",
+			path, rep.SplitAvailability, rep.SplitGetErrors, rep.SplitGetsTotal)
+	}
+	if rep.SplitShardsAfter != 2 {
+		return fmt.Errorf("%s: split left %d shard(s), want 2", path, rep.SplitShardsAfter)
+	}
+	if rep.NumCPU >= 4 && !rep.SingleCPU {
+		if rep.GetScaling4x < 2 {
+			return fmt.Errorf("%s: GET scaling 4x/1x = %.2f on a %d-CPU host, want >= 2.0",
+				path, rep.GetScaling4x, rep.NumCPU)
+		}
+	}
+	fmt.Printf("%s: ok — 1/2/4 shards ran, availability 1.0 through the split (%d GETs), scaling %.2fx (num_cpu=%d)\n",
+		path, rep.SplitGetsTotal, rep.GetScaling4x, rep.NumCPU)
+	return nil
+}
+
 func main() {
 	mmapPath := flag.String("mmap", "", "BENCH_mmap.json to check")
 	mvccPath := flag.String("mvcc", "", "BENCH_mvcc.json to check")
+	clusterPath := flag.String("cluster", "", "BENCH_cluster.json to check")
 	flag.Parse()
-	if (*mmapPath == "" && *mvccPath == "") || flag.NArg() != 0 {
+	if (*mmapPath == "" && *mvccPath == "" && *clusterPath == "") || flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -135,6 +202,12 @@ func main() {
 	}
 	if *mvccPath != "" {
 		if err := checkMVCC(*mvccPath); err != nil {
+			fmt.Fprintln(os.Stderr, "checkbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *clusterPath != "" {
+		if err := checkCluster(*clusterPath); err != nil {
 			fmt.Fprintln(os.Stderr, "checkbench:", err)
 			os.Exit(1)
 		}

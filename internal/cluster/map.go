@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrMap reports a malformed shard map (decode or validation failure).
+var ErrMap = errors.New("cluster: bad shard map")
+
+// Node names one shard's serving processes: a single write primary and
+// zero or more read replicas following it by WAL shipping.
+type Node struct {
+	Primary  string   // host:port of the shard's single writer
+	Replicas []string // host:port of read replicas (may be empty)
+}
+
+// Map is the versioned partition table: shard i owns the half-open
+// pseudo-key prefix range [lo_i, hi_i), where the boundaries are
+//
+//	lo_0 = 0,  hi_i = Bounds[i],  hi_last = 2^64 (implicit)
+//
+// Bounds therefore has exactly len(Shards)-1 strictly increasing split
+// points; the first and last ranges reach the ends of the prefix space
+// implicitly, so no sentinel value is ever encoded.
+//
+// Epoch versions the table. Every reconfiguration (split, move)
+// installs a map with a strictly larger epoch; servers answer requests
+// for keys they do not own with StatusWrongShard and their current
+// epoch, and clients react by refreshing any cached map whose epoch is
+// not newer than the server's.
+type Map struct {
+	Epoch  uint64
+	Bounds []uint64 // len(Shards)-1 strictly increasing split points
+	Shards []Node
+}
+
+// Validate checks structural invariants: at least one shard, exactly
+// len(Shards)-1 strictly increasing bounds, and a primary address on
+// every shard.
+func (m *Map) Validate() error {
+	if m == nil || len(m.Shards) == 0 {
+		return fmt.Errorf("%w: no shards", ErrMap)
+	}
+	if len(m.Bounds) != len(m.Shards)-1 {
+		return fmt.Errorf("%w: %d shards need %d bounds, have %d",
+			ErrMap, len(m.Shards), len(m.Shards)-1, len(m.Bounds))
+	}
+	for i := 1; i < len(m.Bounds); i++ {
+		if m.Bounds[i] <= m.Bounds[i-1] {
+			return fmt.Errorf("%w: bounds not strictly increasing at %d", ErrMap, i)
+		}
+	}
+	for i, n := range m.Shards {
+		if n.Primary == "" {
+			return fmt.Errorf("%w: shard %d has no primary", ErrMap, i)
+		}
+	}
+	return nil
+}
+
+// NumShards returns the shard count.
+func (m *Map) NumShards() int { return len(m.Shards) }
+
+// ShardFor returns the index of the shard owning prefix p.
+func (m *Map) ShardFor(p uint64) int {
+	// First bound strictly greater than p; that bound's index is the
+	// owning shard (shard i ends at Bounds[i]).
+	return sort.Search(len(m.Bounds), func(i int) bool { return m.Bounds[i] > p })
+}
+
+// Range returns shard i's owned prefix range [lo, hi). hi == 0 with
+// i == last means "end of space" (2^64); callers compare with
+// InRange rather than raw arithmetic.
+func (m *Map) Range(i int) (lo, hi uint64) {
+	if i > 0 {
+		lo = m.Bounds[i-1]
+	}
+	if i < len(m.Bounds) {
+		hi = m.Bounds[i]
+	} // else hi = 0, meaning 2^64
+	return lo, hi
+}
+
+// InRange reports whether prefix p lies in the half-open range [lo, hi),
+// where hi == 0 means end-of-space.
+func InRange(p, lo, hi uint64) bool {
+	return p >= lo && (hi == 0 || p < hi)
+}
+
+// Overlapping returns the indexes of every shard whose range intersects
+// the inclusive prefix interval [plo, phi] — the shards a RANGE query
+// over a box with those corner prefixes must visit.
+func (m *Map) Overlapping(plo, phi uint64) []int {
+	first := m.ShardFor(plo)
+	last := m.ShardFor(phi)
+	out := make([]int, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// SplitAt returns a copy of m with shard i split at prefix boundary at:
+// shard i keeps [lo_i, at) and a new shard owning [at, hi_i) is
+// inserted after it with the given node. The epoch advances by one.
+func (m *Map) SplitAt(i int, at uint64, n Node) (*Map, error) {
+	lo, hi := m.Range(i)
+	if !InRange(at, lo, hi) || at == lo {
+		return nil, fmt.Errorf("%w: split point %#x outside (%#x, %#x)", ErrMap, at, lo, hi)
+	}
+	out := &Map{Epoch: m.Epoch + 1}
+	out.Bounds = make([]uint64, 0, len(m.Bounds)+1)
+	out.Bounds = append(out.Bounds, m.Bounds[:i]...)
+	out.Bounds = append(out.Bounds, at)
+	out.Bounds = append(out.Bounds, m.Bounds[i:]...)
+	out.Shards = make([]Node, 0, len(m.Shards)+1)
+	out.Shards = append(out.Shards, m.Shards[:i+1]...)
+	out.Shards = append(out.Shards, n)
+	out.Shards = append(out.Shards, m.Shards[i+1:]...)
+	return out, out.Validate()
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	out := &Map{Epoch: m.Epoch}
+	out.Bounds = append([]uint64(nil), m.Bounds...)
+	out.Shards = make([]Node, len(m.Shards))
+	for i, n := range m.Shards {
+		out.Shards[i] = Node{Primary: n.Primary, Replicas: append([]string(nil), n.Replicas...)}
+	}
+	return out
+}
+
+// Uniform returns an epoch-1 map that splits the prefix space into
+// len(nodes) equal ranges — the bootstrap partitioning before any data
+// distribution is known.
+func Uniform(nodes []Node) (*Map, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrMap)
+	}
+	m := &Map{Epoch: 1, Shards: append([]Node(nil), nodes...)}
+	step := ^uint64(0)/uint64(n) + 1 // 2^64 / n, rounded up
+	for i := 1; i < n; i++ {
+		m.Bounds = append(m.Bounds, uint64(i)*step)
+	}
+	return m, m.Validate()
+}
+
+// Wire encoding. The shard map travels as the payload of the SHARD_MAP
+// wire ops; the codec is self-contained here so the wire package stays
+// a pure frame layer. Layout (big-endian):
+//
+//	version u8 (=1) | epoch u64 | nshards u32
+//	per shard: primaryLen u16 + bytes | nreplicas u16, each len u16 + bytes
+//	bounds: nshards-1 × u64
+const (
+	mapCodecVersion = 1
+	maxShards       = 1 << 12 // decode guard: no real map is this wide
+	maxAddrLen      = 256
+)
+
+// AppendMap appends m's wire encoding to dst.
+func AppendMap(dst []byte, m *Map) []byte {
+	dst = append(dst, mapCodecVersion)
+	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Shards)))
+	for _, n := range m.Shards {
+		dst = appendAddr(dst, n.Primary)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(n.Replicas)))
+		for _, r := range n.Replicas {
+			dst = appendAddr(dst, r)
+		}
+	}
+	for _, b := range m.Bounds {
+		dst = binary.BigEndian.AppendUint64(dst, b)
+	}
+	return dst
+}
+
+func appendAddr(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeMap parses a wire-encoded shard map. Every length is checked
+// against the remaining input before use, so hostile payloads fail with
+// ErrMap instead of over-allocating or panicking; the result is
+// additionally passed through Validate.
+func DecodeMap(p []byte) (*Map, error) {
+	if len(p) < 1+8+4 {
+		return nil, fmt.Errorf("%w: short header", ErrMap)
+	}
+	if p[0] != mapCodecVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrMap, p[0])
+	}
+	m := &Map{Epoch: binary.BigEndian.Uint64(p[1:])}
+	nshards := int(binary.BigEndian.Uint32(p[9:]))
+	p = p[13:]
+	if nshards == 0 || nshards > maxShards {
+		return nil, fmt.Errorf("%w: shard count %d", ErrMap, nshards)
+	}
+	// Each shard needs at least 4 bytes (two lengths), plus 8 per bound:
+	// reject counts the buffer cannot possibly hold before allocating.
+	if need := nshards*4 + (nshards-1)*8; need > len(p) {
+		return nil, fmt.Errorf("%w: truncated (%d shards, %d bytes)", ErrMap, nshards, len(p))
+	}
+	m.Shards = make([]Node, nshards)
+	var err error
+	for i := range m.Shards {
+		if m.Shards[i].Primary, p, err = decodeAddr(p); err != nil {
+			return nil, err
+		}
+		if len(p) < 2 {
+			return nil, fmt.Errorf("%w: truncated replica count", ErrMap)
+		}
+		nrep := int(binary.BigEndian.Uint16(p))
+		p = p[2:]
+		if nrep > len(p)/2 {
+			return nil, fmt.Errorf("%w: replica count %d exceeds payload", ErrMap, nrep)
+		}
+		for r := 0; r < nrep; r++ {
+			var addr string
+			if addr, p, err = decodeAddr(p); err != nil {
+				return nil, err
+			}
+			m.Shards[i].Replicas = append(m.Shards[i].Replicas, addr)
+		}
+	}
+	if len(p) != (nshards-1)*8 {
+		return nil, fmt.Errorf("%w: %d trailing bytes for %d bounds", ErrMap, len(p), nshards-1)
+	}
+	for i := 0; i < nshards-1; i++ {
+		m.Bounds = append(m.Bounds, binary.BigEndian.Uint64(p[i*8:]))
+	}
+	return m, m.Validate()
+}
+
+func decodeAddr(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated address length", ErrMap)
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if n > maxAddrLen || n > len(p) {
+		return "", nil, fmt.Errorf("%w: address length %d", ErrMap, n)
+	}
+	return string(p[:n]), p[n:], nil
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testMap() *Map {
+	return &Map{
+		Epoch:  7,
+		Bounds: []uint64{1 << 62, 1 << 63, 3 << 62},
+		Shards: []Node{
+			{Primary: "a:1", Replicas: []string{"a:2", "a:3"}},
+			{Primary: "b:1"},
+			{Primary: "c:1", Replicas: []string{"c:2"}},
+			{Primary: "d:1"},
+		},
+	}
+}
+
+func TestShardForAndRange(t *testing.T) {
+	m := testMap()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    uint64
+		want int
+	}{
+		{0, 0}, {1<<62 - 1, 0},
+		{1 << 62, 1}, // boundary key belongs to the upper shard
+		{1<<63 - 1, 1},
+		{1 << 63, 2}, {3<<62 - 1, 2},
+		{3 << 62, 3}, {^uint64(0), 3},
+	}
+	for _, c := range cases {
+		if got := m.ShardFor(c.p); got != c.want {
+			t.Fatalf("ShardFor(%#x) = %d, want %d", c.p, got, c.want)
+		}
+		lo, hi := m.Range(c.want)
+		if !InRange(c.p, lo, hi) {
+			t.Fatalf("prefix %#x not in range [%#x, %#x) of its own shard %d", c.p, lo, hi, c.want)
+		}
+	}
+	if lo, hi := m.Range(0); lo != 0 || hi != 1<<62 {
+		t.Fatalf("Range(0) = [%#x, %#x)", lo, hi)
+	}
+	if lo, hi := m.Range(3); lo != 3<<62 || hi != 0 {
+		t.Fatalf("Range(3) = [%#x, %#x), want hi 0 (end of space)", lo, hi)
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	m := testMap()
+	if got := m.Overlapping(0, ^uint64(0)); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("full-space overlap = %v", got)
+	}
+	if got := m.Overlapping(1<<62, 1<<62); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("point overlap at boundary = %v", got)
+	}
+	if got := m.Overlapping(1<<62-1, 1<<63); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("straddling overlap = %v", got)
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	m := testMap()
+	out, err := m.SplitAt(1, 1<<62+1<<61, Node{Primary: "e:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch %d, want %d", out.Epoch, m.Epoch+1)
+	}
+	if out.NumShards() != 5 || out.Shards[2].Primary != "e:1" {
+		t.Fatalf("shards after split: %+v", out.Shards)
+	}
+	if got := out.ShardFor(1<<62 + 1<<61); got != 2 {
+		t.Fatalf("split point routed to shard %d, want new shard 2", got)
+	}
+	if got := out.ShardFor(1<<62 + 1<<61 - 1); got != 1 {
+		t.Fatalf("prefix below split point routed to shard %d, want donor 1", got)
+	}
+	// Splitting at a range's own low bound (empty donor half) is refused.
+	if _, err := m.SplitAt(1, 1<<62, Node{Primary: "e:1"}); err == nil {
+		t.Fatal("SplitAt at lo succeeded")
+	}
+	if _, err := m.SplitAt(1, 1<<63, Node{Primary: "e:1"}); err == nil {
+		t.Fatal("SplitAt at hi succeeded")
+	}
+	// Splitting the last shard: at lands inside [3<<62, 2^64).
+	out, err = m.SplitAt(3, ^uint64(0), Node{Primary: "e:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.ShardFor(^uint64(0)); got != 4 {
+		t.Fatalf("max prefix routed to %d, want 4", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = Node{Primary: "x:1"}
+		}
+		m, err := Uniform(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumShards() != n || m.Epoch != 1 {
+			t.Fatalf("n=%d: %d shards epoch %d", n, m.NumShards(), m.Epoch)
+		}
+		if m.ShardFor(0) != 0 || m.ShardFor(^uint64(0)) != n-1 {
+			t.Fatalf("n=%d: ends misrouted", n)
+		}
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	for _, m := range []*Map{
+		testMap(),
+		{Epoch: 1, Shards: []Node{{Primary: "only:1"}}},
+	} {
+		got, err := DecodeMap(AppendMap(nil, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestDecodeMapHostile(t *testing.T) {
+	good := AppendMap(nil, testMap())
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:8],
+		"bad version":      append([]byte{99}, good[1:]...),
+		"zero shards":      {1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+		"huge shard count": {1, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff},
+		"truncated body":   good[:len(good)-5],
+		"trailing bytes":   append(append([]byte{}, good...), 0),
+		"huge addr len": {1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, // 1 shard
+			0xff, 0xff}, // primary length 65535 with no bytes
+	}
+	for name, p := range cases {
+		if _, err := DecodeMap(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Bounds out of order must fail Validate via DecodeMap.
+	bad := testMap()
+	bad.Bounds[1] = bad.Bounds[0]
+	if _, err := DecodeMap(AppendMap(nil, bad)); err == nil {
+		t.Error("non-increasing bounds decoded without error")
+	}
+}
+
+func FuzzDecodeMap(f *testing.F) {
+	f.Add(AppendMap(nil, testMap()))
+	f.Add(AppendMap(nil, &Map{Epoch: 1, Shards: []Node{{Primary: "a:1"}}}))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := DecodeMap(p)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to an equivalent map.
+		back, err := DecodeMap(AppendMap(nil, m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("codec not stable:\n%+v\n%+v", m, back)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"container/heap"
+	"sort"
+
+	"bmeh/internal/wire"
+)
+
+// SortKVs sorts kvs in pseudo-key (split) order for the given geometry.
+// Per-shard RANGE responses arrive in tree order, which is already
+// split order, so this is a near-no-op safety net for the merge below.
+func SortKVs(kvs []wire.KV, dims, width int) {
+	sort.SliceStable(kvs, func(i, j int) bool {
+		return CompareKeys(kvs[i].Key, kvs[j].Key, dims, width) < 0
+	})
+}
+
+// MergeOrdered merges per-shard result lists — each already in
+// pseudo-key order — into one globally ordered list, deduplicating
+// identical keys (a key can briefly appear on both sides of a split;
+// the copy from the earlier list wins). limit > 0 truncates the output.
+func MergeOrdered(lists [][]wire.KV, dims, width int, limit int) []wire.KV {
+	live := lists[:0:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		out := live[0]
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return out
+	}
+	h := &mergeHeap{dims: dims, width: width}
+	h.cur = make([]mergeCursor, len(live))
+	for i, l := range live {
+		h.cur[i] = mergeCursor{list: l}
+	}
+	heap.Init(h)
+	out := make([]wire.KV, 0, total)
+	for h.Len() > 0 {
+		c := &h.cur[0]
+		kv := c.list[c.pos]
+		if len(out) == 0 || !equalKeys(out[len(out)-1].Key, kv.Key) {
+			out = append(out, kv)
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+func equalKeys(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type mergeCursor struct {
+	list []wire.KV
+	pos  int
+}
+
+// mergeHeap is a min-heap of list cursors ordered by the pseudo-key of
+// each cursor's current entry.
+type mergeHeap struct {
+	dims, width int
+	cur         []mergeCursor
+}
+
+func (h *mergeHeap) Len() int { return len(h.cur) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a := h.cur[i].list[h.cur[i].pos]
+	b := h.cur[j].list[h.cur[j].pos]
+	return CompareKeys(a.Key, b.Key, h.dims, h.width) < 0
+}
+func (h *mergeHeap) Swap(i, j int) { h.cur[i], h.cur[j] = h.cur[j], h.cur[i] }
+func (h *mergeHeap) Push(x any)    { h.cur = append(h.cur, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	old := h.cur
+	n := len(old)
+	x := old[n-1]
+	h.cur = old[:n-1]
+	return x
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bmeh/internal/wire"
+)
+
+func TestMergeOrdered(t *testing.T) {
+	const dims, width = 2, 32
+	rng := rand.New(rand.NewSource(3))
+
+	// Build a global sorted stream, then deal it across 4 "shards" by
+	// prefix range — exactly what a scatter-gather RANGE produces.
+	var all []wire.KV
+	seen := map[uint64]bool{}
+	for len(all) < 400 {
+		k := []uint64{uint64(rng.Uint32()), uint64(rng.Uint32())}
+		p := Prefix(k, dims, width)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		all = append(all, wire.KV{Key: k, Value: p})
+	}
+	SortKVs(all, dims, width)
+
+	m, err := Uniform([]Node{{Primary: "a"}, {Primary: "b"}, {Primary: "c"}, {Primary: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := make([][]wire.KV, 4)
+	for _, kv := range all {
+		i := m.ShardFor(Prefix(kv.Key, dims, width))
+		lists[i] = append(lists[i], kv)
+	}
+
+	got := MergeOrdered(lists, dims, width, 0)
+	if !reflect.DeepEqual(got, all) {
+		t.Fatalf("merge does not reproduce global order: %d vs %d entries", len(got), len(all))
+	}
+
+	// With a limit, the merge returns the globally first entries, not
+	// just the first shard's.
+	got = MergeOrdered(lists, dims, width, 10)
+	if !reflect.DeepEqual(got, all[:10]) {
+		t.Fatal("limited merge is not the global head")
+	}
+
+	// Duplicate keys across lists (split window) collapse to one.
+	dup := [][]wire.KV{all[:5], all[:5]}
+	if got := MergeOrdered(dup, dims, width, 0); len(got) != 5 {
+		t.Fatalf("dedup kept %d of 5 duplicated entries", len(got))
+	}
+
+	// Degenerate shapes.
+	if got := MergeOrdered(nil, dims, width, 0); got != nil {
+		t.Fatal("merge of nothing not nil")
+	}
+	if got := MergeOrdered([][]wire.KV{nil, all[:3], nil}, dims, width, 0); !reflect.DeepEqual(got, all[:3]) {
+		t.Fatal("single live list not passed through")
+	}
+}

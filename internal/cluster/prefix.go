@@ -1,0 +1,111 @@
+// Package cluster partitions the pseudo-key space of a BMEH tree into
+// contiguous prefix ranges served by independent shards.
+//
+// The paper's order-preserving extractor g(K,H) interleaves the d·W key
+// bits round-robin over dimensions (round q of dimension j is bit
+// s = q·d + j of the split string, MSB first). The first 64 bits of
+// that string — the pseudo-key prefix — give a total order on keys that
+// every layer here partitions by: the shard map carries prefix split
+// points, servers enforce ownership per prefix, and the client router
+// maps a key vector to its shard with one interleave.
+//
+// Because the interleave is monotone in every coordinate, the prefix of
+// a box's low corner and high corner bound the prefixes of every key in
+// the box, so a RANGE query only has to visit shards whose range
+// intersects [Prefix(lo), Prefix(hi)].
+package cluster
+
+// Prefix returns the first 64 bits of key's interleaved pseudo-key
+// under the (dims, width) geometry — bit s = q·dims + j of the split
+// string lands at bit 63−s. Keys with fewer than 64 split bits
+// (dims·width < 64) are zero-padded on the right, preserving order.
+//
+// The layout matches the core bulk-build zcodec exactly: word 0 of the
+// full z-code is the prefix, so shard boundaries agree with tree order.
+// A key with fewer components than dims (a malformed request the index
+// will reject anyway) reads missing components as zero rather than
+// panicking — routing must stay total on hostile input.
+func Prefix(key []uint64, dims, width int) uint64 {
+	if dims == 2 && width == 32 && len(key) >= 2 {
+		return spread32(uint32(key[0]))<<1 | spread32(uint32(key[1]))
+	}
+	var p uint64
+	for j := 0; j < dims && j < len(key); j++ {
+		kj := key[j]
+		for q := 0; q < width; q++ {
+			s := q*dims + j
+			if s >= 64 {
+				break
+			}
+			p |= ((kj >> uint(width-1-q)) & 1) << uint(63-s)
+		}
+	}
+	return p
+}
+
+// CodeWords is the number of 64-bit words in a full pseudo-key for the
+// given geometry.
+func CodeWords(dims, width int) int {
+	return (dims*width + 63) / 64
+}
+
+// Code writes key's full pseudo-key (CodeWords words, big-endian bit
+// order) into dst and returns it. dst is grown as needed; pass nil to
+// allocate. Word 0 equals Prefix(key, dims, width).
+func Code(dst []uint64, key []uint64, dims, width int) []uint64 {
+	k := CodeWords(dims, width)
+	if cap(dst) < k {
+		dst = make([]uint64, k)
+	}
+	dst = dst[:k]
+	for w := range dst {
+		dst[w] = 0
+	}
+	if dims == 2 && width == 32 && len(key) >= 2 {
+		dst[0] = spread32(uint32(key[0]))<<1 | spread32(uint32(key[1]))
+		return dst
+	}
+	for j := 0; j < dims && j < len(key); j++ {
+		kj := key[j]
+		for q := 0; q < width; q++ {
+			s := q*dims + j
+			dst[s/64] |= ((kj >> uint(width-1-q)) & 1) << uint(63-s%64)
+		}
+	}
+	return dst
+}
+
+// CompareKeys orders two key vectors by pseudo-key (split order) — the
+// same order a shard's tree iterates in, so merged per-shard result
+// streams interleave correctly.
+func CompareKeys(a, b []uint64, dims, width int) int {
+	var ca, cb [4]uint64 // enough for dims·width ≤ 256; larger falls back
+	k := CodeWords(dims, width)
+	var wa, wb []uint64
+	if k <= len(ca) {
+		wa, wb = ca[:k], cb[:k]
+	}
+	wa = Code(wa, a, dims, width)
+	wb = Code(wb, b, dims, width)
+	for w := 0; w < k; w++ {
+		if wa[w] != wb[w] {
+			if wa[w] < wb[w] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// spread32 places bit i of x at bit 2i of the result (Morton
+// interleave) — the d=2, W=32 fast path, mirroring the core zcodec.
+func spread32(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refPrefix is a bit-at-a-time reference implementation of the split
+// string's first 64 bits.
+func refPrefix(key []uint64, dims, width int) uint64 {
+	var p uint64
+	for s := 0; s < 64 && s < dims*width; s++ {
+		q, j := s/dims, s%dims
+		bit := (key[j] >> uint(width-1-q)) & 1
+		p |= bit << uint(63-s)
+	}
+	return p
+}
+
+func TestPrefixMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, geo := range []struct{ dims, width int }{
+		{1, 32}, {1, 64}, {2, 32}, {2, 16}, {3, 21}, {3, 32}, {4, 16}, {4, 32}, {8, 8}, {8, 32},
+	} {
+		for trial := 0; trial < 200; trial++ {
+			key := make([]uint64, geo.dims)
+			for j := range key {
+				key[j] = rng.Uint64() & (1<<uint(geo.width) - 1)
+			}
+			got := Prefix(key, geo.dims, geo.width)
+			want := refPrefix(key, geo.dims, geo.width)
+			if got != want {
+				t.Fatalf("Prefix(%v, d=%d, w=%d) = %#x, want %#x", key, geo.dims, geo.width, got, want)
+			}
+			code := Code(nil, key, geo.dims, geo.width)
+			if code[0] != want {
+				t.Fatalf("Code word 0 = %#x, want prefix %#x (d=%d w=%d)", code[0], want, geo.dims, geo.width)
+			}
+			if len(code) != CodeWords(geo.dims, geo.width) {
+				t.Fatalf("Code len %d, want %d", len(code), CodeWords(geo.dims, geo.width))
+			}
+		}
+	}
+}
+
+// Morton interleave is monotone per coordinate: raising one coordinate
+// (others fixed) never lowers the pseudo-key. This is the property that
+// lets the router prune shards by corner prefixes.
+func TestPrefixMonotonePerCoordinate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		dims := 1 + rng.Intn(4)
+		width := []int{16, 21, 32}[rng.Intn(3)]
+		key := make([]uint64, dims)
+		for j := range key {
+			key[j] = rng.Uint64() & (1<<uint(width) - 1)
+		}
+		j := rng.Intn(dims)
+		bumped := append([]uint64(nil), key...)
+		if bumped[j] == 1<<uint(width)-1 {
+			continue
+		}
+		bumped[j] += uint64(rng.Intn(int(1<<uint(width)-1-bumped[j]))) + 1
+		if Prefix(bumped, dims, width) < Prefix(key, dims, width) {
+			t.Fatalf("prefix decreased: key %v -> %v (dim %d, w=%d)", key, bumped, j, width)
+		}
+		if CompareKeys(key, bumped, dims, width) > 0 {
+			t.Fatalf("CompareKeys says %v > %v after bumping dim %d", key, bumped, j)
+		}
+	}
+}
+
+func TestCompareKeysTotalOrder(t *testing.T) {
+	a := []uint64{5, 9}
+	if CompareKeys(a, a, 2, 32) != 0 {
+		t.Fatal("key not equal to itself")
+	}
+	// Keys equal in the first 64 split bits must still order by the tail
+	// words (d*W > 64): differ only in the low bit of dim 1 at w=64.
+	x := []uint64{0, 0, 0}
+	y := []uint64{0, 1, 0}
+	if CompareKeys(x, y, 3, 64) >= 0 {
+		t.Fatal("tail words ignored by CompareKeys")
+	}
+	if Prefix(x, 3, 64) != Prefix(y, 3, 64) {
+		t.Fatal("test premise broken: prefixes should collide")
+	}
+}

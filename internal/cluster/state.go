@@ -1,0 +1,143 @@
+package cluster
+
+import "sync"
+
+// ShardState is a server-side view of the cluster: which shard this
+// node is, the current map, and an optional write fence. A zero-value
+// state is "unclustered" — the node owns the whole prefix space and
+// enforces nothing — so standalone servers pay only a mutex read per
+// request. State becomes clustered when a SHARD_MAP_SET op (or the
+// launcher) installs a map naming this node's shard ID.
+//
+// The write fence is the split protocol's hand-off latch: while the new
+// shard catches up on the replication stream, the donor fences the
+// moving range so no write lands after the catch-up point. Fenced
+// writes answer StatusWrongShard; clients retry after a map refresh and
+// land on the new owner once the epoch flips. Reads are never fenced —
+// the donor keeps serving the moving range until the flip, which is
+// what keeps GET availability at 1.0 through a split.
+type ShardState struct {
+	mu       sync.RWMutex
+	dims     int
+	width    int
+	id       uint32
+	m        *Map
+	fenceLo  uint64
+	fenceHi  uint64 // half-open; lo==hi means no fence; hi==0 means 2^64
+	fenceSet bool
+}
+
+// NewShardState returns an unclustered state for an index with the
+// given key geometry.
+func NewShardState(dims, width int) *ShardState {
+	return &ShardState{dims: dims, width: width}
+}
+
+// Geometry returns the key geometry the state computes prefixes with.
+func (s *ShardState) Geometry() (dims, width int) { return s.dims, s.width }
+
+// Adopt installs (id, m) if m is strictly newer than the current map
+// (or the state is unclustered). It returns the epoch in force after
+// the call and whether the new map was adopted. Adopting a new epoch
+// clears any write fence: the fence protects a hand-off that the new
+// map has either completed or superseded.
+func (s *ShardState) Adopt(id uint32, m *Map) (epoch uint64, adopted bool) {
+	if err := m.Validate(); err != nil || int(id) >= len(m.Shards) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.m != nil {
+			return s.m.Epoch, false
+		}
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m != nil && m.Epoch <= s.m.Epoch {
+		return s.m.Epoch, false
+	}
+	s.id = id
+	s.m = m.Clone()
+	s.fenceSet = false
+	return m.Epoch, true
+}
+
+// Snapshot returns the node's shard ID and current map (shared; treat
+// as immutable). ok is false while unclustered.
+func (s *ShardState) Snapshot() (id uint32, m *Map, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.id, s.m, s.m != nil
+}
+
+// Epoch returns the current map epoch (0 while unclustered).
+func (s *ShardState) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m == nil {
+		return 0
+	}
+	return s.m.Epoch
+}
+
+// OwnedRange returns this node's prefix range [lo, hi) (hi == 0 means
+// end of space). ok is false while unclustered.
+func (s *ShardState) OwnedRange() (lo, hi uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m == nil {
+		return 0, 0, false
+	}
+	lo, hi = s.m.Range(int(s.id))
+	return lo, hi, true
+}
+
+// OwnsPrefix reports whether this node currently owns prefix p.
+// Unclustered nodes own everything.
+func (s *ShardState) OwnsPrefix(p uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m == nil {
+		return true
+	}
+	lo, hi := s.m.Range(int(s.id))
+	return InRange(p, lo, hi)
+}
+
+// OwnsKey reports whether this node owns the pseudo-key of key.
+func (s *ShardState) OwnsKey(key []uint64) bool {
+	return s.OwnsPrefix(Prefix(key, s.dims, s.width))
+}
+
+// SetFence installs the write fence [lo, hi) (hi == 0 meaning end of
+// space). lo == hi clears it.
+func (s *ShardState) SetFence(lo, hi uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fenceLo, s.fenceHi = lo, hi
+	s.fenceSet = lo != hi
+}
+
+// Fence returns the active write fence, if any.
+func (s *ShardState) Fence() (lo, hi uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fenceLo, s.fenceHi, s.fenceSet
+}
+
+// WriteAllowed reports whether a write to key may proceed: the node
+// must own the key's prefix and the prefix must not be fenced.
+func (s *ShardState) WriteAllowed(key []uint64) bool {
+	p := Prefix(key, s.dims, s.width)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m != nil {
+		lo, hi := s.m.Range(int(s.id))
+		if !InRange(p, lo, hi) {
+			return false
+		}
+	}
+	if s.fenceSet && InRange(p, s.fenceLo, s.fenceHi) {
+		return false
+	}
+	return true
+}

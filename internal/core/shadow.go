@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"bmeh/internal/bitkey"
 	"bmeh/internal/datapage"
@@ -115,6 +117,26 @@ func (t *Tree) PinnedEpochs() int {
 	defer t.snapMu.Unlock()
 	return len(t.pinned)
 }
+
+// SetSnapshotMaxPinAge bounds how long a snapshot may pin its epoch:
+// pins older than d are force-released by the next reclamation pass, and
+// the released snapshot's reads fail with ErrSnapshotReleased. Zero (the
+// default) means pins never expire. The option exists for abandoned pins
+// — a snapshot leaked without Close would otherwise hold every page
+// retired since it was taken, forever. A snapshot actively reading when
+// its pin expires loses the race: an in-flight scan may fail mid-way
+// (or, worst case, observe recycled pages), so set the age well above
+// any legitimate read's duration. Setup-time only: call before the tree
+// is shared.
+func (t *Tree) SetSnapshotMaxPinAge(d time.Duration) {
+	t.snapMu.Lock()
+	t.maxPinAge = d
+	t.snapMu.Unlock()
+}
+
+// ForcedReleases returns how many snapshots the max-pin-age sweep has
+// force-released over the tree's lifetime.
+func (t *Tree) ForcedReleases() uint64 { return t.forcedReleases.Load() }
 
 // ReclaimablePages returns how many superseded pages await epoch
 // reclamation (they recycle as soon as the snapshots pinning them close).
@@ -465,6 +487,20 @@ func (t *Tree) tryReclaim() error {
 	// against pinning; new pins always see the post-reclaim store.
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
+	if t.maxPinAge > 0 {
+		// Force-release abandoned pins before computing the floor, so a
+		// leaked snapshot stops holding retired pages the moment any
+		// commit or Close triggers reclamation past its age.
+		now := time.Now()
+		for s, at := range t.snapPins {
+			if now.Sub(at) > t.maxPinAge {
+				s.released.Store(true)
+				delete(t.snapPins, s)
+				t.unpinLocked(s.ref.epoch)
+				t.forcedReleases.Add(1)
+			}
+		}
+	}
 	minOpen := ^uint64(0)
 	for e := range t.pinned {
 		if e < minOpen {
@@ -526,15 +562,25 @@ func (t *Tree) deleteCOW(k bitkey.Vector) (bool, error) {
 // ErrSnapshotMode is returned by Snapshot on a tree not in COW mode.
 var ErrSnapshotMode = errors.New("bmeh: snapshots require the copy-on-write write mode")
 
+// ErrSnapshotReleased is returned by reads on a snapshot whose pin was
+// force-released by the max-pin-age sweep (SetSnapshotMaxPinAge).
+var ErrSnapshotReleased = errors.New("bmeh: snapshot pin force-released (exceeded max pin age)")
+
 // TreeSnapshot is an immutable, latch-free view of the tree as of one
 // commit epoch. Reads cost no locks and no retries: the pages reachable
 // from the pinned root are never rewritten in place (COW) and never
 // recycled while the snapshot is open (epoch reclamation). Close releases
-// the pin; a snapshot left open only delays page reuse, never correctness.
+// the pin; a snapshot left open only delays page reuse, never correctness
+// — unless the tree runs with a max pin age, in which case the pin is
+// eventually force-released and further reads fail with
+// ErrSnapshotReleased.
 type TreeSnapshot struct {
 	t      *Tree
 	ref    *rootRef
 	closed bool
+	// released is set by the max-pin-age sweep (under snapMu) and read
+	// by the lock-free read paths, hence atomic.
+	released atomic.Bool
 }
 
 // Snapshot pins the current (root, epoch) pair. The pin and the reclaim
@@ -548,8 +594,19 @@ func (t *Tree) Snapshot() (*TreeSnapshot, error) {
 	t.snapMu.Lock()
 	r := t.rc.load()
 	t.pinned[r.epoch]++
+	s := &TreeSnapshot{t: t, ref: r}
+	t.snapPins[s] = time.Now()
 	t.snapMu.Unlock()
-	return &TreeSnapshot{t: t, ref: r}, nil
+	return s, nil
+}
+
+// unpinLocked drops one pin on epoch e. Caller holds snapMu.
+func (t *Tree) unpinLocked(e uint64) {
+	if c := t.pinned[e]; c <= 1 {
+		delete(t.pinned, e)
+	} else {
+		t.pinned[e] = c - 1
+	}
 }
 
 // Epoch returns the commit epoch the snapshot pins.
@@ -559,7 +616,8 @@ func (s *TreeSnapshot) Epoch() uint64 { return s.ref.epoch }
 func (s *TreeSnapshot) Len() int { return int(s.ref.count) }
 
 // Close releases the snapshot's epoch pin and reclaims whatever became
-// recyclable. Idempotent.
+// recyclable. Idempotent; a pin already force-released by the
+// max-pin-age sweep is not released twice.
 func (s *TreeSnapshot) Close() error {
 	if s.closed {
 		return nil
@@ -567,11 +625,9 @@ func (s *TreeSnapshot) Close() error {
 	s.closed = true
 	t := s.t
 	t.snapMu.Lock()
-	e := s.ref.epoch
-	if c := t.pinned[e]; c <= 1 {
-		delete(t.pinned, e)
-	} else {
-		t.pinned[e] = c - 1
+	if _, open := t.snapPins[s]; open {
+		delete(t.snapPins, s)
+		t.unpinLocked(s.ref.epoch)
 	}
 	t.snapMu.Unlock()
 	return t.tryReclaim()
@@ -581,6 +637,9 @@ func (s *TreeSnapshot) Close() error {
 // the pinned root, no validation loop — the route is immutable.
 func (s *TreeSnapshot) Get(k bitkey.Vector) (uint64, bool, error) {
 	t := s.t
+	if s.released.Load() {
+		return 0, false, ErrSnapshotReleased
+	}
 	if err := t.checkKey(k); err != nil {
 		return 0, false, err
 	}
@@ -619,6 +678,9 @@ func (s *TreeSnapshot) Get(k bitkey.Vector) (uint64, bool, error) {
 // cannot change under it).
 func (s *TreeSnapshot) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v uint64) bool) error {
 	t := s.t
+	if s.released.Load() {
+		return ErrSnapshotReleased
+	}
 	if err := t.checkKey(lo); err != nil {
 		return err
 	}
@@ -636,6 +698,9 @@ func (s *TreeSnapshot) Range(lo, hi bitkey.Vector, fn func(k bitkey.Vector, v ui
 // ReachableIDs returns every page id the snapshot can reach, root first
 // (the page set an online backup must copy).
 func (s *TreeSnapshot) ReachableIDs() ([]pagestore.PageID, error) {
+	if s.released.Load() {
+		return nil, ErrSnapshotReleased
+	}
 	ids := []pagestore.PageID{s.ref.pageID}
 	err := s.t.forEachPageRefFrom(s.ref.node, func(id pagestore.PageID, isNode bool) {
 		ids = append(ids, id)
@@ -651,6 +716,9 @@ func (s *TreeSnapshot) ReachableIDs() ([]pagestore.PageID, error) {
 // paired with the pages from ReachableIDs it is a complete, openable
 // image of the index as of the snapshot's epoch.
 func (s *TreeSnapshot) MarshalMeta() ([]byte, error) {
+	if s.released.Load() {
+		return nil, ErrSnapshotReleased
+	}
 	nNodes := int64(1) // the root
 	err := s.t.forEachPageRefFrom(s.ref.node, func(id pagestore.PageID, isNode bool) {
 		if isNode {

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bmeh/internal/bitkey"
 	"bmeh/internal/datapage"
@@ -126,6 +127,16 @@ type Tree struct {
 	// minimum scan.
 	snapMu sync.Mutex
 	pinned map[uint64]int
+	// snapPins maps each open snapshot to its pin time (guarded by
+	// snapMu); the max-pin-age sweep walks it to find abandoned pins.
+	snapPins map[*TreeSnapshot]time.Time
+	// maxPinAge, when positive, is the age past which tryReclaim
+	// force-releases a snapshot's pin. Set once before the tree is
+	// shared (SetSnapshotMaxPinAge).
+	maxPinAge time.Duration
+	// forcedReleases counts snapshots force-released by the max-pin-age
+	// sweep over the tree's lifetime.
+	forcedReleases atomic.Uint64
 	// retiredAt defers frees of superseded pages until no snapshot pins
 	// an epoch that can still reach them.
 	retiredAt *pagestore.EpochList
@@ -148,6 +159,7 @@ func (t *Tree) initRuntime() {
 	t.pc = newObjCache[*datapage.Page](defaultPageCacheCap)
 	t.latches.init()
 	t.pinned = make(map[uint64]int)
+	t.snapPins = make(map[*TreeSnapshot]time.Time)
 	t.retiredAt = pagestore.NewEpochList()
 	if ra, ok := t.st.(pagestore.ReadAccounter); ok {
 		t.acct = ra.AccountRead

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"bmeh"
+	"bmeh/internal/cluster"
 	"bmeh/internal/repl"
 	"bmeh/internal/wire"
 )
@@ -94,6 +95,12 @@ type Config struct {
 	// observed commit sequence, the locally applied sequence, and
 	// whether the replication link is currently up.
 	ReplicaStatus func() (primarySeq, appliedSeq uint64, connected bool)
+	// Shard, when non-nil, is this node's view of the cluster (shard ID,
+	// map, write fence). When nil the server allocates an unclustered
+	// state, so any server can be adopted into a cluster later via
+	// SHARD_MAP_SET. Once clustered, requests for keys outside the owned
+	// pseudo-key range answer StatusWrongShard (see shard.go).
+	Shard *cluster.ShardState
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -128,9 +135,10 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Server serves one Index over one listener.
 type Server struct {
-	ix  *bmeh.Index
-	cfg Config
-	co  *coalescer
+	ix    *bmeh.Index
+	cfg   Config
+	co    *coalescer
+	shard *cluster.ShardState
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -154,9 +162,15 @@ type Server struct {
 // New returns an unstarted Server for ix.
 func New(ix *bmeh.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	shard := cfg.Shard
+	if shard == nil {
+		opts := ix.Options()
+		shard = cluster.NewShardState(opts.Dims, opts.Width)
+	}
 	return &Server{
 		ix:            ix,
 		cfg:           cfg,
+		shard:         shard,
 		co:            newCoalescer(ix, cfg.CoalesceMax, cfg.CoalesceWait),
 		conns:         make(map[*conn]struct{}),
 		loads:         make(map[uint64]*loadSession),
@@ -442,6 +456,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
 			return
 		}
+		if !c.srv.shard.OwnsKey(key) {
+			c.sendWrongShard(fr.Op, fr.ID)
+			return
+		}
 		v, ok, err := c.srv.ix.Get(bmeh.Key(key))
 		switch {
 		case err != nil:
@@ -458,6 +476,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
 			return
 		}
+		if !c.srv.shard.WriteAllowed(key) {
+			c.sendWrongShard(fr.Op, fr.ID)
+			return
+		}
 		ok, err := c.srv.ix.Delete(bmeh.Key(key))
 		switch {
 		case err != nil:
@@ -472,6 +494,10 @@ func (c *conn) dispatch(fr wire.Frame) {
 		key, val, err := wire.DecodePutReq(fr.Payload)
 		if err != nil {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
+			return
+		}
+		if !c.srv.shard.WriteAllowed(key) {
+			c.sendWrongShard(fr.Op, fr.ID)
 			return
 		}
 		// The response leaves when the coalesced batch commits; requests
@@ -501,10 +527,18 @@ func (c *conn) dispatch(fr wire.Frame) {
 		}
 		kvs := make([]wire.KV, 0, 16)
 		more := false
+		// A clustered node filters the scan to its owned prefix range:
+		// during a split both sides briefly hold the moving records, and
+		// the filter keeps a scatter-gather query from seeing them twice.
+		shardLo, shardHi, clustered := c.srv.shard.OwnedRange()
+		dims, width := c.srv.shard.Geometry()
 		collect := func(k bmeh.Key, v uint64) bool {
 			if len(kvs) == max {
 				more = true
 				return false
+			}
+			if clustered && !cluster.InRange(cluster.Prefix(k, dims, width), shardLo, shardHi) {
+				return true
 			}
 			// k is already a defensive copy (see bmeh.Index.Range); it can
 			// be retained across the scan without aliasing pooled buffers.
@@ -532,6 +566,15 @@ func (c *conn) dispatch(fr wire.Frame) {
 		if err != nil {
 			c.sendStatus(fr.Op, fr.ID, wire.StatusErr, err.Error())
 			return
+		}
+		// A batch is all-or-nothing: if any key is out of range (or
+		// fenced), refuse the whole request so the router re-splits it
+		// against a fresh map instead of half-applying.
+		for _, kv := range kvs {
+			if !c.srv.shard.WriteAllowed(kv.Key) {
+				c.sendWrongShard(fr.Op, fr.ID)
+				return
+			}
 		}
 		batch := make([]bmeh.KV, len(kvs))
 		for i, kv := range kvs {
@@ -588,6 +631,15 @@ func (c *conn) dispatch(fr wire.Frame) {
 		if ss.COW {
 			cow = 1
 		}
+		var shardID uint32
+		var shardLo, shardHi, mapEpoch uint64
+		var clustered uint8
+		if id, m, ok := c.srv.shard.Snapshot(); ok {
+			clustered = 1
+			shardID = id
+			mapEpoch = m.Epoch
+			shardLo, shardHi = m.Range(int(id))
+		}
 		c.send(fr.Op, fr.ID, wire.AppendStatsResp(nil, wire.Stats{
 			Scheme:            uint8(opts.Scheme),
 			Dims:              uint8(opts.Dims),
@@ -608,6 +660,11 @@ func (c *conn) dispatch(fr wire.Frame) {
 			PinnedEpochs:      uint32(ss.PinnedEpochs),
 			ReclaimablePages:  uint32(ss.ReclaimablePages),
 			COW:               cow,
+			Clustered:         clustered,
+			ShardID:           shardID,
+			ShardLo:           shardLo,
+			ShardHi:           shardHi,
+			ShardMapEpoch:     mapEpoch,
 		}))
 
 	case wire.OpReplSubscribe:
@@ -638,6 +695,9 @@ func (c *conn) dispatch(fr wire.Frame) {
 
 	case wire.OpLoadBegin, wire.OpLoadChunk, wire.OpLoadCommit, wire.OpLoadAbort:
 		c.dispatchLoad(fr)
+
+	case wire.OpShardMap, wire.OpShardMapSet, wire.OpShardMedian, wire.OpShardFence:
+		c.dispatchShard(fr)
 
 	case wire.OpReplHeartbeat:
 		seq, err := wire.DecodeSeq(fr.Payload)

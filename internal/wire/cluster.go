@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cluster op payloads. The shard map itself travels as an opaque blob —
+// its codec lives in bmeh/internal/cluster so this package stays a pure
+// frame layer; here we only frame the blob and the fixed-width fields
+// around it, with the same hostile-input discipline as the other ops.
+
+// AppendWrongShardResp appends a StatusWrongShard response: the status
+// byte plus the answering node's current shard-map epoch.
+func AppendWrongShardResp(dst []byte, epoch uint64) []byte {
+	dst = append(dst, byte(StatusWrongShard))
+	return binary.BigEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeWrongShardBody parses the body of a StatusWrongShard response.
+// A short body decodes as epoch 0 (an old or minimal server), never an
+// error: the status alone is actionable.
+func DecodeWrongShardBody(body []byte) uint64 {
+	if len(body) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(body)
+}
+
+// AppendShardMapResp appends a SHARD_MAP response: StatusOK plus the
+// encoded map blob.
+func AppendShardMapResp(dst []byte, blob []byte) []byte {
+	dst = append(dst, byte(StatusOK))
+	return append(dst, blob...)
+}
+
+// DecodeShardMapRespBody returns the encoded map blob from a StatusOK
+// SHARD_MAP response body. An empty blob is an error: a node with no
+// map answers StatusNotFound, never an empty OK.
+func DecodeShardMapRespBody(body []byte) ([]byte, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty shard map", ErrPayload)
+	}
+	return body, nil
+}
+
+// AppendShardMapSetReq appends a SHARD_MAP_SET request: the receiver's
+// shard ID in the pushed map, then the encoded map blob.
+func AppendShardMapSetReq(dst []byte, shardID uint32, blob []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, shardID)
+	return append(dst, blob...)
+}
+
+// DecodeShardMapSetReq parses a SHARD_MAP_SET request payload.
+func DecodeShardMapSetReq(p []byte) (shardID uint32, blob []byte, err error) {
+	if len(p) < 5 {
+		return 0, nil, fmt.Errorf("%w: SHARD_MAP_SET wants id + map, has %d bytes", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint32(p), p[4:], nil
+}
+
+// AppendShardEpochResp appends a StatusOK response carrying the epoch
+// now in force (SHARD_MAP_SET's acknowledgement).
+func AppendShardEpochResp(dst []byte, epoch uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	return binary.BigEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeShardEpochRespBody parses the body of a StatusOK epoch response.
+func DecodeShardEpochRespBody(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: epoch wants 8 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// AppendShardMedianResp appends a SHARD_MEDIAN response: StatusOK, the
+// median owned pseudo-key prefix, and how many owned records the median
+// was computed over.
+func AppendShardMedianResp(dst []byte, median, owned uint64) []byte {
+	dst = append(dst, byte(StatusOK))
+	dst = binary.BigEndian.AppendUint64(dst, median)
+	return binary.BigEndian.AppendUint64(dst, owned)
+}
+
+// DecodeShardMedianRespBody parses the body of a StatusOK SHARD_MEDIAN
+// response.
+func DecodeShardMedianRespBody(body []byte) (median, owned uint64, err error) {
+	if len(body) != 16 {
+		return 0, 0, fmt.Errorf("%w: SHARD_MEDIAN wants 16 bytes, has %d", ErrPayload, len(body))
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint64(body[8:]), nil
+}
+
+// AppendShardFenceReq appends a SHARD_FENCE request: the half-open
+// prefix range [lo, hi) to fence writes in (hi == 0 means end of
+// space); lo == hi clears the fence.
+func AppendShardFenceReq(dst []byte, lo, hi uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, lo)
+	return binary.BigEndian.AppendUint64(dst, hi)
+}
+
+// DecodeShardFenceReq parses a SHARD_FENCE request payload.
+func DecodeShardFenceReq(p []byte) (lo, hi uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("%w: SHARD_FENCE wants 16 bytes, has %d", ErrPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]), nil
+}

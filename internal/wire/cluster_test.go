@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShardOpCodecsRoundTrip(t *testing.T) {
+	blob := []byte{1, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 1}
+
+	id, got, err := DecodeShardMapSetReq(AppendShardMapSetReq(nil, 3, blob))
+	if err != nil || id != 3 || !bytes.Equal(got, blob) {
+		t.Fatalf("SHARD_MAP_SET round trip: id %d blob %x err %v", id, got, err)
+	}
+
+	st, body, err := DecodeStatus(AppendShardMapResp(nil, blob))
+	if err != nil || st != StatusOK {
+		t.Fatal(err)
+	}
+	if got, err := DecodeShardMapRespBody(body); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("SHARD_MAP round trip: %x err %v", got, err)
+	}
+
+	st, body, err = DecodeStatus(AppendShardEpochResp(nil, 42))
+	if err != nil || st != StatusOK {
+		t.Fatal(err)
+	}
+	if e, err := DecodeShardEpochRespBody(body); err != nil || e != 42 {
+		t.Fatalf("epoch round trip: %d err %v", e, err)
+	}
+
+	st, body, err = DecodeStatus(AppendShardMedianResp(nil, 1<<63, 999))
+	if err != nil || st != StatusOK {
+		t.Fatal(err)
+	}
+	if m, n, err := DecodeShardMedianRespBody(body); err != nil || m != 1<<63 || n != 999 {
+		t.Fatalf("median round trip: %#x/%d err %v", m, n, err)
+	}
+
+	lo, hi, err := DecodeShardFenceReq(AppendShardFenceReq(nil, 5, 0))
+	if err != nil || lo != 5 || hi != 0 {
+		t.Fatalf("fence round trip: [%d,%d) err %v", lo, hi, err)
+	}
+
+	st, body, err = DecodeStatus(AppendWrongShardResp(nil, 17))
+	if err != nil || st != StatusWrongShard {
+		t.Fatalf("wrong-shard status %v err %v", st, err)
+	}
+	if e := DecodeWrongShardBody(body); e != 17 {
+		t.Fatalf("wrong-shard epoch %d", e)
+	}
+}
+
+// Hostile inputs: every decoder must reject short or ill-sized payloads
+// with ErrPayload, never panic or misparse.
+func TestShardOpCodecsHostile(t *testing.T) {
+	if _, _, err := DecodeShardMapSetReq([]byte{0, 0, 0, 1}); err == nil {
+		t.Error("SHARD_MAP_SET with no map decoded")
+	}
+	if _, _, err := DecodeShardMapSetReq(nil); err == nil {
+		t.Error("empty SHARD_MAP_SET decoded")
+	}
+	if _, err := DecodeShardMapRespBody(nil); err == nil {
+		t.Error("empty shard map body decoded")
+	}
+	if _, err := DecodeShardEpochRespBody([]byte{1, 2, 3}); err == nil {
+		t.Error("short epoch decoded")
+	}
+	if _, err := DecodeShardEpochRespBody(make([]byte, 9)); err == nil {
+		t.Error("long epoch decoded")
+	}
+	if _, _, err := DecodeShardMedianRespBody(make([]byte, 15)); err == nil {
+		t.Error("short median decoded")
+	}
+	if _, _, err := DecodeShardFenceReq(make([]byte, 17)); err == nil {
+		t.Error("long fence decoded")
+	}
+	if _, _, err := DecodeShardFenceReq(nil); err == nil {
+		t.Error("empty fence decoded")
+	}
+	// WrongShard tolerates a short body by design (epoch 0).
+	if e := DecodeWrongShardBody(nil); e != 0 {
+		t.Errorf("short wrong-shard body -> epoch %d", e)
+	}
+}
+
+func TestStatsShardFieldsRoundTrip(t *testing.T) {
+	in := Stats{
+		Scheme: 1, Dims: 3, Width: 21, Records: 12345,
+		Role: RolePrimary, CommitSeq: 88, Epoch: 4, COW: 1,
+		Clustered: 1, ShardID: 2, ShardLo: 1 << 62, ShardHi: 3 << 62, ShardMapEpoch: 9,
+	}
+	st, body, err := DecodeStatus(AppendStatsResp(nil, in))
+	if err != nil || st != StatusOK {
+		t.Fatal(err)
+	}
+	out, err := DecodeStatsRespBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("stats round trip:\n in  %+v\n out %+v", in, out)
+	}
+	if _, err := DecodeStatsRespBody(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated stats decoded")
+	}
+}
+
+func TestShardOpsAreRequests(t *testing.T) {
+	for _, op := range []Op{OpShardMap, OpShardMapSet, OpShardMedian, OpShardFence} {
+		if !op.IsRequest() {
+			t.Errorf("%v not a request", op)
+		}
+		if op.String() == "" || op.String()[0] == 'O' {
+			t.Errorf("%v has no name", op)
+		}
+	}
+	if Op(19).IsRequest() {
+		t.Error("op 19 claims to be a request")
+	}
+}

@@ -23,6 +23,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpLoadCommit, ID: 12, Payload: AppendLoadCommitReq(nil, 3)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpLoadBegin.Response(), ID: 13, Payload: AppendLoadBeginResp(nil, 3, 7)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpLoadCommit.Response(), ID: 14, Payload: AppendLoadCommitResp(nil, 100, 2)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMap, ID: 15}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMap.Response(), ID: 16, Payload: AppendShardMapResp(nil, []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 3, 'a', ':', '1', 0, 0})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMapSet, ID: 17, Payload: AppendShardMapSetReq(nil, 2, []byte{1, 2, 3})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMapSet.Response(), ID: 18, Payload: AppendShardEpochResp(nil, 9)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMedian, ID: 19}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMedian.Response(), ID: 20, Payload: AppendShardMedianResp(nil, 1<<63, 4096)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardFence, ID: 21, Payload: AppendShardFenceReq(nil, 1<<62, 1<<63)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGet.Response(), ID: 22, Payload: AppendWrongShardResp(nil, 3)}))
 	// Truncated, bad-CRC and version-skew seeds.
 	good := AppendFrame(nil, Frame{Op: OpGet, ID: 7, Payload: AppendGetReq(nil, []uint64{3})})
 	f.Add(good[:len(good)-1])
@@ -69,6 +77,10 @@ func FuzzDecodeFrame(f *testing.F) {
 				_, _ = DecodeLoadCommitReq(fr.Payload)
 			case OpLoadAbort:
 				_, _ = DecodeLoadAbortReq(fr.Payload)
+			case OpShardMapSet:
+				_, _, _ = DecodeShardMapSetReq(fr.Payload)
+			case OpShardFence:
+				_, _, _ = DecodeShardFenceReq(fr.Payload)
 			}
 			if fr.Op&Resp != 0 {
 				if st, body, err := DecodeStatus(fr.Payload); err == nil && st == StatusOK {
@@ -87,7 +99,15 @@ func FuzzDecodeFrame(f *testing.F) {
 						_, _ = DecodeLoadChunkRespBody(body)
 					case OpLoadCommit:
 						_, _, _ = DecodeLoadCommitRespBody(body)
+					case OpShardMap:
+						_, _ = DecodeShardMapRespBody(body)
+					case OpShardMapSet:
+						_, _ = DecodeShardEpochRespBody(body)
+					case OpShardMedian:
+						_, _, _ = DecodeShardMedianRespBody(body)
 					}
+				} else if err == nil && st == StatusWrongShard {
+					_ = DecodeWrongShardBody(body)
 				}
 			}
 		}

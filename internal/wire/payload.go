@@ -280,10 +280,20 @@ type Stats struct {
 	PinnedEpochs     uint32
 	ReclaimablePages uint32
 	COW              uint8
+	// Shard identity (clustered servers; zero otherwise). Clustered is 1
+	// once a shard map has been installed; ShardID is this node's index
+	// in that map, [ShardLo, ShardHi) its owned pseudo-key prefix range
+	// (ShardHi 0 meaning 2^64), and ShardMapEpoch the map's version —
+	// the same epoch StatusWrongShard responses carry.
+	Clustered     uint8
+	ShardID       uint32
+	ShardLo       uint64
+	ShardHi       uint64
+	ShardMapEpoch uint64
 }
 
 // statsSize is the fixed encoded size of Stats.
-const statsSize = 4 + 4*8 + 2*4 + 8 + 1 + 4 + 2*8 + 8 + 2*4 + 1
+const statsSize = 4 + 4*8 + 2*4 + 8 + 1 + 4 + 2*8 + 8 + 2*4 + 1 + 1 + 4 + 3*8
 
 // AppendStatsResp appends a STATS response: StatusOK plus the snapshot.
 func AppendStatsResp(dst []byte, s Stats) []byte {
@@ -303,7 +313,12 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, s.PinnedEpochs)
 	dst = binary.BigEndian.AppendUint32(dst, s.ReclaimablePages)
-	return append(dst, s.COW)
+	dst = append(dst, s.COW)
+	dst = append(dst, s.Clustered)
+	dst = binary.BigEndian.AppendUint32(dst, s.ShardID)
+	dst = binary.BigEndian.AppendUint64(dst, s.ShardLo)
+	dst = binary.BigEndian.AppendUint64(dst, s.ShardHi)
+	return binary.BigEndian.AppendUint64(dst, s.ShardMapEpoch)
 }
 
 // DecodeStatsRespBody parses the body of a StatusOK STATS response.
@@ -332,5 +347,10 @@ func DecodeStatsRespBody(body []byte) (Stats, error) {
 	s.PinnedEpochs = binary.BigEndian.Uint32(body[81:])
 	s.ReclaimablePages = binary.BigEndian.Uint32(body[85:])
 	s.COW = body[89]
+	s.Clustered = body[90]
+	s.ShardID = binary.BigEndian.Uint32(body[91:])
+	s.ShardLo = binary.BigEndian.Uint64(body[95:])
+	s.ShardHi = binary.BigEndian.Uint64(body[103:])
+	s.ShardMapEpoch = binary.BigEndian.Uint64(body[111:])
 	return s, nil
 }

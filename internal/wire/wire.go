@@ -82,13 +82,26 @@ const (
 	OpLoadChunk  Op = 12 // payload: session + seq + crc + entries → status + acked seq
 	OpLoadCommit Op = 13 // payload: session → status + loaded + duplicates
 	OpLoadAbort  Op = 14 // payload: session → status
+
+	// Cluster topology opcodes. Any node answers SHARD_MAP with its
+	// current shard map, so a client can bootstrap or refresh routing
+	// from whichever node it reaches. SHARD_MAP_SET is the control-plane
+	// push that installs a newer map (and this node's shard ID) during
+	// bootstrap or an epoch flip. SHARD_MEDIAN asks a shard primary for
+	// the median pseudo-key prefix of its owned records — the split
+	// planner's boundary choice — and SHARD_FENCE toggles the write
+	// fence over a prefix range during split hand-off.
+	OpShardMap    Op = 15 // empty → status + encoded shard map
+	OpShardMapSet Op = 16 // payload: shard ID + encoded map → status + epoch now in force
+	OpShardMedian Op = 17 // empty → status + median prefix + owned record count
+	OpShardFence  Op = 18 // payload: fence lo + hi (lo==hi clears) → status
 )
 
 // IsRequest reports whether op is a known request opcode. OpReplRecords
 // is excluded: record batches are pushed by the primary, never requested.
 func (op Op) IsRequest() bool {
 	return (op >= OpGet && op <= OpStats) || op == OpReplSubscribe || op == OpReplHeartbeat ||
-		(op >= OpLoadBegin && op <= OpLoadAbort)
+		(op >= OpLoadBegin && op <= OpLoadAbort) || (op >= OpShardMap && op <= OpShardFence)
 }
 
 // Response returns the response opcode for a request.
@@ -103,6 +116,8 @@ func (op Op) String() string {
 		OpReplHeartbeat: "REPL_HEARTBEAT",
 		OpLoadBegin:     "LOAD_BEGIN", OpLoadChunk: "LOAD_CHUNK",
 		OpLoadCommit: "LOAD_COMMIT", OpLoadAbort: "LOAD_ABORT",
+		OpShardMap: "SHARD_MAP", OpShardMapSet: "SHARD_MAP_SET",
+		OpShardMedian: "SHARD_MEDIAN", OpShardFence: "SHARD_FENCE",
 	}
 	if s, ok := name[op&^Resp]; ok {
 		if op&Resp != 0 {
@@ -133,6 +148,12 @@ const (
 	// StatusReadOnly: a mutating request reached a read replica. The
 	// request was not executed; the client should address the primary.
 	StatusReadOnly Status = 5
+	// StatusWrongShard: the request addressed a key (or, for a write, a
+	// fenced prefix) this node does not currently own. The request was
+	// not executed; the response body carries the node's shard-map epoch
+	// so the client can tell whether its cached map is stale and refresh
+	// before retrying.
+	StatusWrongShard Status = 6
 )
 
 // Protocol errors. Decoders return these (possibly wrapped); they never

@@ -14,6 +14,11 @@ import (
 // one: snapshots require SchemeBMEH running under WriteModeCOW.
 var ErrSnapshots = errors.New("bmeh: snapshots require SchemeBMEH with WriteModeCOW")
 
+// ErrSnapshotReleased reports a read on a snapshot whose pin was
+// force-released because it exceeded Options.SnapshotMaxPinAge. The
+// snapshot is dead; Close it and take a new one.
+var ErrSnapshotReleased = core.ErrSnapshotReleased
+
 // Snapshot is a consistent, immutable view of the index at one commit
 // epoch. It is created by Index.Snapshot under WriteModeCOW, reads
 // latch-free (Get and Range never block writers and are never blocked by
@@ -146,6 +151,10 @@ type SnapshotStats struct {
 	// reclamation pass). Persistent growth here means a snapshot is being
 	// held open across heavy write traffic.
 	ReclaimablePages int
+	// ForcedReleases counts snapshot pins force-released by the
+	// max-pin-age sweep (Options.SnapshotMaxPinAge) over the index's
+	// lifetime. Non-zero means some caller leaked a snapshot.
+	ForcedReleases uint64
 }
 
 // SnapshotStats reports the index's MVCC counters. All zero for schemes
@@ -162,5 +171,6 @@ func (ix *Index) SnapshotStats() SnapshotStats {
 		Epoch:            tr.Epoch(),
 		PinnedEpochs:     tr.PinnedEpochs(),
 		ReclaimablePages: tr.ReclaimablePages(),
+		ForcedReleases:   tr.ForcedReleases(),
 	}
 }

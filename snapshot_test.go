@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestSnapshotFrozenView: a snapshot keeps serving the exact state it
@@ -329,5 +330,87 @@ func TestSnapshotModeErrors(t *testing.T) {
 	}
 	if fmt.Sprint(WriteModeLatched, WriteModeCOW) != "latched cow" {
 		t.Fatalf("WriteMode strings: %v %v", WriteModeLatched, WriteModeCOW)
+	}
+}
+
+// TestSnapshotMaxPinAge: an abandoned pin older than SnapshotMaxPinAge is
+// force-released by the next reclamation pass — its pages recycle, its
+// reads fail with ErrSnapshotReleased, its Close stays a safe no-op —
+// while a younger snapshot keeps working untouched.
+func TestSnapshotMaxPinAge(t *testing.T) {
+	const maxAge = 30 * time.Millisecond
+	ix, err := New(Options{
+		Dims: 2, PageCapacity: 8,
+		WriteMode:         WriteModeCOW,
+		SnapshotMaxPinAge: maxAge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	keys := randKeys(600, 2, 97)
+	for i, k := range keys[:300] {
+		if err := ix.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	leaked, err := ix.Snapshot() // never Closed by the "application"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := leaked.Get(keys[0]); err != nil || !ok {
+		t.Fatalf("fresh snapshot get: ok=%v err=%v", ok, err)
+	}
+
+	time.Sleep(maxAge + 20*time.Millisecond)
+	// Any commit past the age triggers the sweep via tryReclaim.
+	for i, k := range keys[300:] {
+		if err := ix.Insert(k, uint64(300+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := ix.SnapshotStats()
+	if st.ForcedReleases != 1 {
+		t.Fatalf("ForcedReleases = %d, want 1 (stats %+v)", st.ForcedReleases, st)
+	}
+	if st.PinnedEpochs != 0 {
+		t.Fatalf("forced release left %d epochs pinned", st.PinnedEpochs)
+	}
+	if st.ReclaimablePages != 0 {
+		t.Fatalf("forced release left %d pages unreclaimed", st.ReclaimablePages)
+	}
+	if _, _, err := leaked.Get(keys[0]); err != ErrSnapshotReleased {
+		t.Fatalf("released Get: err = %v, want ErrSnapshotReleased", err)
+	}
+	err = leaked.Range(Key{0, 0}, Key{math.MaxUint32, math.MaxUint32}, func(Key, uint64) bool { return true })
+	if err != ErrSnapshotReleased {
+		t.Fatalf("released Range: err = %v, want ErrSnapshotReleased", err)
+	}
+	if err := leaked.Close(); err != nil {
+		t.Fatalf("Close after forced release: %v", err)
+	}
+	st = ix.SnapshotStats()
+	if st.ForcedReleases != 1 || st.PinnedEpochs != 0 {
+		t.Fatalf("stats corrupted by Close after forced release: %+v", st)
+	}
+
+	// A fresh snapshot on the same index is unaffected until it ages out.
+	snap, err := ix.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	n := 0
+	err = snap.Range(Key{0, 0}, Key{math.MaxUint32, math.MaxUint32}, func(Key, uint64) bool {
+		n++
+		return true
+	})
+	if err != nil || n != len(keys) {
+		t.Fatalf("fresh snapshot after sweep: n=%d err=%v", n, err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
